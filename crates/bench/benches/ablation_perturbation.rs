@@ -1,0 +1,63 @@
+//! §3.3 sensitivity study: does the perturbation *magnitude* matter?
+//!
+//! The paper injects a uniform 0–4 ns increment on every L2 miss and reports
+//! that shrinking it to 0–1 ns leaves the coefficient of variation
+//! essentially unchanged — the perturbation only *exposes* the workload's
+//! inherent variability, it does not create it. This ablation sweeps the
+//! magnitude (0, 1, 2, 4, 16 ns) on 200-transaction OLTP runs.
+
+use mtvar_bench::{banner, footer, runs, seed};
+use mtvar_core::metrics::VariabilityReport;
+use mtvar_core::report::Table;
+use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_sim::config::MachineConfig;
+use mtvar_workloads::Benchmark;
+
+const TRANSACTIONS: u64 = 200;
+const WARMUP: u64 = 1000;
+
+fn main() {
+    let t0 = banner(
+        "Ablation (§3.3)",
+        "Sensitivity of measured variability to the perturbation magnitude",
+    );
+
+    let mut table = Table::new("Perturbation magnitude vs observed OLTP space variability");
+    table.set_headers(vec![
+        "max perturbation (ns)",
+        "mean cycles/txn",
+        "CoV",
+        "range of variability",
+    ]);
+    for max_ns in [0u64, 1, 2, 4, 16] {
+        let cfg = MachineConfig::hpca2003().with_perturbation(max_ns, 0);
+        let plan = RunPlan::new(TRANSACTIONS)
+            .with_runs(runs())
+            .with_warmup(WARMUP);
+        let space =
+            run_space(&cfg, || Benchmark::Oltp.workload(16, seed()), &plan).expect("simulation");
+        let rt = space.runtimes();
+        if max_ns == 0 {
+            // Without perturbation the simulator is deterministic: all runs
+            // identical, CoV exactly zero.
+            let identical = rt.iter().all(|&r| (r - rt[0]).abs() < 1e-9);
+            table.add_row(vec![
+                "0 (deterministic)".into(),
+                format!("{:.1}", rt[0]),
+                if identical { "0.00% (all runs identical)".into() } else { "NONZERO (bug!)".into() },
+                "0.00%".into(),
+            ]);
+            continue;
+        }
+        let rep = VariabilityReport::from_runtimes(&rt).expect("report");
+        table.add_row(vec![
+            max_ns.to_string(),
+            format!("{:.1}", rep.mean),
+            format!("{:.2}%", rep.cov_percent),
+            format!("{:.2}%", rep.range_percent),
+        ]);
+    }
+    println!("{table}");
+    println!("  (paper: CoV not significantly affected between 0-1 ns and 0-4 ns)");
+    footer(t0);
+}

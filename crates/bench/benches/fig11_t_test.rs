@@ -1,0 +1,93 @@
+//! §5.1.2: hypothesis testing — Figure 11.
+//!
+//! Runs the paper's t-test on the ROB experiment (H₀: µ₃₂ = µ₆₄ against the
+//! alternative µ₃₂ > µ₆₄) and renders the acceptance/rejection regions of the
+//! t distribution with the computed statistic placed on the axis — the
+//! textual form of Figure 11.
+
+use mtvar_bench::{banner, footer, runs, seed};
+use mtvar_core::compare::Comparison;
+use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_sim::config::MachineConfig;
+use mtvar_sim::proc::{OooConfig, ProcessorConfig};
+use mtvar_stats::dist::{ContinuousDistribution, StudentT};
+use mtvar_workloads::Benchmark;
+
+const TRANSACTIONS: u64 = 50;
+const WARMUP: u64 = 400;
+
+fn rob_runs(rob: u32) -> Vec<f64> {
+    let cfg = MachineConfig::hpca2003()
+        .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(rob)))
+        .with_perturbation(4, 0);
+    let plan = RunPlan::new(TRANSACTIONS).with_runs(runs()).with_warmup(WARMUP);
+    run_space(&cfg, || Benchmark::Oltp.workload(16, seed()), &plan)
+        .expect("simulation")
+        .runtimes()
+}
+
+fn main() {
+    let t0 = banner(
+        "Figure 11",
+        "Acceptance and rejection regions for the t-test (ROB 32 vs 64)",
+    );
+
+    let r32 = rob_runs(32);
+    let r64 = rob_runs(64);
+    let cmp = Comparison::from_runs("32-entry", &r32, "64-entry", &r64).expect("comparison");
+    let test = cmp.t_test().expect("t-test");
+    let dist = StudentT::new(test.df()).expect("df > 0");
+
+    println!(
+        "  H0: mu_32 = mu_64   vs   H1: mu_32 > mu_64   (pooled, df = {:.0})",
+        test.df()
+    );
+    println!(
+        "  test statistic t = {:.3}; one-sided p = {:.4}",
+        test.statistic(),
+        test.p_one_sided()
+    );
+
+    println!("  significance   critical t   region of the statistic");
+    for alpha in [0.10, 0.05, 0.025, 0.01, 0.005] {
+        let crit = dist.quantile(1.0 - alpha).expect("quantile");
+        let verdict = if test.statistic() > crit {
+            "REJECT H0 (conclusion safe at this level)"
+        } else {
+            "accept H0 (cannot conclude)"
+        };
+        println!("  {:>10.3}   {crit:>10.3}   {verdict}", alpha);
+    }
+
+    // ASCII sketch of the density with the critical value at alpha = 0.05.
+    let crit = dist.quantile(0.95).expect("quantile");
+    println!("\n  t-distribution density (df = {:.0}):", test.df());
+    let (lo, hi, cols) = (-4.0f64, 6.0f64, 61usize);
+    let peak = dist.pdf(0.0);
+    for row in (1..=8).rev() {
+        let level = peak * row as f64 / 8.0;
+        let mut line = String::with_capacity(cols);
+        for c in 0..cols {
+            let x = lo + (hi - lo) * c as f64 / (cols - 1) as f64;
+            line.push(if dist.pdf(x) >= level { '#' } else { ' ' });
+        }
+        println!("  |{line}");
+    }
+    let mut axis = String::with_capacity(cols);
+    for c in 0..cols {
+        let x = lo + (hi - lo) * c as f64 / (cols - 1) as f64;
+        let step = (hi - lo) / (cols - 1) as f64;
+        if (x - crit).abs() < step / 2.0 {
+            axis.push('C'); // critical value
+        } else if (x - test.statistic()).abs() < step / 2.0 {
+            axis.push('T'); // observed statistic
+        } else if x.abs() < step / 2.0 {
+            axis.push('0');
+        } else {
+            axis.push('-');
+        }
+    }
+    println!("  +{axis}");
+    println!("   C = critical t at alpha 0.05 ({crit:.2}); T = observed statistic ({:.2}); rejection region is right of C", test.statistic());
+    footer(t0);
+}

@@ -1,0 +1,68 @@
+//! Experiment 1 (§4.1.1): L2 cache associativity — Figure 5 and Table 1.
+//!
+//! Twenty 200-transaction OLTP runs with the simple processor model, L2
+//! associativity ∈ {direct-mapped, 2-way, 4-way}, sizes and latencies fixed.
+//! Reports Figure 5 (avg/max/min cycles per transaction) and Table 1 (the
+//! pairwise wrong-conclusion ratio).
+//!
+//! Paper reference — Table 1: DM vs 2-way 24%, DM vs 4-way 10%,
+//! 2-way vs 4-way 31% (superior configuration in parentheses each time).
+
+use mtvar_bench::{banner, fmt_sample, footer, runs, seed};
+use mtvar_core::report::Table;
+use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::wcr::wrong_conclusion_ratio;
+use mtvar_sim::config::MachineConfig;
+use mtvar_workloads::Benchmark;
+
+const TRANSACTIONS: u64 = 200;
+const WARMUP: u64 = 1000;
+
+fn main() {
+    let t0 = banner(
+        "Figure 5 / Table 1",
+        "OLTP performance for different L2 cache associativities",
+    );
+
+    let mut samples: Vec<(String, Vec<f64>)> = Vec::new();
+    for ways in [1u32, 2, 4] {
+        let cfg = MachineConfig::hpca2003()
+            .with_l2_associativity(ways)
+            .with_perturbation(4, 0);
+        let plan = RunPlan::new(TRANSACTIONS)
+            .with_runs(runs())
+            .with_warmup(WARMUP);
+        let space =
+            run_space(&cfg, || Benchmark::Oltp.workload(16, seed()), &plan).expect("simulation");
+        let label = match ways {
+            1 => "direct-mapped".to_owned(),
+            w => format!("{w}-way"),
+        };
+        println!("  L2 {label:>13}: cycles/txn {}", fmt_sample(&space.runtimes()));
+        samples.push((label, space.runtimes()));
+    }
+
+    let mut table = Table::new("\nTable 1. Summary of Experiment 1");
+    table.set_headers(vec![
+        "Configurations Compared",
+        "Superior (measured)",
+        "WCR measured",
+        "WCR paper",
+    ]);
+    let paper = ["24%", "10%", "31%"];
+    for (k, (i, j)) in [(0usize, 1usize), (0, 2), (1, 2)].iter().enumerate() {
+        let w = wrong_conclusion_ratio(&samples[*i].1, &samples[*j].1).expect("wcr");
+        let superior = match w.superior {
+            mtvar_core::wcr::Superior::First => &samples[*i].0,
+            mtvar_core::wcr::Superior::Second => &samples[*j].0,
+        };
+        table.add_row(vec![
+            format!("{} vs {}", samples[*i].0, samples[*j].0),
+            superior.clone(),
+            format!("{:.1}%", w.wcr_percent),
+            paper[k].to_owned(),
+        ]);
+    }
+    println!("{table}");
+    footer(t0);
+}

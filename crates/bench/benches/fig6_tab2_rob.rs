@@ -1,0 +1,67 @@
+//! Experiment 2 (§4.1.2): reorder-buffer size — Figure 6 and Table 2.
+//!
+//! Twenty 50-transaction OLTP runs with the TFsim-like out-of-order model,
+//! ROB ∈ {16, 32, 64} entries. Reports Figure 6 (avg/max/min cycles per
+//! transaction) and Table 2 (pairwise WCR).
+//!
+//! Paper reference — Table 2: 16 vs 32 18%, 16 vs 64 7.5%, 32 vs 64 26%
+//! (larger ROB superior each time).
+
+use mtvar_bench::{banner, fmt_sample, footer, runs, seed};
+use mtvar_core::report::Table;
+use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::wcr::wrong_conclusion_ratio;
+use mtvar_sim::config::MachineConfig;
+use mtvar_sim::proc::{OooConfig, ProcessorConfig};
+use mtvar_workloads::Benchmark;
+
+const TRANSACTIONS: u64 = 50;
+const WARMUP: u64 = 400;
+
+fn main() {
+    let t0 = banner(
+        "Figure 6 / Table 2",
+        "OLTP performance for different reorder buffer sizes",
+    );
+
+    let mut samples: Vec<(String, Vec<f64>)> = Vec::new();
+    for rob in [16u32, 32, 64] {
+        let cfg = MachineConfig::hpca2003()
+            .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(rob)))
+            .with_perturbation(4, 0);
+        let plan = RunPlan::new(TRANSACTIONS)
+            .with_runs(runs())
+            .with_warmup(WARMUP);
+        let space =
+            run_space(&cfg, || Benchmark::Oltp.workload(16, seed()), &plan).expect("simulation");
+        println!(
+            "  ROB {rob:>2} entries: cycles/txn {}",
+            fmt_sample(&space.runtimes())
+        );
+        samples.push((format!("{rob}-entry"), space.runtimes()));
+    }
+
+    let mut table = Table::new("\nTable 2. Summary of Experiment 2");
+    table.set_headers(vec![
+        "Configurations Compared",
+        "Superior (measured)",
+        "WCR measured",
+        "WCR paper",
+    ]);
+    let paper = ["18%", "7.5%", "26%"];
+    for (k, (i, j)) in [(0usize, 1usize), (0, 2), (1, 2)].iter().enumerate() {
+        let w = wrong_conclusion_ratio(&samples[*i].1, &samples[*j].1).expect("wcr");
+        let superior = match w.superior {
+            mtvar_core::wcr::Superior::First => &samples[*i].0,
+            mtvar_core::wcr::Superior::Second => &samples[*j].0,
+        };
+        table.add_row(vec![
+            format!("{} vs {} ROB", samples[*i].0, samples[*j].0),
+            superior.clone(),
+            format!("{:.1}%", w.wcr_percent),
+            paper[k].to_owned(),
+        ]);
+    }
+    println!("{table}");
+    footer(t0);
+}

@@ -1,0 +1,75 @@
+//! §4.2.1: space variability across the seven benchmarks — Figure 7 and
+//! Table 3.
+//!
+//! Twenty perturbed runs per benchmark on the 16-processor target with the
+//! simple processor model; reports the coefficient of variation and range of
+//! variability per benchmark next to the paper's Table 3 values.
+//!
+//! Transaction counts for SPECjbb/Apache/OLTP are scaled down from the
+//! paper's (60,000 / 5,000 / 1,000 → 2,000 / 500 / 400) to keep the harness
+//! in minutes on one host core, and ECperf up (5 → 50) because our synthetic
+//! commit process is noisier at 5-commit granularity; the comparison target
+//! is the *ordering* of benchmarks by variability, which the paper
+//! highlights, not the absolute CoV values. See EXPERIMENTS.md.
+
+use mtvar_bench::{banner, footer, runs, seed};
+use mtvar_core::metrics::VariabilityReport;
+use mtvar_core::report::Table;
+use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_sim::config::MachineConfig;
+use mtvar_workloads::Benchmark;
+
+/// `(benchmark, measured transactions, warmup, paper txns, paper CoV, paper range)`.
+const ROWS: [(Benchmark, u64, u64, &str, f64, f64); 7] = [
+    (Benchmark::Barnes, 16, 0, "1", 0.16, 0.59),
+    (Benchmark::Ocean, 16, 0, "1", 0.31, 1.13),
+    (Benchmark::Ecperf, 50, 200, "5", 1.40, 5.30),
+    (Benchmark::Slashcode, 30, 200, "30", 3.60, 14.45),
+    (Benchmark::Oltp, 400, 1000, "1000", 0.98, 3.85),
+    (Benchmark::Apache, 500, 200, "5000", 0.88, 3.94),
+    (Benchmark::Specjbb, 2000, 200, "60000", 0.26, 1.10),
+];
+
+fn main() {
+    let t0 = banner(
+        "Figure 7 / Table 3",
+        "Space variability across the seven benchmarks",
+    );
+
+    let mut table = Table::new("Table 3. Summary of space variability for different benchmarks");
+    table.set_headers(vec![
+        "Benchmark",
+        "#txns (ours/paper)",
+        "mean cyc/txn",
+        "CoV measured",
+        "CoV paper",
+        "Range measured",
+        "Range paper",
+    ]);
+
+    let mut measured_order: Vec<(String, f64)> = Vec::new();
+    for (b, txns, warmup, paper_txns, paper_cov, paper_range) in ROWS {
+        let cfg = MachineConfig::hpca2003().with_perturbation(4, 0);
+        let plan = RunPlan::new(txns).with_runs(runs()).with_warmup(warmup);
+        let space = run_space(&cfg, || b.workload(16, seed()), &plan).expect("simulation");
+        let rep = VariabilityReport::from_runtimes(&space.runtimes()).expect("report");
+        table.add_row(vec![
+            b.name().to_owned(),
+            format!("{txns}/{paper_txns}"),
+            format!("{:.0}", rep.mean),
+            format!("{:.2}%", rep.cov_percent),
+            format!("{paper_cov:.2}%"),
+            format!("{:.2}%", rep.range_percent),
+            format!("{paper_range:.2}%"),
+        ]);
+        measured_order.push((b.name().to_owned(), rep.cov_percent));
+    }
+    println!("{table}");
+
+    // The paper's headline: variability ordering across benchmarks.
+    measured_order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    let order: Vec<&str> = measured_order.iter().map(|(n, _)| n.as_str()).collect();
+    println!("  measured CoV ordering: {}", order.join(" < "));
+    println!("  paper    CoV ordering: barnes < specjbb < ocean < apache < oltp < ecperf < slashcode");
+    footer(t0);
+}

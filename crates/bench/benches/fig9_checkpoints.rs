@@ -1,0 +1,87 @@
+//! §4.3 + §5.2: runs from multiple starting points — Figure 9 — and the
+//! ANOVA study that decides whether time sampling is required.
+//!
+//! Twenty perturbed runs from each of ten checkpoints spaced through the
+//! workload's lifetime, for OLTP (200-transaction runs) and SPECjbb
+//! (500-transaction runs; the paper used 5,000 — see EXPERIMENTS.md).
+//! Paper findings: OLTP checkpoint means differ by >16% (30K vs 40K);
+//! SPECjbb's by >36% (100K vs 400K) with *negligible* space variability
+//! within each checkpoint; ANOVA finds between-group variability significant
+//! for both, so both need time sampling.
+
+use mtvar_bench::{banner, footer, runs, seed};
+use mtvar_core::runspace::RunPlan;
+use mtvar_core::timesample::sweep_checkpoints;
+use mtvar_sim::config::MachineConfig;
+use mtvar_sim::machine::Machine;
+use mtvar_stats::describe::Summary;
+use mtvar_workloads::Benchmark;
+
+const POINTS: usize = 10;
+
+fn main() {
+    let t0 = banner(
+        "Figure 9 / ANOVA (§5.2)",
+        "OLTP and SPECjbb performance from multiple starting points",
+    );
+
+    for (benchmark, spacing, txns, paper_note) in [
+        (
+            Benchmark::Oltp,
+            1_000u64,
+            200u64,
+            "paper: >16% spread between the 30K and 40K checkpoints",
+        ),
+        (
+            Benchmark::Specjbb,
+            2_000,
+            500,
+            "paper: >36% spread, negligible within-checkpoint deviation",
+        ),
+    ] {
+        println!("\n  -- {} ({txns}-transaction runs from {POINTS} checkpoints) --", benchmark);
+        let cfg = MachineConfig::hpca2003().with_perturbation(4, 0);
+        let mut machine =
+            Machine::new(cfg, benchmark.workload(16, seed())).expect("machine");
+        let plan = RunPlan::new(txns).with_runs(runs());
+        let study =
+            sweep_checkpoints(&mut machine, POINTS, spacing, &plan).expect("checkpoint sweep");
+
+        println!("  warmup txns   cycles/txn mean ± sd       min        max");
+        let mut means = Vec::new();
+        for (ck, group) in study.checkpoints().iter().zip(study.groups()) {
+            let s = Summary::from_slice(group).expect("summary");
+            println!(
+                "  {:>10}    {:>9.1} ± {:>7.2}   {:>9.1}  {:>9.1}",
+                ck,
+                s.mean(),
+                s.sd(),
+                s.min(),
+                s.max()
+            );
+            means.push(s.mean());
+        }
+        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let grand = means.iter().sum::<f64>() / means.len() as f64;
+        println!(
+            "  between-checkpoint spread: {:.1}% of the mean ({paper_note})",
+            100.0 * (hi - lo) / grand
+        );
+
+        let anova = study.anova().expect("anova");
+        println!(
+            "  ANOVA: F({:.0}, {:.0}) = {:.1}, p = {:.2e} -> time sampling {} (alpha = 0.05)",
+            anova.df_between(),
+            anova.df_within(),
+            anova.f_statistic(),
+            anova.p_value(),
+            if study.requires_time_sampling(0.05).expect("anova") {
+                "REQUIRED — use runs from multiple starting points"
+            } else {
+                "not required"
+            }
+        );
+    }
+    footer(t0);
+}

@@ -1,0 +1,85 @@
+//! Shared plumbing for the `mtvar` benchmark harness.
+//!
+//! Every bench target under `benches/` regenerates one table or figure of
+//! the HPCA 2003 paper and prints the measured artifact next to the values
+//! the paper reports, so shapes can be compared at a glance. See
+//! `EXPERIMENTS.md` at the workspace root for the full index and the scaling
+//! notes.
+//!
+//! Environment knobs:
+//!
+//! * `MTVAR_RUNS` — perturbed runs per configuration (default 20, the
+//!   paper's count). Lower it for a quick smoke pass.
+//! * `MTVAR_SEED` — workload seed (default 42).
+
+use std::time::Instant;
+
+/// Number of perturbed runs per configuration (env `MTVAR_RUNS`, default 20).
+pub fn runs() -> usize {
+    std::env::var("MTVAR_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(20)
+}
+
+/// The workload seed (env `MTVAR_SEED`, default 42).
+pub fn seed() -> u64 {
+    std::env::var("MTVAR_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Prints the standard experiment banner and returns the start instant.
+pub fn banner(id: &str, title: &str) -> Instant {
+    println!();
+    println!("=== {id}: {title} ===");
+    println!(
+        "    ({} runs/config, workload seed {}; see EXPERIMENTS.md for scaling)",
+        runs(),
+        seed()
+    );
+    Instant::now()
+}
+
+/// Prints the closing line with elapsed wall time.
+pub fn footer(start: Instant) {
+    println!("    [completed in {:.1?}]", start.elapsed());
+}
+
+/// Formats a slice of runtimes as `mean ± sd (min / max)`.
+pub fn fmt_sample(rt: &[f64]) -> String {
+    let s = mtvar_stats::describe::Summary::from_slice(rt).expect("non-empty runtimes");
+    format!(
+        "{:8.1} ± {:6.1}  (min {:8.1}, max {:8.1})",
+        s.mean(),
+        s.sd(),
+        s.min(),
+        s.max()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        // These read the environment; absent overrides they use the paper's
+        // run count.
+        if std::env::var("MTVAR_RUNS").is_err() {
+            assert_eq!(runs(), 20);
+        }
+        if std::env::var("MTVAR_SEED").is_err() {
+            assert_eq!(seed(), 42);
+        }
+    }
+
+    #[test]
+    fn fmt_sample_contains_moments() {
+        let s = fmt_sample(&[1.0, 2.0, 3.0]);
+        assert!(s.contains("2.0"));
+        assert!(s.contains("min"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Scratch diagnostic for calibration: Table-3 rows at the full 20-run
+//! budget. Usage: `probe <benchmark> [txns] [warmup]`.
+
+use mtvar_core::metrics::VariabilityReport;
+use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_sim::config::MachineConfig;
+use mtvar_workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("barnes");
+    let b = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .expect("unknown benchmark");
+    let txns: u64 = args
+        .get(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(match b {
+            Benchmark::Barnes | Benchmark::Ocean => 16,
+            Benchmark::Ecperf => 50,
+            Benchmark::Slashcode => 30,
+            Benchmark::Oltp => 400,
+            Benchmark::Apache => 500,
+            Benchmark::Specjbb => 2000,
+        });
+    let warmup: u64 = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(match b {
+        Benchmark::Barnes | Benchmark::Ocean => 0,
+        _ => 200,
+    });
+    let cfg = MachineConfig::hpca2003().with_perturbation(4, 0);
+    let plan = RunPlan::new(txns).with_runs(20).with_warmup(warmup);
+    let space = run_space(&cfg, || b.workload(16, 42), &plan).unwrap();
+    let rep = VariabilityReport::from_runtimes(&space.runtimes()).unwrap();
+    println!(
+        "{b} txns={txns}: mean={:.0} cov={:.2}% range={:.2}%",
+        rep.mean, rep.cov_percent, rep.range_percent
+    );
+}

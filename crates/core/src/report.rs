@@ -1,0 +1,241 @@
+//! Plain-text rendering of experiment tables and series, used by the bench
+//! harness and examples to print paper-style artifacts.
+
+use std::fmt;
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use mtvar_core::report::Table;
+///
+/// let mut t = Table::new("Table 1. Summary of Experiment 1");
+/// t.set_headers(vec!["Configurations Compared", "WCR (%)"]);
+/// t.add_row(vec!["DM vs 2-way".into(), "24.0".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("WCR"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title.
+    pub fn new(title: &str) -> Self {
+        Table {
+            title: title.to_owned(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn set_headers<S: Into<String>>(&mut self, headers: Vec<S>) -> &mut Self {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if headers are set and the row width differs.
+    pub fn add_row(&mut self, row: Vec<String>) -> &mut Self {
+        if !self.headers.is_empty() {
+            assert_eq!(
+                row.len(),
+                self.headers.len(),
+                "row width must match headers"
+            );
+        }
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as RFC-4180-style CSV (headers first if set),
+    /// quoting cells that contain commas, quotes or newlines — for feeding
+    /// measured artifacts into plotting pipelines.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mtvar_core::report::Table;
+    ///
+    /// let mut t = Table::new("demo");
+    /// t.set_headers(vec!["a", "b"]);
+    /// t.add_row(vec!["1".into(), "x,y".into()]);
+    /// assert_eq!(t.to_csv(), "a,b\n1,\"x,y\"\n");
+    /// ```
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        if !self.headers.is_empty() {
+            let line: Vec<String> = self.headers.iter().map(|h| escape(h)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            let line: Vec<String> = row.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes [`Table::to_csv`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn write_csv<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        if !self.headers.is_empty() {
+            let line: Vec<String> = self
+                .headers
+                .iter()
+                .enumerate()
+                .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
+                .collect();
+            writeln!(f, "  {}", line.join("  "))?;
+            let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+            writeln!(f, "  {}", rule.join("  "))?;
+        }
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            writeln!(f, "  {}", line.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `0.314` →
+/// `"31.4%"`.
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+/// Formats a cycles-per-transaction value in millions, e.g. `4_512_345.0` →
+/// `"4.512"`.
+pub fn mcycles(v: f64) -> String {
+    format!("{:.3}", v / 1.0e6)
+}
+
+/// Renders a mean ± sd with min/max, the paper's error-bar figures in text
+/// form.
+pub fn mean_sd_min_max(mean: f64, sd: f64, min: f64, max: f64) -> String {
+    format!("{mean:.1} ± {sd:.1} [{min:.1}, {max:.1}]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Demo");
+        t.set_headers(vec!["name", "value"]);
+        t.add_row(vec!["alpha".into(), "1".into()]);
+        t.add_row(vec!["b".into(), "22222".into()]);
+        let s = t.to_string();
+        assert!(s.starts_with("Demo\n"));
+        assert!(s.contains("name"));
+        assert!(s.contains("alpha"));
+        // Alignment: all data lines have the same prefix width up to col 2.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x");
+        t.set_headers(vec!["a", "b"]);
+        t.add_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.314), "31.4%");
+        assert_eq!(mcycles(4_512_000.0), "4.512");
+        let s = mean_sd_min_max(10.0, 0.5, 9.0, 11.0);
+        assert!(s.contains('±') && s.contains('['));
+    }
+
+    #[test]
+    fn headerless_table() {
+        let mut t = Table::new("no headers");
+        t.add_row(vec!["a".into(), "b".into()]);
+        assert!(t.to_string().contains('a'));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new("x");
+        t.set_headers(vec!["plain", "tricky"]);
+        t.add_row(vec!["v".into(), "a,b".into()]);
+        t.add_row(vec!["q\"q".into(), "line\nbreak".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("plain,tricky\n"));
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"q\"\"q\""));
+        assert!(csv.contains("\"line\nbreak\""));
+    }
+
+    #[test]
+    fn csv_headerless() {
+        let mut t = Table::new("x");
+        t.add_row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "1,2\n");
+    }
+
+    #[test]
+    fn csv_writes_to_disk() {
+        let mut t = Table::new("x");
+        t.set_headers(vec!["a"]);
+        t.add_row(vec!["1".into()]);
+        let path = std::env::temp_dir().join("mtvar_report_test.csv");
+        t.write_csv(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, "a\n1\n");
+        let _ = std::fs::remove_file(path);
+    }
+}

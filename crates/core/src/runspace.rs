@@ -1,0 +1,243 @@
+//! Executing the *space of runs* for one configuration (§3.3).
+//!
+//! The paper's mechanism: start every run from the same initial conditions
+//! (fresh machine or checkpoint), give each a unique perturbation seed, and
+//! collect the resulting cycles-per-transaction sample. "We use the mean of
+//! these runs as our performance metric."
+
+use serde::{Deserialize, Serialize};
+
+use mtvar_sim::config::MachineConfig;
+use mtvar_sim::machine::Machine;
+use mtvar_sim::stats::RunResult;
+use mtvar_sim::workload::Workload;
+use mtvar_stats::describe::Summary;
+
+use crate::{CoreError, Result};
+
+/// Design of a multi-run experiment on one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunPlan {
+    /// Number of perturbed runs (the paper's experiments use 20).
+    pub runs: usize,
+    /// Transactions measured per run.
+    pub transactions: u64,
+    /// Transactions executed before measurement starts (cache and lock-state
+    /// warmup; the paper warms its database for 10,000 transactions).
+    pub warmup_transactions: u64,
+    /// First perturbation seed; run `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl RunPlan {
+    /// A plan with the paper's default of 20 runs.
+    pub fn new(transactions: u64) -> Self {
+        RunPlan {
+            runs: 20,
+            transactions,
+            warmup_transactions: 0,
+            base_seed: 0,
+        }
+    }
+
+    /// Sets the number of runs.
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the warmup length.
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup_transactions = warmup;
+        self
+    }
+
+    /// Sets the base perturbation seed.
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.runs == 0 || self.transactions == 0 {
+            return Err(CoreError::InvalidExperiment {
+                what: "a run plan needs runs >= 1 and transactions >= 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The collected space of runs for one configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpace {
+    results: Vec<RunResult>,
+}
+
+impl RunSpace {
+    /// Wraps already-collected results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidExperiment`] if `results` is empty.
+    pub fn from_results(results: Vec<RunResult>) -> Result<Self> {
+        if results.is_empty() {
+            return Err(CoreError::InvalidExperiment {
+                what: "a run space needs at least one result".into(),
+            });
+        }
+        Ok(RunSpace { results })
+    }
+
+    /// The individual run results.
+    pub fn results(&self) -> &[RunResult] {
+        &self.results
+    }
+
+    /// Cycles-per-transaction of every run, in seed order.
+    pub fn runtimes(&self) -> Vec<f64> {
+        self.results
+            .iter()
+            .map(RunResult::cycles_per_transaction)
+            .collect()
+    }
+
+    /// Summary statistics (mean/sd/min/max) of the runtimes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] if a runtime is non-finite.
+    pub fn summary(&self) -> Result<Summary> {
+        Ok(Summary::from_slice(&self.runtimes())?)
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the space holds no runs (never true for a constructed space).
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+}
+
+/// Runs `plan` on a fresh machine per run: build with perturbation seed
+/// `base_seed + i`, warm up, measure.
+///
+/// # Errors
+///
+/// Propagates configuration and deadlock errors from the simulator.
+pub fn run_space<W, F>(
+    config: &MachineConfig,
+    make_workload: F,
+    plan: &RunPlan,
+) -> Result<RunSpace>
+where
+    W: Workload,
+    F: Fn() -> W,
+{
+    plan.validate()?;
+    let mut results = Vec::with_capacity(plan.runs);
+    for i in 0..plan.runs {
+        let cfg = config
+            .clone()
+            .with_perturbation(config.perturbation_max_ns, plan.base_seed + i as u64);
+        let mut machine = Machine::new(cfg, make_workload())?;
+        if plan.warmup_transactions > 0 {
+            machine.run_transactions(plan.warmup_transactions)?;
+        }
+        results.push(machine.run_transactions(plan.transactions)?);
+    }
+    RunSpace::from_results(results)
+}
+
+/// Runs `plan` from a checkpoint: every run restarts from the identical
+/// machine state, differing only in perturbation seed — the paper's
+/// space-variability protocol.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_space_from_checkpoint<W>(
+    checkpoint: &Machine<W>,
+    plan: &RunPlan,
+) -> Result<RunSpace>
+where
+    W: Workload + Clone,
+{
+    plan.validate()?;
+    let mut results = Vec::with_capacity(plan.runs);
+    for i in 0..plan.runs {
+        let mut machine = checkpoint.with_perturbation_seed(plan.base_seed + i as u64);
+        if plan.warmup_transactions > 0 {
+            machine.run_transactions(plan.warmup_transactions)?;
+        }
+        results.push(machine.run_transactions(plan.transactions)?);
+    }
+    RunSpace::from_results(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvar_sim::workload::SharingWorkload;
+
+    fn small_config() -> MachineConfig {
+        MachineConfig::hpca2003().with_cpus(4).with_perturbation(4, 0)
+    }
+
+    fn small_workload() -> SharingWorkload {
+        SharingWorkload::new(8, 42, 40, 4096, 10)
+    }
+
+    #[test]
+    fn run_space_collects_all_runs() {
+        let plan = RunPlan::new(30).with_runs(5);
+        let space = run_space(&small_config(), small_workload, &plan).unwrap();
+        assert_eq!(space.len(), 5);
+        let rt = space.runtimes();
+        assert!(rt.iter().all(|&r| r > 0.0));
+        let s = space.summary().unwrap();
+        assert_eq!(s.n(), 5);
+    }
+
+    #[test]
+    fn perturbed_runs_differ() {
+        let plan = RunPlan::new(40).with_runs(6).with_warmup(10);
+        let space = run_space(&small_config(), small_workload, &plan).unwrap();
+        let rt = space.runtimes();
+        assert!(
+            rt.iter().any(|&r| (r - rt[0]).abs() > 1e-9),
+            "perturbed runs should differ: {rt:?}"
+        );
+    }
+
+    #[test]
+    fn same_plan_reproduces_exactly() {
+        let plan = RunPlan::new(25).with_runs(3);
+        let a = run_space(&small_config(), small_workload, &plan).unwrap();
+        let b = run_space(&small_config(), small_workload, &plan).unwrap();
+        assert_eq!(a.runtimes(), b.runtimes());
+    }
+
+    #[test]
+    fn checkpoint_space_starts_from_identical_state() {
+        let mut m = Machine::new(small_config(), small_workload()).unwrap();
+        m.run_transactions(20).unwrap();
+        let plan = RunPlan::new(30).with_runs(4);
+        let a = run_space_from_checkpoint(&m, &plan).unwrap();
+        let b = run_space_from_checkpoint(&m, &plan).unwrap();
+        assert_eq!(a.runtimes(), b.runtimes());
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn plan_validation() {
+        let bad = RunPlan::new(10).with_runs(0);
+        assert!(run_space(&small_config(), small_workload, &bad).is_err());
+        let bad2 = RunPlan::new(0);
+        assert!(run_space(&small_config(), small_workload, &bad2).is_err());
+        assert!(RunSpace::from_results(vec![]).is_err());
+    }
+}

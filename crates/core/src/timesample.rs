@@ -1,0 +1,353 @@
+//! Time sampling (§5.2): runs from multiple starting points, and the ANOVA
+//! that decides whether they are necessary.
+//!
+//! "ANOVA tells us whether it is sufficient to use runs from a single
+//! starting point, or whether the sample should contain runs from many
+//! starting points."
+
+use serde::{Deserialize, Serialize};
+
+use mtvar_sim::machine::Machine;
+use mtvar_sim::rng::Xoshiro256StarStar;
+use mtvar_sim::workload::Workload;
+use mtvar_stats::infer::{anova_one_way, Anova};
+
+use crate::runspace::{run_space_from_checkpoint, RunPlan};
+use crate::{CoreError, Result};
+
+/// How starting points are placed through the workload's lifetime.
+///
+/// The paper uses systematic sampling and notes that "sampling techniques
+/// other than systematic sampling can be used to select representative time
+/// samples" as future work; the random and stratified placements implement
+/// that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SamplingStrategy {
+    /// Fixed spacing: point `i` at `(i+1) · span / points` (the paper's
+    /// §5.2 choice).
+    Systematic,
+    /// Uniformly random positions over the span.
+    Random {
+        /// Seed for the placement draw.
+        seed: u64,
+    },
+    /// One uniformly random position inside each of `points` equal strata —
+    /// random coverage without clustering.
+    Stratified {
+        /// Seed for the placement draw.
+        seed: u64,
+    },
+}
+
+/// Computes sorted checkpoint positions (cumulative warmup transactions,
+/// each in `[1, span_txns]`) for `points` starting points over a lifetime of
+/// `span_txns`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidExperiment`] if `points < 2` or the span is
+/// too short to give each point a distinct position.
+pub fn checkpoint_positions(
+    strategy: SamplingStrategy,
+    points: usize,
+    span_txns: u64,
+) -> Result<Vec<u64>> {
+    if points < 2 {
+        return Err(CoreError::InvalidExperiment {
+            what: "time sampling needs at least two starting points".into(),
+        });
+    }
+    if span_txns < points as u64 {
+        return Err(CoreError::InvalidExperiment {
+            what: format!("a {span_txns}-transaction span cannot host {points} distinct points"),
+        });
+    }
+    let n = points as u64;
+    let mut positions: Vec<u64> = match strategy {
+        SamplingStrategy::Systematic => (1..=n).map(|i| i * span_txns / n).collect(),
+        SamplingStrategy::Random { seed } => {
+            let mut rng = Xoshiro256StarStar::new(seed ^ 0x7153_A3B1_E5EE_DF1C);
+            (0..n).map(|_| 1 + rng.next_below(span_txns)).collect()
+        }
+        SamplingStrategy::Stratified { seed } => {
+            let mut rng = Xoshiro256StarStar::new(seed ^ 0x7153_A3B1_E5EE_DF1C);
+            (0..n)
+                .map(|i| {
+                    let lo = i * span_txns / n;
+                    let hi = (i + 1) * span_txns / n;
+                    lo + 1 + rng.next_below((hi - lo).max(1))
+                })
+                .collect()
+        }
+    };
+    positions.sort_unstable();
+    // Force strict monotonicity (random draws may collide).
+    for i in 1..positions.len() {
+        if positions[i] <= positions[i - 1] {
+            positions[i] = positions[i - 1] + 1;
+        }
+    }
+    Ok(positions)
+}
+
+/// Per-checkpoint run groups: `groups[p]` holds the cycles-per-transaction
+/// of every perturbed run launched from starting point `p`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSampleStudy {
+    groups: Vec<Vec<f64>>,
+    /// Warmup transactions executed before each starting point, aligned with
+    /// `groups`.
+    checkpoints: Vec<u64>,
+}
+
+impl TimeSampleStudy {
+    /// Wraps externally collected groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidExperiment`] if fewer than two groups or
+    /// the label count mismatches.
+    pub fn from_groups(groups: Vec<Vec<f64>>, checkpoints: Vec<u64>) -> Result<Self> {
+        if groups.len() < 2 {
+            return Err(CoreError::InvalidExperiment {
+                what: "time-sampling analysis needs at least two starting points".into(),
+            });
+        }
+        if groups.len() != checkpoints.len() {
+            return Err(CoreError::InvalidExperiment {
+                what: "each group needs a checkpoint label".into(),
+            });
+        }
+        Ok(TimeSampleStudy {
+            groups,
+            checkpoints,
+        })
+    }
+
+    /// The run groups.
+    pub fn groups(&self) -> &[Vec<f64>] {
+        &self.groups
+    }
+
+    /// The checkpoint positions (cumulative warmup transactions).
+    pub fn checkpoints(&self) -> &[u64] {
+        &self.checkpoints
+    }
+
+    /// One-way ANOVA of between-checkpoint vs within-checkpoint variability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] for degenerate groups.
+    pub fn anova(&self) -> Result<Anova> {
+        let refs: Vec<&[f64]> = self.groups.iter().map(Vec::as_slice).collect();
+        Ok(anova_one_way(&refs)?)
+    }
+
+    /// The §5.2 decision: whether between-group (time) variability is
+    /// significant at `alpha`, i.e. whether simulations "should be performed
+    /// from different starting points".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Stats`] for degenerate groups.
+    pub fn requires_time_sampling(&self, alpha: f64) -> Result<bool> {
+        Ok(self.anova()?.is_significant(alpha))
+    }
+}
+
+/// Collects a [`TimeSampleStudy`] by systematic sampling (§5.2): advance the
+/// machine `spacing_txns` transactions between consecutive starting points,
+/// checkpoint at each, and launch `plan` (perturbed runs) from every
+/// checkpoint.
+///
+/// The machine should already be past its initial warmup when passed in.
+///
+/// # Errors
+///
+/// Propagates simulator errors; returns [`CoreError::InvalidExperiment`]
+/// for a degenerate design.
+pub fn sweep_checkpoints<W>(
+    machine: &mut Machine<W>,
+    points: usize,
+    spacing_txns: u64,
+    plan: &RunPlan,
+) -> Result<TimeSampleStudy>
+where
+    W: Workload + Clone,
+{
+    if spacing_txns == 0 {
+        return Err(CoreError::InvalidExperiment {
+            what: "sweep needs positive spacing".into(),
+        });
+    }
+    let positions: Vec<u64> = (1..=points as u64).map(|i| i * spacing_txns).collect();
+    sweep_checkpoints_at(machine, &positions, plan)
+}
+
+/// Like [`sweep_checkpoints`], but with explicit checkpoint positions
+/// (cumulative warmup transactions, strictly increasing) — the entry point
+/// for [`SamplingStrategy`]-placed starting points from
+/// [`checkpoint_positions`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidExperiment`] for fewer than two positions or
+/// non-increasing positions, and propagates simulator errors.
+pub fn sweep_checkpoints_at<W>(
+    machine: &mut Machine<W>,
+    positions: &[u64],
+    plan: &RunPlan,
+) -> Result<TimeSampleStudy>
+where
+    W: Workload + Clone,
+{
+    if positions.len() < 2 {
+        return Err(CoreError::InvalidExperiment {
+            what: "sweep needs >= 2 starting points".into(),
+        });
+    }
+    if positions.windows(2).any(|w| w[1] <= w[0]) || positions[0] == 0 {
+        return Err(CoreError::InvalidExperiment {
+            what: "checkpoint positions must be strictly increasing and positive".into(),
+        });
+    }
+    let mut groups = Vec::with_capacity(positions.len());
+    let mut checkpoints = Vec::with_capacity(positions.len());
+    let mut warmed: u64 = 0;
+    for (p, &pos) in positions.iter().enumerate() {
+        machine.run_transactions(pos - warmed)?;
+        warmed = pos;
+        let ckpt = machine.checkpoint();
+        // Distinct seed block per point so run spaces are independent.
+        let plan_p = RunPlan {
+            base_seed: plan.base_seed + (p as u64) * 10_000,
+            ..*plan
+        };
+        let space = run_space_from_checkpoint(&ckpt, &plan_p)?;
+        groups.push(space.runtimes());
+        checkpoints.push(warmed);
+    }
+    TimeSampleStudy::from_groups(groups, checkpoints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvar_sim::config::MachineConfig;
+    use mtvar_sim::workload::SharingWorkload;
+
+    #[test]
+    fn study_validation() {
+        assert!(TimeSampleStudy::from_groups(vec![vec![1.0]], vec![0]).is_err());
+        assert!(
+            TimeSampleStudy::from_groups(vec![vec![1.0], vec![2.0]], vec![0]).is_err()
+        );
+    }
+
+    #[test]
+    fn anova_detects_group_shift() {
+        let study = TimeSampleStudy::from_groups(
+            vec![
+                vec![10.0, 10.1, 9.9, 10.0],
+                vec![12.0, 12.1, 11.9, 12.0],
+                vec![14.0, 14.1, 13.9, 14.0],
+            ],
+            vec![100, 200, 300],
+        )
+        .unwrap();
+        assert!(study.requires_time_sampling(0.01).unwrap());
+        assert!(study.anova().unwrap().f_statistic() > 10.0);
+    }
+
+    #[test]
+    fn anova_accepts_homogeneous_groups() {
+        let study = TimeSampleStudy::from_groups(
+            vec![
+                vec![10.0, 10.4, 9.6, 10.1],
+                vec![10.1, 9.7, 10.3, 10.0],
+                vec![9.9, 10.2, 9.8, 10.2],
+            ],
+            vec![100, 200, 300],
+        )
+        .unwrap();
+        assert!(!study.requires_time_sampling(0.05).unwrap());
+    }
+
+    #[test]
+    fn sweep_collects_expected_shape() {
+        let cfg = MachineConfig::hpca2003()
+            .with_cpus(2)
+            .with_perturbation(4, 0);
+        let mut m = Machine::new(cfg, SharingWorkload::new(4, 3, 30, 2048, 8)).unwrap();
+        let plan = RunPlan::new(20).with_runs(3);
+        let study = sweep_checkpoints(&mut m, 2, 15, &plan).unwrap();
+        assert_eq!(study.groups().len(), 2);
+        assert_eq!(study.groups()[0].len(), 3);
+        assert_eq!(study.checkpoints(), &[15, 30]);
+    }
+
+    #[test]
+    fn sweep_validation() {
+        let cfg = MachineConfig::hpca2003().with_cpus(2);
+        let mut m = Machine::new(cfg, SharingWorkload::new(4, 3, 30, 2048, 8)).unwrap();
+        let plan = RunPlan::new(10).with_runs(2);
+        assert!(sweep_checkpoints(&mut m, 1, 10, &plan).is_err());
+        assert!(sweep_checkpoints(&mut m, 2, 0, &plan).is_err());
+        assert!(sweep_checkpoints_at(&mut m, &[10, 10], &plan).is_err());
+        assert!(sweep_checkpoints_at(&mut m, &[0, 10], &plan).is_err());
+    }
+
+    #[test]
+    fn systematic_positions_are_even() {
+        let p = checkpoint_positions(SamplingStrategy::Systematic, 5, 1000).unwrap();
+        assert_eq!(p, vec![200, 400, 600, 800, 1000]);
+    }
+
+    #[test]
+    fn random_positions_are_sorted_distinct_in_span() {
+        let p = checkpoint_positions(SamplingStrategy::Random { seed: 7 }, 10, 5000).unwrap();
+        assert_eq!(p.len(), 10);
+        assert!(p.windows(2).all(|w| w[1] > w[0]));
+        assert!(p.iter().all(|&x| x >= 1));
+        // Same seed reproduces, different seed differs.
+        let q = checkpoint_positions(SamplingStrategy::Random { seed: 7 }, 10, 5000).unwrap();
+        assert_eq!(p, q);
+        let r = checkpoint_positions(SamplingStrategy::Random { seed: 8 }, 10, 5000).unwrap();
+        assert_ne!(p, r);
+    }
+
+    #[test]
+    fn stratified_positions_hit_every_stratum() {
+        let points = 8;
+        let span = 8000;
+        let p =
+            checkpoint_positions(SamplingStrategy::Stratified { seed: 3 }, points, span).unwrap();
+        for (i, &pos) in p.iter().enumerate() {
+            let lo = (i as u64) * span / points as u64;
+            let hi = (i as u64 + 1) * span / points as u64;
+            assert!(
+                pos > lo && pos <= hi + 1,
+                "position {pos} escapes stratum [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn positions_validation() {
+        assert!(checkpoint_positions(SamplingStrategy::Systematic, 1, 100).is_err());
+        assert!(checkpoint_positions(SamplingStrategy::Systematic, 10, 5).is_err());
+    }
+
+    #[test]
+    fn sweep_at_explicit_positions() {
+        let cfg = MachineConfig::hpca2003()
+            .with_cpus(2)
+            .with_perturbation(4, 0);
+        let mut m = Machine::new(cfg, SharingWorkload::new(4, 3, 30, 2048, 8)).unwrap();
+        let plan = RunPlan::new(15).with_runs(2);
+        let study = sweep_checkpoints_at(&mut m, &[10, 25, 45], &plan).unwrap();
+        assert_eq!(study.checkpoints(), &[10, 25, 45]);
+        assert_eq!(study.groups().len(), 3);
+    }
+}

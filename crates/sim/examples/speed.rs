@@ -1,0 +1,26 @@
+//! Simulator throughput check: how many transactions and simulated cycles
+//! per wall-second the engine sustains on this host (the number that decides
+//! how many perturbed runs a methodology user can afford).
+//!
+//! ```text
+//! cargo run --release -p mtvar-sim --example speed
+//! ```
+
+use mtvar_sim::config::MachineConfig;
+use mtvar_sim::machine::Machine;
+use mtvar_sim::workload::SharingWorkload;
+use std::time::Instant;
+
+fn main() {
+    let cfg = MachineConfig::hpca2003().with_perturbation(4, 1);
+    let wl = SharingWorkload::new(128, 42, 300, 2_000_000, 25);
+    let mut m = Machine::new(cfg, wl).unwrap();
+    let t0 = Instant::now();
+    let r = m.run_transactions(2000).unwrap();
+    let dt = t0.elapsed();
+    println!("2000 txns in {:?}; {:.0} cycles/txn; sim cycles {}; {:.1} Mcycles/s; {:.0} txns/s",
+        dt, r.cycles_per_transaction(), r.elapsed(), r.elapsed() as f64/1e6/dt.as_secs_f64(), 2000.0/dt.as_secs_f64());
+    println!("mem: {:?}", r.mem);
+    println!("sched: {:?}", r.sched);
+    println!("locks: {:?}", r.locks);
+}

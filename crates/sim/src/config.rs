@@ -1,0 +1,205 @@
+//! Whole-machine configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::Nanos;
+use crate::mem::MemoryConfig;
+use crate::noise::NoiseConfig;
+use crate::proc::ProcessorConfig;
+use crate::sched::SchedConfig;
+use crate::SimError;
+
+/// Complete configuration of a simulated machine.
+///
+/// Construct via [`MachineConfig::hpca2003`] (the paper's 16-node E10000-like
+/// target) or [`MachineConfig::e5000_like`] (the 12-CPU "real machine" of
+/// §2.2), then customize with the `with_*` methods:
+///
+/// ```
+/// use mtvar_sim::config::MachineConfig;
+/// use mtvar_sim::proc::{OooConfig, ProcessorConfig};
+///
+/// let cfg = MachineConfig::hpca2003()
+///     .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(32)))
+///     .with_perturbation(4, 12345);
+/// assert_eq!(cfg.cpus, 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of processor nodes.
+    pub cpus: usize,
+    /// Memory-hierarchy geometry and latencies.
+    pub memory: MemoryConfig,
+    /// Processor timing model.
+    pub processor: ProcessorConfig,
+    /// Scheduler parameters.
+    pub sched: SchedConfig,
+    /// Maximum §3.3 perturbation added per L2 miss (ns); 0 disables.
+    pub perturbation_max_ns: Nanos,
+    /// Perturbation seed — *the* per-run knob for space-variability studies.
+    pub perturbation_seed: u64,
+    /// Environmental noise (None = the clean simulator of §3.2).
+    pub noise: Option<NoiseConfig>,
+    /// Record the Figure-1 scheduling-event log.
+    pub record_sched_events: bool,
+}
+
+impl MachineConfig {
+    /// The paper's §3.2.1 target: 16 nodes, 128 KB 4-way L1s, 4 MB 4-way L2,
+    /// MOSI snooping, 50 ns hops, 80 ns DRAM, simple processor model, no
+    /// perturbation, no noise.
+    pub fn hpca2003() -> Self {
+        MachineConfig {
+            cpus: 16,
+            memory: MemoryConfig::hpca2003(),
+            processor: ProcessorConfig::Simple,
+            sched: SchedConfig::default(),
+            perturbation_max_ns: 0,
+            perturbation_seed: 0,
+            noise: None,
+            record_sched_events: false,
+        }
+    }
+
+    /// The §2.2 "real machine": a 12-processor E5000-like system with
+    /// environmental noise enabled (seeded per run).
+    pub fn e5000_like(noise_seed: u64) -> Self {
+        let mut cfg = MachineConfig::hpca2003();
+        cfg.cpus = 12;
+        // 512 KB unified L2 per the paper's E5000 description.
+        cfg.memory.l2.size_bytes = 512 * 1024;
+        cfg.noise = Some(NoiseConfig::default_with_seed(noise_seed));
+        cfg
+    }
+
+    /// Replaces the processor model.
+    pub fn with_processor(mut self, processor: ProcessorConfig) -> Self {
+        self.processor = processor;
+        self
+    }
+
+    /// Sets the §3.3 perturbation (magnitude in ns, per-run seed).
+    pub fn with_perturbation(mut self, max_ns: Nanos, seed: u64) -> Self {
+        self.perturbation_max_ns = max_ns;
+        self.perturbation_seed = seed;
+        self
+    }
+
+    /// Sets the number of CPUs.
+    pub fn with_cpus(mut self, cpus: usize) -> Self {
+        self.cpus = cpus;
+        self
+    }
+
+    /// Replaces the L2 associativity (Experiment 1's knob), keeping size and
+    /// block size fixed as the paper does.
+    pub fn with_l2_associativity(mut self, ways: u32) -> Self {
+        self.memory.l2.associativity = ways;
+        self
+    }
+
+    /// Replaces the DRAM access latency (the Figure 4 knob, swept 80–90 ns).
+    pub fn with_dram_latency_ns(mut self, ns: Nanos) -> Self {
+        self.memory.mem_provide_ns = ns;
+        self
+    }
+
+    /// Replaces the snooping coherence protocol (the paper's target uses
+    /// MOSI).
+    pub fn with_protocol(mut self, protocol: crate::mem::CoherenceProtocol) -> Self {
+        self.memory.protocol = protocol;
+        self
+    }
+
+    /// Enables the Figure-1 scheduling-event log.
+    pub fn with_sched_log(mut self) -> Self {
+        self.record_sched_events = true;
+        self
+    }
+
+    /// Replaces the environmental-noise model.
+    pub fn with_noise(mut self, noise: Option<NoiseConfig>) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Replaces the scheduler parameters.
+    pub fn with_sched(mut self, sched: SchedConfig) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Validates the whole configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the first inconsistency.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.cpus == 0 {
+            return Err(SimError::InvalidConfig {
+                what: "machine needs at least one CPU".into(),
+            });
+        }
+        self.memory.validate()?;
+        self.sched.validate()?;
+        if let Some(noise) = &self.noise {
+            noise.validate()?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::hpca2003()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proc::OooConfig;
+
+    #[test]
+    fn paper_defaults() {
+        let cfg = MachineConfig::hpca2003();
+        assert_eq!(cfg.cpus, 16);
+        assert_eq!(cfg.memory.l2.size_bytes, 4 * 1024 * 1024);
+        assert_eq!(cfg.memory.l2.associativity, 4);
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.noise.is_none());
+        assert_eq!(cfg.perturbation_max_ns, 0);
+    }
+
+    #[test]
+    fn e5000_has_noise_and_12_cpus() {
+        let cfg = MachineConfig::e5000_like(7);
+        assert_eq!(cfg.cpus, 12);
+        assert!(cfg.noise.is_some());
+        assert_eq!(cfg.memory.l2.size_bytes, 512 * 1024);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let cfg = MachineConfig::hpca2003()
+            .with_cpus(4)
+            .with_l2_associativity(2)
+            .with_perturbation(4, 99)
+            .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(16)))
+            .with_sched_log();
+        assert_eq!(cfg.cpus, 4);
+        assert_eq!(cfg.memory.l2.associativity, 2);
+        assert_eq!(cfg.perturbation_max_ns, 4);
+        assert!(cfg.record_sched_events);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let cfg = MachineConfig::hpca2003().with_cpus(0);
+        assert!(cfg.validate().is_err());
+        let cfg = MachineConfig::hpca2003().with_l2_associativity(3);
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,459 @@
+//! Set-associative cache arrays with coherence state and LRU replacement.
+//!
+//! The paper's target system (§3.2.1) keeps caches coherent with a MOSI
+//! invalidation-based snooping protocol; its simulator (§3.2.3) "supports a
+//! broad range of coherence protocols", so the state space here covers the
+//! MESI/MOSI/MOESI family. [`CoherenceState`] carries the per-block state
+//! and [`CacheArray`] the tag/LRU bookkeeping shared by the L1 and L2 models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::BlockAddr;
+use crate::SimError;
+
+/// Coherence state of a cache block (MOESI state space; MOSI and MESI use
+/// subsets of it, selected by
+/// [`CoherenceProtocol`](crate::mem::CoherenceProtocol)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum CoherenceState {
+    /// Modified: the only copy, dirty, readable and writable.
+    Modified,
+    /// Exclusive: the only copy, clean; a store upgrades to Modified without
+    /// a bus transaction (MESI/MOESI only).
+    Exclusive,
+    /// Owned: dirty, shared with other caches; this cache answers requests
+    /// (MOSI/MOESI only).
+    Owned,
+    /// Shared: clean read-only copy.
+    Shared,
+    /// Invalid: no copy.
+    #[default]
+    Invalid,
+}
+
+impl CoherenceState {
+    /// Whether a load can be satisfied from this state.
+    #[inline]
+    pub fn is_readable(self) -> bool {
+        !matches!(self, CoherenceState::Invalid)
+    }
+
+    /// Whether a store can be satisfied from this state *without any
+    /// transition* (Exclusive needs a silent upgrade, handled by the memory
+    /// system).
+    #[inline]
+    pub fn is_writable(self) -> bool {
+        matches!(self, CoherenceState::Modified)
+    }
+
+    /// Whether this cache supplies data on a snoop (it holds the definitive
+    /// copy — dirty, or clean-exclusive).
+    #[inline]
+    pub fn is_owner(self) -> bool {
+        matches!(
+            self,
+            CoherenceState::Modified | CoherenceState::Owned | CoherenceState::Exclusive
+        )
+    }
+
+    /// Whether eviction of a block in this state requires a writeback.
+    #[inline]
+    pub fn is_dirty(self) -> bool {
+        matches!(self, CoherenceState::Modified | CoherenceState::Owned)
+    }
+}
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Ways per set (1 = direct-mapped).
+    pub associativity: u32,
+    /// Block size in bytes (the paper uses 64).
+    pub block_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Creates a config, validating that the geometry is consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any field is zero, the sizes
+    /// are not powers of two, or the capacity is not divisible into at least
+    /// one set.
+    pub fn new(size_bytes: u64, associativity: u32, block_bytes: u32) -> Result<Self, SimError> {
+        let cfg = CacheConfig {
+            size_bytes,
+            associativity,
+            block_bytes,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks geometry consistency (see [`CacheConfig::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.size_bytes == 0 || self.associativity == 0 || self.block_bytes == 0 {
+            return Err(SimError::InvalidConfig {
+                what: "cache geometry fields must be nonzero".into(),
+            });
+        }
+        if !self.size_bytes.is_power_of_two()
+            || !self.block_bytes.is_power_of_two()
+            || !self.associativity.is_power_of_two()
+        {
+            return Err(SimError::InvalidConfig {
+                what: "cache size, block size and associativity must be powers of two".into(),
+            });
+        }
+        let row = u64::from(self.associativity) * u64::from(self.block_bytes);
+        if !self.size_bytes.is_multiple_of(row) || self.size_bytes / row == 0 {
+            return Err(SimError::InvalidConfig {
+                what: "cache size must be a positive multiple of associativity × block size"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (u64::from(self.associativity) * u64::from(self.block_bytes))
+    }
+
+    /// Total number of blocks the cache can hold.
+    #[inline]
+    pub fn blocks(&self) -> u64 {
+        self.size_bytes / u64::from(self.block_bytes)
+    }
+}
+
+/// One cache line's metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+struct Line {
+    tag: u64,
+    state: CoherenceState,
+    /// Monotonic last-use stamp for LRU.
+    lru: u64,
+}
+
+/// A set-associative, LRU-replacement cache tag array carrying MOSI state.
+///
+/// Stores metadata only (tags and states); the simulator never models data
+/// values, just their movement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheArray {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    sets: u64,
+    ways: usize,
+    use_clock: u64,
+}
+
+/// Result of inserting a block: what had to leave to make room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Address of the displaced block.
+    pub addr: BlockAddr,
+    /// State the victim held (dirty states imply a writeback).
+    pub state: CoherenceState,
+}
+
+impl CacheArray {
+    /// Allocates an empty (all-Invalid) cache with the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the geometry is inconsistent.
+    pub fn new(config: CacheConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        let sets = config.sets();
+        let ways = config.associativity as usize;
+        Ok(CacheArray {
+            config,
+            lines: vec![Line::default(); (sets as usize) * ways],
+            sets,
+            ways,
+            use_clock: 0,
+        })
+    }
+
+    /// The geometry this array was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn set_of(&self, addr: BlockAddr) -> usize {
+        (addr.0 % self.sets) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: BlockAddr) -> u64 {
+        addr.0 / self.sets
+    }
+
+    #[inline]
+    fn addr_of(&self, set: usize, tag: u64) -> BlockAddr {
+        BlockAddr(tag * self.sets + set as u64)
+    }
+
+    #[inline]
+    fn set_slice_mut(&mut self, set: usize) -> &mut [Line] {
+        let start = set * self.ways;
+        &mut self.lines[start..start + self.ways]
+    }
+
+    #[inline]
+    fn set_slice(&self, set: usize) -> &[Line] {
+        let start = set * self.ways;
+        &self.lines[start..start + self.ways]
+    }
+
+    /// Returns the current state of `addr` without touching LRU (a snoop
+    /// probe).
+    pub fn probe(&self, addr: BlockAddr) -> CoherenceState {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for line in self.set_slice(set) {
+            if line.state != CoherenceState::Invalid && line.tag == tag {
+                return line.state;
+            }
+        }
+        CoherenceState::Invalid
+    }
+
+    /// Looks up `addr` for an access, updating LRU on hit. Returns the state.
+    pub fn touch(&mut self, addr: BlockAddr) -> CoherenceState {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.use_clock += 1;
+        let clock = self.use_clock;
+        for line in self.set_slice_mut(set) {
+            if line.state != CoherenceState::Invalid && line.tag == tag {
+                line.lru = clock;
+                return line.state;
+            }
+        }
+        CoherenceState::Invalid
+    }
+
+    /// Sets the state of an already-resident block; returns `false` if the
+    /// block is not resident.
+    pub fn set_state(&mut self, addr: BlockAddr, state: CoherenceState) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for line in self.set_slice_mut(set) {
+            if line.state != CoherenceState::Invalid && line.tag == tag {
+                if state == CoherenceState::Invalid {
+                    line.state = CoherenceState::Invalid;
+                } else {
+                    line.state = state;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts `addr` with `state`, evicting the LRU victim if the set is
+    /// full. Returns the eviction, if any.
+    ///
+    /// If the block is already resident its state and LRU are updated in
+    /// place (no eviction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is [`CoherenceState::Invalid`] — insert valid blocks only.
+    pub fn insert(&mut self, addr: BlockAddr, state: CoherenceState) -> Option<Eviction> {
+        assert!(
+            state != CoherenceState::Invalid,
+            "inserting an Invalid block is meaningless"
+        );
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        self.use_clock += 1;
+        let clock = self.use_clock;
+
+        // Already resident?
+        for line in self.set_slice_mut(set) {
+            if line.state != CoherenceState::Invalid && line.tag == tag {
+                line.state = state;
+                line.lru = clock;
+                return None;
+            }
+        }
+        // Free way?
+        for line in self.set_slice_mut(set) {
+            if line.state == CoherenceState::Invalid {
+                *line = Line {
+                    tag,
+                    state,
+                    lru: clock,
+                };
+                return None;
+            }
+        }
+        // Evict LRU.
+        let (victim_idx, victim) = {
+            let slice = self.set_slice(set);
+            let (i, l) = slice
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("associativity >= 1");
+            (i, *l)
+        };
+        let evicted = Eviction {
+            addr: self.addr_of(set, victim.tag),
+            state: victim.state,
+        };
+        self.set_slice_mut(set)[victim_idx] = Line {
+            tag,
+            state,
+            lru: clock,
+        };
+        Some(evicted)
+    }
+
+    /// Invalidates `addr` if resident; returns the state it held.
+    pub fn invalidate(&mut self, addr: BlockAddr) -> CoherenceState {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        for line in self.set_slice_mut(set) {
+            if line.state != CoherenceState::Invalid && line.tag == tag {
+                let old = line.state;
+                line.state = CoherenceState::Invalid;
+                return old;
+            }
+        }
+        CoherenceState::Invalid
+    }
+
+    /// Number of resident (non-Invalid) blocks — for tests and stats.
+    pub fn resident_blocks(&self) -> usize {
+        self.lines
+            .iter()
+            .filter(|l| l.state != CoherenceState::Invalid)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CacheArray {
+        // 4 sets x 2 ways x 64B blocks = 512 B.
+        CacheArray::new(CacheConfig::new(512, 2, 64).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn config_geometry() {
+        let c = CacheConfig::new(4 * 1024 * 1024, 4, 64).unwrap();
+        assert_eq!(c.sets(), 16384);
+        assert_eq!(c.blocks(), 65536);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(CacheConfig::new(0, 1, 64).is_err());
+        assert!(CacheConfig::new(512, 0, 64).is_err());
+        assert!(CacheConfig::new(500, 2, 64).is_err()); // not a power of two
+        assert!(CacheConfig::new(64, 2, 64).is_err()); // zero sets
+        assert!(CacheConfig::new(512, 3, 64).is_err()); // non-pow2 assoc
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        let a = BlockAddr(12);
+        assert_eq!(c.touch(a), CoherenceState::Invalid);
+        assert!(c.insert(a, CoherenceState::Shared).is_none());
+        assert_eq!(c.touch(a), CoherenceState::Shared);
+        assert_eq!(c.probe(a), CoherenceState::Shared);
+    }
+
+    #[test]
+    fn conflicting_tags_map_to_same_set() {
+        let mut c = small();
+        // 4 sets: addresses 1, 5, 9 share set 1.
+        assert!(c.insert(BlockAddr(1), CoherenceState::Shared).is_none());
+        assert!(c.insert(BlockAddr(5), CoherenceState::Shared).is_none());
+        // Third conflicting block evicts the LRU (addr 1).
+        let ev = c.insert(BlockAddr(9), CoherenceState::Shared).unwrap();
+        assert_eq!(ev.addr, BlockAddr(1));
+        assert_eq!(ev.state, CoherenceState::Shared);
+        assert_eq!(c.probe(BlockAddr(1)), CoherenceState::Invalid);
+        assert_eq!(c.probe(BlockAddr(5)), CoherenceState::Shared);
+    }
+
+    #[test]
+    fn lru_respects_touch_order() {
+        let mut c = small();
+        c.insert(BlockAddr(1), CoherenceState::Shared);
+        c.insert(BlockAddr(5), CoherenceState::Shared);
+        // Touch 1 so 5 becomes LRU.
+        c.touch(BlockAddr(1));
+        let ev = c.insert(BlockAddr(9), CoherenceState::Shared).unwrap();
+        assert_eq!(ev.addr, BlockAddr(5));
+    }
+
+    #[test]
+    fn dirty_victim_reported() {
+        let mut c = small();
+        c.insert(BlockAddr(1), CoherenceState::Modified);
+        c.insert(BlockAddr(5), CoherenceState::Shared);
+        let ev = c.insert(BlockAddr(9), CoherenceState::Owned).unwrap();
+        assert!(ev.state.is_dirty());
+        assert_eq!(ev.addr, BlockAddr(1));
+    }
+
+    #[test]
+    fn insert_existing_updates_state_without_eviction() {
+        let mut c = small();
+        c.insert(BlockAddr(1), CoherenceState::Shared);
+        assert!(c.insert(BlockAddr(1), CoherenceState::Modified).is_none());
+        assert_eq!(c.probe(BlockAddr(1)), CoherenceState::Modified);
+        assert_eq!(c.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_set_state() {
+        let mut c = small();
+        c.insert(BlockAddr(7), CoherenceState::Modified);
+        assert!(c.set_state(BlockAddr(7), CoherenceState::Owned));
+        assert_eq!(c.probe(BlockAddr(7)), CoherenceState::Owned);
+        assert_eq!(c.invalidate(BlockAddr(7)), CoherenceState::Owned);
+        assert_eq!(c.probe(BlockAddr(7)), CoherenceState::Invalid);
+        assert!(!c.set_state(BlockAddr(7), CoherenceState::Shared));
+        assert_eq!(c.invalidate(BlockAddr(7)), CoherenceState::Invalid);
+    }
+
+    #[test]
+    fn mosi_state_predicates() {
+        assert!(CoherenceState::Modified.is_readable() && CoherenceState::Modified.is_writable());
+        assert!(CoherenceState::Owned.is_readable() && !CoherenceState::Owned.is_writable());
+        assert!(CoherenceState::Shared.is_readable() && !CoherenceState::Shared.is_writable());
+        assert!(!CoherenceState::Invalid.is_readable());
+        assert!(CoherenceState::Owned.is_owner() && CoherenceState::Modified.is_owner());
+        assert!(!CoherenceState::Shared.is_owner());
+        assert!(CoherenceState::Owned.is_dirty() && !CoherenceState::Shared.is_dirty());
+    }
+
+    #[test]
+    fn direct_mapped_cache_works() {
+        let mut c = CacheArray::new(CacheConfig::new(256, 1, 64).unwrap()).unwrap();
+        // 4 sets, 1 way.
+        c.insert(BlockAddr(0), CoherenceState::Shared);
+        let ev = c.insert(BlockAddr(4), CoherenceState::Shared).unwrap();
+        assert_eq!(ev.addr, BlockAddr(0));
+    }
+}

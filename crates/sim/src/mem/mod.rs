@@ -1,0 +1,11 @@
+//! The memory hierarchy: cache arrays, MOSI snooping coherence, interconnect
+//! and DRAM timing, plus the §3.3 perturbation hook.
+
+mod cache;
+mod system;
+
+pub use cache::{CacheArray, CacheConfig, CoherenceState, Eviction};
+pub use system::{
+    AccessOutcome, AccessSource, CoherenceProtocol, MemStats, MemoryConfig, MemorySystem,
+    Perturbation,
+};

@@ -1,0 +1,131 @@
+//! Property-based tests of the simulator's structural invariants: cache
+//! bookkeeping, the MOSI single-writer property under arbitrary access
+//! interleavings, scheduler conservation, and checkpoint equivalence.
+
+use proptest::prelude::*;
+
+use mtvar_sim::config::MachineConfig;
+use mtvar_sim::ids::{BlockAddr, CpuId};
+use mtvar_sim::machine::Machine;
+use mtvar_sim::mem::{CacheArray, CacheConfig, MemoryConfig, MemorySystem, CoherenceState, Perturbation};
+use mtvar_sim::ops::AccessKind;
+use mtvar_sim::rng::Xoshiro256StarStar;
+use mtvar_sim::workload::SharingWorkload;
+
+/// A compact encoding of a random access: (cpu, block, is_write).
+fn accesses(max: usize) -> impl Strategy<Value = Vec<(u8, u16, bool)>> {
+    prop::collection::vec((0u8..4, 0u16..96, any::<bool>()), 1..max)
+}
+
+fn small_mem(cpus: usize) -> MemorySystem {
+    let mut cfg = MemoryConfig::hpca2003();
+    cfg.l1i = CacheConfig::new(512, 2, 64).unwrap();
+    cfg.l1d = CacheConfig::new(512, 2, 64).unwrap();
+    cfg.l2 = CacheConfig::new(4096, 2, 64).unwrap();
+    MemorySystem::new(cfg, cpus, Perturbation::new(4, 9)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mosi_single_writer_invariant_holds(ops in accesses(400)) {
+        let mut mem = small_mem(4);
+        let mut now = 0u64;
+        for (cpu, block, write) in &ops {
+            now += 10;
+            let kind = if *write { AccessKind::Write } else { AccessKind::Read };
+            let out = mem.access(CpuId(u32::from(*cpu)), BlockAddr(u64::from(*block)), kind, now);
+            prop_assert!(out.latency >= 1);
+        }
+        // Every touched block satisfies the protocol invariant afterwards.
+        for b in 0..96u64 {
+            prop_assert!(mem.check_coherence_invariant(BlockAddr(b)), "block {b} violates MOSI");
+        }
+    }
+
+    #[test]
+    fn store_grants_exclusive_access(ops in accesses(200), victim in 0u16..96) {
+        let mut mem = small_mem(4);
+        let mut now = 0u64;
+        for (cpu, block, write) in &ops {
+            now += 10;
+            let kind = if *write { AccessKind::Write } else { AccessKind::Read };
+            mem.access(CpuId(u32::from(*cpu)), BlockAddr(u64::from(*block)), kind, now);
+        }
+        // A final write by cpu 0 leaves exactly one valid copy: its own M.
+        mem.access(CpuId(0), BlockAddr(u64::from(victim)), AccessKind::Write, now + 10);
+        prop_assert_eq!(mem.l2_state(CpuId(0), BlockAddr(u64::from(victim))), CoherenceState::Modified);
+        for c in 1..4u32 {
+            prop_assert_eq!(mem.l2_state(CpuId(c), BlockAddr(u64::from(victim))), CoherenceState::Invalid);
+        }
+    }
+
+    #[test]
+    fn cache_array_never_exceeds_capacity(inserts in prop::collection::vec(0u64..4096, 1..600)) {
+        let cfg = CacheConfig::new(2048, 2, 64).unwrap(); // 32 blocks
+        let mut cache = CacheArray::new(cfg).unwrap();
+        for a in inserts {
+            cache.insert(BlockAddr(a), CoherenceState::Shared);
+            prop_assert!(cache.resident_blocks() <= 32);
+        }
+    }
+
+    #[test]
+    fn cache_insert_then_probe_hits(addr in 0u64..100_000, filler in prop::collection::vec(0u64..100_000, 0..8)) {
+        let cfg = CacheConfig::new(4096, 4, 64).unwrap();
+        let mut cache = CacheArray::new(cfg).unwrap();
+        for f in filler {
+            cache.insert(BlockAddr(f), CoherenceState::Shared);
+        }
+        cache.insert(BlockAddr(addr), CoherenceState::Owned);
+        prop_assert_eq!(cache.probe(BlockAddr(addr)), CoherenceState::Owned);
+    }
+
+    #[test]
+    fn rng_bounds_hold(seed in any::<u64>(), bound in 1u64..1_000_000, lo in 0u64..1000, width in 0u64..1000) {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.next_below(bound) < bound);
+            let v = rng.next_range(lo, lo + width);
+            prop_assert!((lo..=lo + width).contains(&v));
+            let f = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn machine_determinism_for_arbitrary_seeds(wseed in any::<u64>(), pseed in any::<u64>()) {
+        let run = || {
+            let cfg = MachineConfig::hpca2003().with_cpus(2).with_perturbation(4, pseed);
+            let mut m = Machine::new(cfg, SharingWorkload::new(4, wseed, 30, 512, 8)).unwrap();
+            m.run_transactions(40).unwrap().elapsed()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn checkpoint_equivalence_under_random_split(wseed in any::<u64>(), split in 10u64..60) {
+        // Running A txns, checkpointing, then B txns must equal running
+        // straight through when observed from the checkpoint onward.
+        let cfg = MachineConfig::hpca2003().with_cpus(2).with_perturbation(4, 3);
+        let mut m = Machine::new(cfg, SharingWorkload::new(4, wseed, 25, 256, 6)).unwrap();
+        m.run_transactions(split).unwrap();
+        let mut fork = m.checkpoint();
+        let straight = m.run_transactions(30).unwrap();
+        let forked = fork.run_transactions(30).unwrap();
+        prop_assert_eq!(straight.elapsed(), forked.elapsed());
+        prop_assert_eq!(straight.commit_cycles, forked.commit_cycles);
+    }
+
+    #[test]
+    fn commit_log_is_sorted_and_complete(wseed in any::<u64>()) {
+        let cfg = MachineConfig::hpca2003().with_cpus(3).with_perturbation(4, 1);
+        let mut m = Machine::new(cfg, SharingWorkload::new(6, wseed, 20, 512, 5)).unwrap();
+        let r = m.run_transactions(50).unwrap();
+        prop_assert_eq!(r.transactions, 50);
+        prop_assert_eq!(r.commit_cycles.len(), 50);
+        prop_assert!(r.commit_cycles.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(r.end_cycle >= r.start_cycle);
+    }
+}

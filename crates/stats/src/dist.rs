@@ -1,0 +1,748 @@
+//! Probability distributions: [`Normal`], [`StudentT`] and [`FisherF`].
+//!
+//! Each distribution offers `pdf`, `cdf` and `quantile` (inverse CDF). The
+//! Student-t quantile is what turns a desired confidence probability into the
+//! *t value* of the paper's confidence-interval formula (§5.1.1), and the F
+//! quantile drives the ANOVA decision of §5.2.
+
+use crate::special::{erfc, ln_beta, ln_gamma_unchecked, reg_inc_beta_unchecked};
+use crate::{Result, StatsError};
+
+/// A continuous probability distribution.
+///
+/// This trait is sealed-by-convention: it exists so experiment code can be
+/// generic over the three distributions the methodology uses, not as an
+/// extension point.
+pub trait ContinuousDistribution: std::fmt::Debug {
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+    /// Cumulative probability `P(X <= x)`.
+    fn cdf(&self, x: f64) -> f64;
+    /// Inverse CDF: the `x` with `cdf(x) = p`, for `p ∈ (0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `p` is outside `(0, 1)`.
+    fn quantile(&self, p: f64) -> Result<f64>;
+}
+
+fn check_probability(p: f64) -> Result<()> {
+    if !p.is_finite() || p <= 0.0 || p >= 1.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "p",
+            value: p,
+            expected: "must lie in the open interval (0, 1)",
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Normal
+// ---------------------------------------------------------------------------
+
+/// The normal (Gaussian) distribution `N(mean, sd²)`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), mtvar_stats::StatsError> {
+/// use mtvar_stats::dist::{ContinuousDistribution, Normal};
+///
+/// let z = Normal::standard();
+/// // The 97.5% normal deviate used for 95% two-sided intervals.
+/// let d = z.quantile(0.975)?;
+/// assert!((d - 1.959964).abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `sd <= 0` or either
+    /// argument is not finite.
+    pub fn new(mean: f64, sd: f64) -> Result<Self> {
+        if !mean.is_finite() || !sd.is_finite() {
+            return Err(StatsError::NonFiniteInput);
+        }
+        if sd <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "sd",
+                value: sd,
+                expected: "must be > 0",
+            });
+        }
+        Ok(Normal { mean, sd })
+    }
+
+    /// The standard normal distribution `N(0, 1)`.
+    pub fn standard() -> Self {
+        Normal { mean: 0.0, sd: 1.0 }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+}
+
+impl ContinuousDistribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.sd;
+        (-0.5 * z * z).exp() / (self.sd * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.sd;
+        0.5 * erfc(-z / std::f64::consts::SQRT_2)
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        let z = standard_normal_quantile(p);
+        Ok(self.mean + self.sd * z)
+    }
+}
+
+/// Acklam's rational approximation to the standard normal quantile, refined
+/// with one Halley step against the exact CDF (good to ~1e-15).
+fn standard_normal_quantile(p: f64) -> f64 {
+    // Coefficients for the central and tail rational approximations.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step.
+    let e = 0.5 * erfc(-x / std::f64::consts::SQRT_2) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+// ---------------------------------------------------------------------------
+// Student's t
+// ---------------------------------------------------------------------------
+
+/// Student's t distribution with `df` degrees of freedom.
+///
+/// This supplies the *t values* of the paper's §5.1.1 confidence-interval
+/// formula (`t` from the Student t-distribution with `n − 1` degrees of
+/// freedom for `n < 50`).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), mtvar_stats::StatsError> {
+/// use mtvar_stats::dist::{ContinuousDistribution, StudentT};
+///
+/// // t_{0.975, 19}: the critical value for a 95% CI over 20 runs.
+/// let t = StudentT::new(19.0)?.quantile(0.975)?;
+/// assert!((t - 2.093024).abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    df: f64,
+}
+
+impl StudentT {
+    /// Creates the distribution with `df > 0` degrees of freedom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `df <= 0` or non-finite.
+    pub fn new(df: f64) -> Result<Self> {
+        if !df.is_finite() {
+            return Err(StatsError::NonFiniteInput);
+        }
+        if df <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "df",
+                value: df,
+                expected: "must be > 0",
+            });
+        }
+        Ok(StudentT { df })
+    }
+
+    /// Degrees of freedom.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+}
+
+impl ContinuousDistribution for StudentT {
+    fn pdf(&self, x: f64) -> f64 {
+        let v = self.df;
+        let ln_coef = ln_gamma_unchecked((v + 1.0) / 2.0)
+            - ln_gamma_unchecked(v / 2.0)
+            - 0.5 * (v * std::f64::consts::PI).ln();
+        (ln_coef - (v + 1.0) / 2.0 * (1.0 + x * x / v).ln()).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x == 0.0 {
+            return 0.5;
+        }
+        let v = self.df;
+        let ib = reg_inc_beta_unchecked(v / 2.0, 0.5, v / (v + x * x));
+        if x > 0.0 {
+            1.0 - 0.5 * ib
+        } else {
+            0.5 * ib
+        }
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        if (p - 0.5).abs() < 1e-16 {
+            return Ok(0.0);
+        }
+        // Symmetry: solve for the upper half only.
+        if p < 0.5 {
+            return Ok(-self.quantile(1.0 - p)?);
+        }
+        // Bracket then bisect/Newton on the CDF. The normal quantile is a
+        // good starting bracket seed for all df.
+        let target = p;
+        let mut lo = 0.0f64;
+        let mut hi = standard_normal_quantile(p).max(1.0);
+        while self.cdf(hi) < target {
+            hi *= 2.0;
+            if hi > 1e12 {
+                return Err(StatsError::NoConvergence {
+                    routine: "StudentT::quantile bracket",
+                });
+            }
+        }
+        // 200 bisection steps are overkill (we need ~60), but cheap.
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo <= 1e-14 * hi.max(1.0) {
+                break;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fisher's F
+// ---------------------------------------------------------------------------
+
+/// Fisher's F distribution with `(df1, df2)` degrees of freedom.
+///
+/// Used by the one-way ANOVA of §5.2 to decide whether between-checkpoint
+/// (time) variability is statistically distinguishable from within-checkpoint
+/// (space) variability.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), mtvar_stats::StatsError> {
+/// use mtvar_stats::dist::{ContinuousDistribution, FisherF};
+///
+/// let f = FisherF::new(4.0, 20.0)?;
+/// // F_{0.95; 4, 20} ≈ 2.866
+/// let crit = f.quantile(0.95)?;
+/// assert!((crit - 2.8661).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FisherF {
+    df1: f64,
+    df2: f64,
+}
+
+impl FisherF {
+    /// Creates the distribution with numerator df `df1 > 0` and denominator
+    /// df `df2 > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if either df is
+    /// non-positive or non-finite.
+    pub fn new(df1: f64, df2: f64) -> Result<Self> {
+        for (name, v) in [("df1", df1), ("df2", df2)] {
+            if !v.is_finite() {
+                return Err(StatsError::NonFiniteInput);
+            }
+            if v <= 0.0 {
+                return Err(StatsError::InvalidParameter {
+                    name,
+                    value: v,
+                    expected: "must be > 0",
+                });
+            }
+        }
+        Ok(FisherF { df1, df2 })
+    }
+
+    /// Numerator degrees of freedom.
+    pub fn df1(&self) -> f64 {
+        self.df1
+    }
+
+    /// Denominator degrees of freedom.
+    pub fn df2(&self) -> f64 {
+        self.df2
+    }
+}
+
+impl ContinuousDistribution for FisherF {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let (d1, d2) = (self.df1, self.df2);
+        let ln_num = (d1 / 2.0) * (d1 / d2).ln() + (d1 / 2.0 - 1.0) * x.ln()
+            - ((d1 + d2) / 2.0) * (1.0 + d1 * x / d2).ln();
+        (ln_num - ln_beta(d1 / 2.0, d2 / 2.0)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let (d1, d2) = (self.df1, self.df2);
+        reg_inc_beta_unchecked(d1 / 2.0, d2 / 2.0, d1 * x / (d1 * x + d2))
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            if hi > 1e12 {
+                return Err(StatsError::NoConvergence {
+                    routine: "FisherF::quantile bracket",
+                });
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo <= 1e-14 * hi.max(1.0) {
+                break;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chi-square
+// ---------------------------------------------------------------------------
+
+/// The chi-square distribution with `df` degrees of freedom.
+///
+/// Used as the reference distribution of the Jarque–Bera normality statistic
+/// (`df = 2`), which guards the t-test's normality assumption.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), mtvar_stats::StatsError> {
+/// use mtvar_stats::dist::{ChiSquare, ContinuousDistribution};
+///
+/// let c = ChiSquare::new(2.0)?;
+/// // chi²(2) is Exp(1/2): cdf(x) = 1 − e^{−x/2}.
+/// assert!((c.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquare {
+    df: f64,
+}
+
+impl ChiSquare {
+    /// Creates the distribution with `df > 0` degrees of freedom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `df <= 0` or non-finite.
+    pub fn new(df: f64) -> Result<Self> {
+        if !df.is_finite() {
+            return Err(StatsError::NonFiniteInput);
+        }
+        if df <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "df",
+                value: df,
+                expected: "must be > 0",
+            });
+        }
+        Ok(ChiSquare { df })
+    }
+
+    /// Degrees of freedom.
+    pub fn df(&self) -> f64 {
+        self.df
+    }
+}
+
+impl ContinuousDistribution for ChiSquare {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let k = self.df / 2.0;
+        ((k - 1.0) * x.ln() - x / 2.0 - k * std::f64::consts::LN_2 - ln_gamma_unchecked(k)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        crate::special::reg_lower_gamma(self.df / 2.0, x / 2.0)
+            .expect("parameters validated at construction")
+    }
+
+    fn quantile(&self, p: f64) -> Result<f64> {
+        check_probability(p)?;
+        let mut lo = 0.0f64;
+        let mut hi = (self.df + 10.0) * 2.0;
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            if hi > 1e12 {
+                return Err(StatsError::NoConvergence {
+                    routine: "ChiSquare::quantile bracket",
+                });
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo <= 1e-14 * hi.max(1.0) {
+                break;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+}
+
+/// Standard-normal CDF, exposed for the `n >= 50` branch of the paper's
+/// confidence-interval rule.
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    Normal::standard().cdf(x)
+}
+
+/// `erf`-based standard-normal survival function `1 − Φ(x)`, accurate in the
+/// far tail.
+pub fn standard_normal_sf(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Two-sided standard normal tail probability `P(|Z| > |x|)`.
+pub fn standard_normal_two_sided_p(x: f64) -> f64 {
+    erfc(x.abs() / std::f64::consts::SQRT_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        let z = Normal::standard();
+        assert_close(z.cdf(0.0), 0.5, 1e-15);
+        assert_close(z.cdf(1.0), 0.8413447460685429, 1e-12);
+        assert_close(z.cdf(-1.0), 0.15865525393145707, 1e-12);
+        assert_close(z.cdf(1.959963984540054), 0.975, 1e-12);
+        assert_close(z.cdf(3.0), 0.9986501019683699, 1e-12);
+    }
+
+    #[test]
+    fn normal_quantile_round_trip() {
+        let z = Normal::standard();
+        for p in [1e-8, 0.001, 0.025, 0.3, 0.5, 0.8, 0.975, 0.999, 1.0 - 1e-8] {
+            let x = z.quantile(p).unwrap();
+            assert_close(z.cdf(x), p, 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_with_location_scale() {
+        let d = Normal::new(10.0, 2.0).unwrap();
+        assert_close(d.cdf(10.0), 0.5, 1e-14);
+        assert_close(d.quantile(0.975).unwrap(), 10.0 + 2.0 * 1.959963984540054, 1e-9);
+        assert_close(d.pdf(10.0), 1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt()), 1e-14);
+    }
+
+    #[test]
+    fn normal_rejects_bad_params() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::standard().quantile(0.0).is_err());
+        assert!(Normal::standard().quantile(1.0).is_err());
+    }
+
+    #[test]
+    fn t_cdf_reference_values() {
+        // Values cross-checked against R's pt().
+        let t1 = StudentT::new(1.0).unwrap(); // Cauchy
+        assert_close(t1.cdf(1.0), 0.75, 1e-12);
+        let t5 = StudentT::new(5.0).unwrap();
+        assert_close(t5.cdf(2.015048372669157), 0.95, 1e-9);
+        let t19 = StudentT::new(19.0).unwrap();
+        assert_close(t19.cdf(2.093024054408263), 0.975, 1e-9);
+        let t100 = StudentT::new(100.0).unwrap();
+        assert_close(t100.cdf(0.0), 0.5, 1e-15);
+    }
+
+    #[test]
+    fn t_critical_values_match_tables() {
+        // Standard t-table values (two-sided 95% -> p = 0.975).
+        let cases = [
+            (1.0, 12.706),
+            (2.0, 4.303),
+            (5.0, 2.571),
+            (10.0, 2.228),
+            (19.0, 2.093),
+            (30.0, 2.042),
+            (38.0, 2.024),
+        ];
+        for (df, expected) in cases {
+            let t = StudentT::new(df).unwrap().quantile(0.975).unwrap();
+            assert_close(t, expected, 5e-4);
+        }
+    }
+
+    #[test]
+    fn t_quantile_symmetry_and_round_trip() {
+        let t = StudentT::new(7.0).unwrap();
+        for p in [0.01, 0.1, 0.25, 0.5, 0.6, 0.9, 0.995] {
+            let x = t.quantile(p).unwrap();
+            assert_close(t.cdf(x), p, 1e-10);
+            assert_close(t.quantile(1.0 - p).unwrap(), -x, 1e-9);
+        }
+    }
+
+    #[test]
+    fn t_approaches_normal_for_large_df() {
+        let t = StudentT::new(10_000.0).unwrap();
+        let z = Normal::standard();
+        for p in [0.9, 0.95, 0.975, 0.99] {
+            let tq = t.quantile(p).unwrap();
+            let zq = z.quantile(p).unwrap();
+            assert!((tq - zq).abs() < 5e-4, "df=1e4 p={p}: {tq} vs {zq}");
+        }
+    }
+
+    #[test]
+    fn t_pdf_integrates_to_cdf() {
+        // Crude trapezoid check that pdf and cdf are consistent.
+        let t = StudentT::new(6.0).unwrap();
+        let mut acc = 0.0;
+        let (a, b, n) = (-8.0, 1.5, 20_000);
+        let h = (b - a) / n as f64;
+        for i in 0..n {
+            let x0 = a + i as f64 * h;
+            acc += 0.5 * (t.pdf(x0) + t.pdf(x0 + h)) * h;
+        }
+        assert_close(acc, t.cdf(1.5) - t.cdf(-8.0), 1e-6);
+    }
+
+    #[test]
+    fn f_cdf_reference_values() {
+        // F(1, 1) at x = 1 is 0.5.
+        let f11 = FisherF::new(1.0, 1.0).unwrap();
+        assert_close(f11.cdf(1.0), 0.5, 1e-12);
+        // Consistent with the tabulated F_{0.95;4,20} = 2.866 (so the CDF at
+        // 3.0 must sit just above 0.95) and with the exact incomplete-beta
+        // form I_{12/17}(2, 10).
+        let f = FisherF::new(4.0, 20.0).unwrap();
+        assert_close(f.cdf(3.0), 0.9567990016657861, 1e-10);
+        assert!(f.cdf(2.866) < f.cdf(3.0) && f.cdf(2.866) > 0.9495);
+        assert_eq!(f.cdf(0.0), 0.0);
+        assert_eq!(f.cdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn f_critical_values_match_tables() {
+        // Standard ANOVA table values, F_{0.95}.
+        let cases = [
+            ((1.0, 10.0), 4.965),
+            ((4.0, 20.0), 2.866),
+            ((9.0, 190.0), 1.93),
+            ((2.0, 30.0), 3.316),
+        ];
+        for ((d1, d2), expected) in cases {
+            let q = FisherF::new(d1, d2).unwrap().quantile(0.95).unwrap();
+            assert_close(q, expected, 5e-3);
+        }
+    }
+
+    #[test]
+    fn f_quantile_round_trip() {
+        let f = FisherF::new(3.0, 17.0).unwrap();
+        for p in [0.05, 0.5, 0.9, 0.95, 0.99] {
+            let x = f.quantile(p).unwrap();
+            assert_close(f.cdf(x), p, 1e-10);
+        }
+    }
+
+    #[test]
+    fn f_relation_to_t() {
+        // If T ~ t(v) then T² ~ F(1, v): F-quantile(p) == t-quantile((1+p)/2)².
+        let v = 12.0;
+        let t = StudentT::new(v).unwrap();
+        let f = FisherF::new(1.0, v).unwrap();
+        for p in [0.8, 0.9, 0.95, 0.99] {
+            let tq = t.quantile((1.0 + p) / 2.0).unwrap();
+            let fq = f.quantile(p).unwrap();
+            assert_close(fq, tq * tq, 1e-6 * fq.max(1.0));
+        }
+    }
+
+    #[test]
+    fn distributions_reject_bad_probabilities() {
+        let t = StudentT::new(5.0).unwrap();
+        assert!(t.quantile(-0.1).is_err());
+        assert!(t.quantile(1.0).is_err());
+        assert!(t.quantile(f64::NAN).is_err());
+        let f = FisherF::new(2.0, 2.0).unwrap();
+        assert!(f.quantile(0.0).is_err());
+    }
+
+    #[test]
+    fn distributions_reject_bad_dfs() {
+        assert!(StudentT::new(0.0).is_err());
+        assert!(StudentT::new(-2.0).is_err());
+        assert!(FisherF::new(0.0, 5.0).is_err());
+        assert!(FisherF::new(5.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn chi_square_reference_values() {
+        // chi²(2) is exponential with rate 1/2.
+        let c2 = ChiSquare::new(2.0).unwrap();
+        for x in [0.5, 1.0, 3.0, 8.0] {
+            assert_close(c2.cdf(x), 1.0 - (-x / 2.0f64).exp(), 1e-12);
+        }
+        // Tabulated critical value: chi²_{0.95, 2} = 5.991.
+        assert_close(c2.quantile(0.95).unwrap(), 5.991, 5e-3);
+        // chi²_{0.95, 5} = 11.070.
+        let c5 = ChiSquare::new(5.0).unwrap();
+        assert_close(c5.quantile(0.95).unwrap(), 11.070, 5e-3);
+        assert_eq!(c5.cdf(0.0), 0.0);
+        assert_eq!(c5.pdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn chi_square_quantile_round_trip() {
+        let c = ChiSquare::new(7.0).unwrap();
+        for p in [0.05, 0.5, 0.9, 0.99] {
+            let x = c.quantile(p).unwrap();
+            assert_close(c.cdf(x), p, 1e-10);
+        }
+        assert!(ChiSquare::new(0.0).is_err());
+        assert!(ChiSquare::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn chi_square_is_squared_normal_for_df_1() {
+        // If Z ~ N(0,1), Z² ~ chi²(1): cdf_chi(x) = 2Φ(√x) − 1.
+        let c = ChiSquare::new(1.0).unwrap();
+        let z = Normal::standard();
+        for x in [0.3, 1.0, 2.5, 4.0] {
+            assert_close(c.cdf(x), 2.0 * z.cdf(x.sqrt()) - 1.0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn tail_helpers_are_consistent() {
+        for x in [0.0, 0.5, 2.0, 4.0] {
+            assert_close(
+                standard_normal_cdf(x) + standard_normal_sf(x),
+                1.0,
+                1e-12,
+            );
+            assert_close(
+                standard_normal_two_sided_p(x),
+                2.0 * standard_normal_sf(x.abs()),
+                1e-12,
+            );
+        }
+    }
+}

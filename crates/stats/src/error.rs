@@ -1,0 +1,91 @@
+use std::fmt;
+
+/// Error type returned by all fallible operations in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// An operation required a non-empty sample but received none.
+    EmptySample,
+    /// A sample was too small for the requested operation (e.g. a variance
+    /// needs at least two observations).
+    SampleTooSmall {
+        /// Minimum number of observations the operation requires.
+        required: usize,
+        /// Number of observations actually supplied.
+        actual: usize,
+    },
+    /// A distribution or test parameter was out of its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value that was rejected.
+        value: f64,
+        /// Human-readable domain description, e.g. `"must be > 0"`.
+        expected: &'static str,
+    },
+    /// The input contained a NaN or infinite value.
+    NonFiniteInput,
+    /// An iterative numerical routine failed to converge.
+    NoConvergence {
+        /// Name of the routine that failed.
+        routine: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptySample => write!(f, "sample is empty"),
+            StatsError::SampleTooSmall { required, actual } => write!(
+                f,
+                "sample of {actual} observation(s) is too small; at least {required} required"
+            ),
+            StatsError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter {name} = {value}: {expected}"),
+            StatsError::NonFiniteInput => write!(f, "input contains a non-finite value"),
+            StatsError::NoConvergence { routine } => {
+                write!(f, "numerical routine {routine} failed to converge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            StatsError::EmptySample,
+            StatsError::SampleTooSmall {
+                required: 2,
+                actual: 1,
+            },
+            StatsError::InvalidParameter {
+                name: "df",
+                value: -1.0,
+                expected: "must be > 0",
+            },
+            StatsError::NonFiniteInput,
+            StatsError::NoConvergence { routine: "betacf" },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

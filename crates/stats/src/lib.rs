@@ -1,0 +1,46 @@
+//! Statistics substrate for the `mtvar` workspace.
+//!
+//! This crate implements, from scratch, every piece of classical statistics
+//! the HPCA 2003 variability methodology needs:
+//!
+//! * [`special`] — log-gamma, error function, regularized incomplete beta and
+//!   gamma functions (the numerical kernels everything else is built on).
+//! * [`dist`] — the [`Normal`](dist::Normal), [`StudentT`](dist::StudentT)
+//!   and [`FisherF`](dist::FisherF) distributions with pdf/cdf/quantile.
+//! * [`describe`] — descriptive statistics: [`Summary`](describe::Summary),
+//!   coefficient of variation, and the paper's *range of variability*.
+//! * [`infer`] — confidence intervals for means, two-sample t-tests (pooled
+//!   and Welch), one-way ANOVA, and the paper's sample-size estimate
+//!   `n = (t·S / (r·Ȳ))²`.
+//!
+//! # Example
+//!
+//! Compute a 95% confidence interval for a sample mean, as §5.1.1 of the
+//! paper does for cycles-per-transaction measurements:
+//!
+//! ```
+//! # fn main() -> Result<(), mtvar_stats::StatsError> {
+//! use mtvar_stats::{describe::Summary, infer::mean_confidence_interval};
+//!
+//! let runs = [4.61, 4.49, 4.55, 4.70, 4.52, 4.58, 4.66, 4.47];
+//! let summary = Summary::from_slice(&runs)?;
+//! let ci = mean_confidence_interval(&summary, 0.95)?;
+//! assert!(ci.lower() < summary.mean() && summary.mean() < ci.upper());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod describe;
+pub mod dist;
+pub mod infer;
+pub mod special;
+
+mod error;
+
+pub use error::StatsError;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

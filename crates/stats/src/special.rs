@@ -1,0 +1,480 @@
+//! Special functions: log-gamma, error function, and the regularized
+//! incomplete gamma and beta functions.
+//!
+//! These are the numerical kernels beneath every distribution in [`crate::dist`].
+//! All routines are accurate to roughly 1e-12 over the domains exercised by the
+//! methodology (degrees of freedom up to a few thousand, probabilities in
+//! `[1e-10, 1 - 1e-10]`), which is far tighter than the experiment noise they
+//! are used to analyze.
+
+use crate::{Result, StatsError};
+
+/// Natural log of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation (g = 7, 9 coefficients), giving ~15
+/// significant digits over the positive reals.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `x <= 0` or `x` is not finite.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), mtvar_stats::StatsError> {
+/// let lg = mtvar_stats::special::ln_gamma(5.0)?;
+/// assert!((lg - (24.0f64).ln()).abs() < 1e-12); // Γ(5) = 4! = 24
+/// # Ok(())
+/// # }
+/// ```
+pub fn ln_gamma(x: f64) -> Result<f64> {
+    if !x.is_finite() {
+        return Err(StatsError::NonFiniteInput);
+    }
+    if x <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "x",
+            value: x,
+            expected: "must be > 0",
+        });
+    }
+    Ok(ln_gamma_unchecked(x))
+}
+
+/// Lanczos coefficients for g = 7.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+pub(crate) fn ln_gamma_unchecked(x: f64) -> f64 {
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma_unchecked(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = LANCZOS_COEF[0];
+    let t = x + LANCZOS_G + 0.5;
+    for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// The error function `erf(x)`.
+///
+/// Computed through the regularized lower incomplete gamma function,
+/// `erf(x) = sign(x) · P(1/2, x²)`.
+///
+/// # Example
+///
+/// ```
+/// let e = mtvar_stats::special::erf(1.0);
+/// assert!((e - 0.8427007929497149).abs() < 1e-12);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let p = reg_lower_gamma_unchecked(0.5, x * x);
+    if x >= 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// For large positive `x` this is computed from the continued-fraction form of
+/// the upper incomplete gamma function, avoiding the catastrophic cancellation
+/// of `1 - erf(x)`.
+///
+/// # Example
+///
+/// ```
+/// let e = mtvar_stats::special::erfc(3.0);
+/// assert!((e - 2.209049699858544e-5).abs() < 1e-16);
+/// ```
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    reg_upper_gamma_unchecked(0.5, x * x)
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`, for `a > 0`,
+/// `x >= 0`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `a <= 0` or `x < 0`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), mtvar_stats::StatsError> {
+/// // P(1, x) = 1 - exp(-x)
+/// let p = mtvar_stats::special::reg_lower_gamma(1.0, 2.0)?;
+/// assert!((p - (1.0 - (-2.0f64).exp())).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn reg_lower_gamma(a: f64, x: f64) -> Result<f64> {
+    if !a.is_finite() || !x.is_finite() {
+        return Err(StatsError::NonFiniteInput);
+    }
+    if a <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "a",
+            value: a,
+            expected: "must be > 0",
+        });
+    }
+    if x < 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "x",
+            value: x,
+            expected: "must be >= 0",
+        });
+    }
+    Ok(reg_lower_gamma_unchecked(a, x))
+}
+
+fn reg_lower_gamma_unchecked(a: f64, x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cf(a, x)
+    }
+}
+
+fn reg_upper_gamma_unchecked(a: f64, x: f64) -> f64 {
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cf(a, x)
+    }
+}
+
+const MAX_ITER: usize = 500;
+const EPS: f64 = 1e-15;
+
+/// Series representation of P(a, x); converges fast for x < a + 1.
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut term = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma_unchecked(a)).exp()
+}
+
+/// Continued-fraction representation of Q(a, x); converges fast for x >= a + 1.
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma_unchecked(a)).exp() * h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`, for `a, b > 0` and
+/// `x ∈ [0, 1]`.
+///
+/// This is the kernel of the Student-t and F distribution CDFs. Computed with
+/// the Lentz continued fraction, using the symmetry
+/// `I_x(a, b) = 1 − I_{1−x}(b, a)` to stay in the rapidly converging regime.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] if `a <= 0`, `b <= 0`, or `x` is
+/// outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), mtvar_stats::StatsError> {
+/// // I_x(1, 1) = x (uniform CDF)
+/// let v = mtvar_stats::special::reg_inc_beta(1.0, 1.0, 0.42)?;
+/// assert!((v - 0.42).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> Result<f64> {
+    if !a.is_finite() || !b.is_finite() || !x.is_finite() {
+        return Err(StatsError::NonFiniteInput);
+    }
+    if a <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "a",
+            value: a,
+            expected: "must be > 0",
+        });
+    }
+    if b <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "b",
+            value: b,
+            expected: "must be > 0",
+        });
+    }
+    if !(0.0..=1.0).contains(&x) {
+        return Err(StatsError::InvalidParameter {
+            name: "x",
+            value: x,
+            expected: "must lie in [0, 1]",
+        });
+    }
+    Ok(reg_inc_beta_unchecked(a, b, x))
+}
+
+pub(crate) fn reg_inc_beta_unchecked(a: f64, b: f64, x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let front = (x.ln() * a + (1.0 - x).ln() * b - ln_beta(a, b)).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        // Symmetry I_x(a, b) = 1 − I_{1−x}(b, a) keeps the continued fraction
+        // in its rapidly converging regime.
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// `ln B(a, b) = ln Γ(a) + ln Γ(b) − ln Γ(a + b)`.
+pub(crate) fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma_unchecked(a) + ln_gamma_unchecked(b) - ln_gamma_unchecked(a + b)
+}
+
+/// Lentz's continued fraction for the incomplete beta function.
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0f64;
+        for n in 1..15u32 {
+            if n > 1 {
+                fact *= (n - 1) as f64;
+            }
+            assert_close(ln_gamma(n as f64).unwrap(), fact.ln(), 1e-10 * (1.0 + fact.ln().abs()));
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π
+        assert_close(
+            ln_gamma(0.5).unwrap(),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-12,
+        );
+        // Γ(3/2) = √π / 2
+        assert_close(
+            ln_gamma(1.5).unwrap(),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn ln_gamma_rejects_bad_input() {
+        assert!(ln_gamma(0.0).is_err());
+        assert!(ln_gamma(-3.0).is_err());
+        assert!(ln_gamma(f64::NAN).is_err());
+        assert!(ln_gamma(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from Abramowitz & Stegun, Table 7.1.
+        assert_close(erf(0.0), 0.0, 1e-15);
+        assert_close(erf(0.5), 0.5204998778130465, 1e-12);
+        assert_close(erf(1.0), 0.8427007929497149, 1e-12);
+        assert_close(erf(2.0), 0.9953222650189527, 1e-12);
+        assert_close(erf(-1.0), -0.8427007929497149, 1e-12);
+    }
+
+    #[test]
+    fn erfc_is_complement_and_accurate_in_tail() {
+        for x in [0.0, 0.3, 1.0, 2.0] {
+            assert_close(erf(x) + erfc(x), 1.0, 1e-12);
+        }
+        assert_close(erfc(3.0), 2.209049699858544e-5, 1e-16);
+        assert_close(erfc(5.0), 1.5374597944280351e-12, 1e-22);
+        assert_close(erfc(-2.0), 2.0 - erfc(2.0), 1e-14);
+    }
+
+    #[test]
+    fn reg_lower_gamma_exponential_identity() {
+        // P(1, x) = 1 - e^{-x}
+        for x in [0.1, 1.0, 3.0, 10.0] {
+            assert_close(
+                reg_lower_gamma(1.0, x).unwrap(),
+                1.0 - (-x).exp(),
+                1e-12,
+            );
+        }
+    }
+
+    #[test]
+    fn reg_lower_gamma_chi_square_reference() {
+        // χ²(k=4) CDF at x=4 is P(2, 2) = 1 - 3e^{-2} ≈ 0.59399415...
+        assert_close(
+            reg_lower_gamma(2.0, 2.0).unwrap(),
+            1.0 - 3.0 * (-2.0f64).exp(),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn reg_lower_gamma_bounds_and_errors() {
+        assert_eq!(reg_lower_gamma(2.5, 0.0).unwrap(), 0.0);
+        assert!(reg_lower_gamma(0.0, 1.0).is_err());
+        assert!(reg_lower_gamma(1.0, -1.0).is_err());
+        assert!(reg_lower_gamma(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn inc_beta_uniform_identity() {
+        for x in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert_close(reg_inc_beta(1.0, 1.0, x).unwrap(), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn inc_beta_symmetry() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a)
+        for &(a, b, x) in &[(2.0, 3.0, 0.3), (0.5, 0.5, 0.7), (10.0, 2.0, 0.9)] {
+            let lhs = reg_inc_beta(a, b, x).unwrap();
+            let rhs = 1.0 - reg_inc_beta(b, a, 1.0 - x).unwrap();
+            assert_close(lhs, rhs, 1e-12);
+        }
+    }
+
+    #[test]
+    fn inc_beta_closed_forms() {
+        // I_x(2, 1) = x², I_x(1, 2) = 1 - (1-x)² = 2x - x².
+        for x in [0.2, 0.5, 0.8] {
+            assert_close(reg_inc_beta(2.0, 1.0, x).unwrap(), x * x, 1e-12);
+            assert_close(reg_inc_beta(1.0, 2.0, x).unwrap(), 2.0 * x - x * x, 1e-12);
+        }
+        // I_{1/2}(a, a) = 1/2 by symmetry.
+        for a in [0.5, 1.0, 4.0, 25.0] {
+            assert_close(reg_inc_beta(a, a, 0.5).unwrap(), 0.5, 1e-12);
+        }
+    }
+
+    #[test]
+    fn inc_beta_rejects_bad_input() {
+        assert!(reg_inc_beta(-1.0, 1.0, 0.5).is_err());
+        assert!(reg_inc_beta(1.0, 0.0, 0.5).is_err());
+        assert!(reg_inc_beta(1.0, 1.0, 1.5).is_err());
+        assert!(reg_inc_beta(1.0, 1.0, -0.1).is_err());
+        assert!(reg_inc_beta(1.0, 1.0, f64::NAN).is_err());
+    }
+}

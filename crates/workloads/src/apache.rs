@@ -1,0 +1,104 @@
+//! Apache: static web content serving.
+//!
+//! Thousands of short GET requests per second: worker threads pull
+//! connections off a shared accept queue (a hot lock), consult the shared
+//! file/metadata cache (hot reads, few writes) and write responses (I/O).
+//! A small CGI fraction adds heavier requests.
+
+use crate::profile::{PhaseModel, ProfiledWorkload, TxnType, WorkloadProfile};
+
+/// Transactions Table 3 measures for Apache.
+pub const TABLE3_TRANSACTIONS: u64 = 5000;
+
+/// Worker threads per processor.
+pub const WORKERS_PER_CPU: u32 = 16;
+
+/// Builds the Apache profile.
+pub fn profile() -> WorkloadProfile {
+    let get = TxnType {
+        weight: 19,
+        segments_mean: 2.0,
+        segments_min: 1,
+        segments_max: 8,
+        mem_per_segment: 9,
+        compute_mean: 35.0,
+        hot_prob: 0.55, // shared file cache + metadata
+        private_prob: 0.30,
+        write_prob: 0.06,
+        hot_write_factor: 0.15,
+        reuse_prob: 0.5,
+        dependent_prob: 0.30,
+        lock_prob: 0.4, // accept queue / cache latch
+        cs_mem_ops: 2,
+        io_prob: 0.35, // socket write
+        io_ns_mean: 25_000,
+        io_fixed: false,
+        branches_per_segment: 4,
+        branch_bias: 0.92,
+    };
+    let cgi = TxnType {
+        weight: 4,
+        segments_mean: 14.0,
+        segments_max: 80,
+        mem_per_segment: 16,
+        write_prob: 0.2,
+        private_prob: 0.5,
+        hot_prob: 0.3,
+        io_prob: 0.5,
+        io_ns_mean: 80_000,
+        ..get
+    };
+    WorkloadProfile {
+        name: "apache".into(),
+        threads_per_cpu: WORKERS_PER_CPU,
+        txn_types: vec![get, cgi],
+        hot_blocks: 24 * 1024, // file cache working set
+        cold_blocks: 2_000_000,
+        private_blocks: 4 * 1024,
+        code_blocks_per_type: 16,
+        lock_pool: 64,
+        hot_locks: 1, // the accept-queue lock
+        hot_lock_prob: 0.3,
+        phases: PhaseModel {
+            period_txns: 1500,
+            amplitude: 0.25,
+            gc_every: 300,
+            gc_mem_ops: 800,
+            growth_per_txn: 0.0,
+            growth_cap_blocks: 0,
+        },
+        startup_stagger_instr: 0,
+    }
+}
+
+/// Instantiates Apache for a `cpus`-processor machine.
+pub fn workload(cpus: usize, seed: u64) -> ProfiledWorkload {
+    ProfiledWorkload::new(profile(), cpus, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvar_sim::ids::ThreadId;
+    use mtvar_sim::ops::Op;
+    use mtvar_sim::workload::Workload;
+
+    #[test]
+    fn short_transactions() {
+        let mut w = workload(4, 2);
+        let mut ops = 0u64;
+        let mut txns = 0u64;
+        for i in 0..30_000 {
+            ops += 1;
+            if let Op::TxnEnd = w.next_op(ThreadId(i % 32)) {
+                txns += 1;
+            }
+        }
+        assert!(txns > 100);
+        let ops_per_txn = ops as f64 / txns as f64;
+        assert!(
+            ops_per_txn < 150.0,
+            "Apache requests should be short, got {ops_per_txn} ops/txn"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! ECperf: a 3-tier Java (J2EE) order-entry/manufacturing workload.
+//!
+//! Long business transactions bounce between the application-server tier
+//! and the database tier (modeled as I/O waits), with moderate lock
+//! contention on entity beans. Table 3 measures only 5 transactions, so the
+//! per-transaction length spread translates directly into run-to-run
+//! variability (CoV 1.4%, range 5.3%).
+
+use crate::profile::{PhaseModel, ProfiledWorkload, TxnType, WorkloadProfile};
+
+/// Transactions Table 3 measures for ECperf.
+pub const TABLE3_TRANSACTIONS: u64 = 5;
+
+/// Application-server threads per processor.
+pub const THREADS_PER_CPU: u32 = 2;
+
+/// Builds the ECperf profile.
+pub fn profile() -> WorkloadProfile {
+    let base = TxnType {
+        weight: 1,
+        // ECperf business operations are audited for uniformity: fixed
+        // segment structure, so commit arrivals are nearly periodic and the
+        // 5-transaction Table 3 window stays tight.
+        segments_mean: 20.0,
+        segments_min: 18,
+        segments_max: 22,
+        mem_per_segment: 12,
+        compute_mean: 70.0,
+        hot_prob: 0.30,
+        private_prob: 0.45, // bean instances and session state
+        write_prob: 0.25,
+        hot_write_factor: 0.2,
+        reuse_prob: 0.55,
+        dependent_prob: 0.40,
+        lock_prob: 0.15,
+        cs_mem_ops: 3,
+        io_prob: 1.0, // tier crossings
+        io_ns_mean: 40_000,
+        io_fixed: false,
+        branches_per_segment: 6,
+        branch_bias: 0.88,
+    };
+    WorkloadProfile {
+        name: "ecperf".into(),
+        threads_per_cpu: THREADS_PER_CPU,
+        txn_types: vec![
+            // Order entry.
+            TxnType {
+                weight: 5,
+                ..base
+            },
+            // Manufacturing (work orders).
+            TxnType {
+                weight: 3,
+                segments_mean: 21.0,
+                write_prob: 0.35,
+                lock_prob: 0.15,
+                ..base
+            },
+            // Browse/status queries.
+            TxnType {
+                weight: 2,
+                segments_mean: 19.0,
+                write_prob: 0.04,
+                lock_prob: 0.1,
+                                ..base
+            },
+        ],
+        hot_blocks: 12 * 1024,
+        cold_blocks: 1_500_000,
+        private_blocks: 16 * 1024,
+        code_blocks_per_type: 32,
+        lock_pool: 128,
+        hot_locks: 3,
+        hot_lock_prob: 0.15,
+        phases: PhaseModel {
+            period_txns: 200,
+            amplitude: 0.2,
+            gc_every: 120,
+            gc_mem_ops: 1_200,
+            growth_per_txn: 0.5,
+            growth_cap_blocks: 40_000,
+        },
+        startup_stagger_instr: 0,
+    }
+}
+
+/// Instantiates ECperf for a `cpus`-processor machine.
+pub fn workload(cpus: usize, seed: u64) -> ProfiledWorkload {
+    ProfiledWorkload::new(profile(), cpus, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvar_sim::ids::ThreadId;
+    use mtvar_sim::ops::Op;
+    use mtvar_sim::workload::Workload;
+
+    #[test]
+    fn long_transactions_with_tier_io() {
+        let mut w = workload(4, 6);
+        let threads = w.thread_count() as u32;
+        let mut ios = 0;
+        let mut txns = 0;
+        for i in 0..60_000 {
+            match w.next_op(ThreadId(i % threads)) {
+                Op::Io(ns) => {
+                    // Tier crossings are bounded bursts around the mean.
+                    let mean = w.profile().txn_types[0].io_ns_mean;
+                    assert!(ns >= 1 && ns <= mean * 3, "io {ns} outside burst bounds");
+                    ios += 1;
+                }
+                Op::TxnEnd => txns += 1,
+                _ => {}
+            }
+        }
+        assert!(txns > 30);
+        assert!(ios >= txns / 2, "every business operation crosses tiers");
+    }
+}

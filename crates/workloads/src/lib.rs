@@ -1,0 +1,156 @@
+//! `mtvar-workloads`: synthetic equivalents of the seven benchmarks studied
+//! by *Variability in Architectural Simulations of Multi-Threaded Workloads*
+//! (Alameldeen & Wood, HPCA 2003).
+//!
+//! The paper's binaries (IBM DB2 under a TPC-C-like load, Apache, SPECjbb,
+//! Slashcode, ECperf, and SPLASH-2's Barnes-Hut and Ocean) are not
+//! redistributable, so each is modeled as a [`profile::WorkloadProfile`]: a
+//! multi-threaded transaction mix with the benchmark's concurrency structure
+//! — thread counts, transaction-type mix, hot/cold/private footprints, lock
+//! pools and hot locks, I/O waits, and deterministic behaviour drift over
+//! time (phases, GC, heap growth). What the paper measures — run-to-run
+//! variability of cycles per transaction — is a property of exactly this
+//! structure, not of SQL or Java semantics.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), mtvar_sim::SimError> {
+//! use mtvar_sim::{config::MachineConfig, machine::Machine};
+//! use mtvar_workloads::Benchmark;
+//!
+//! let cfg = MachineConfig::hpca2003().with_perturbation(4, 1);
+//! let mut m = Machine::new(cfg, Benchmark::Oltp.workload(16, 42))?;
+//! let run = m.run_transactions(50)?;
+//! assert_eq!(run.transactions, 50);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod apache;
+pub mod ecperf;
+pub mod oltp;
+pub mod profile;
+pub mod regions;
+pub mod scientific;
+pub mod slashcode;
+pub mod specjbb;
+
+use profile::ProfiledWorkload;
+
+/// The seven benchmarks of the paper's Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// SPLASH-2 Barnes-Hut, 16K bodies.
+    Barnes,
+    /// SPLASH-2 Ocean, 514×514 grid.
+    Ocean,
+    /// ECperf 3-tier Java workload.
+    Ecperf,
+    /// Slashcode dynamic web serving.
+    Slashcode,
+    /// DB2 + TPC-C-like OLTP.
+    Oltp,
+    /// Apache static web serving.
+    Apache,
+    /// SPECjbb2000 Java server benchmark.
+    Specjbb,
+}
+
+impl Benchmark {
+    /// All benchmarks in the paper's Table 3 column order.
+    pub const ALL: [Benchmark; 7] = [
+        Benchmark::Barnes,
+        Benchmark::Ocean,
+        Benchmark::Ecperf,
+        Benchmark::Slashcode,
+        Benchmark::Oltp,
+        Benchmark::Apache,
+        Benchmark::Specjbb,
+    ];
+
+    /// The benchmark's short name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Barnes => "barnes",
+            Benchmark::Ocean => "ocean",
+            Benchmark::Ecperf => "ecperf",
+            Benchmark::Slashcode => "slashcode",
+            Benchmark::Oltp => "oltp",
+            Benchmark::Apache => "apache",
+            Benchmark::Specjbb => "specjbb",
+        }
+    }
+
+    /// Instantiates the benchmark for a `cpus`-processor machine.
+    pub fn workload(self, cpus: usize, seed: u64) -> ProfiledWorkload {
+        match self {
+            Benchmark::Barnes => scientific::barnes_workload(cpus, seed),
+            Benchmark::Ocean => scientific::ocean_workload(cpus, seed),
+            Benchmark::Ecperf => ecperf::workload(cpus, seed),
+            Benchmark::Slashcode => slashcode::workload(cpus, seed),
+            Benchmark::Oltp => oltp::workload(cpus, seed),
+            Benchmark::Apache => apache::workload(cpus, seed),
+            Benchmark::Specjbb => specjbb::workload(cpus, seed),
+        }
+    }
+
+    /// The transaction count Table 3 measures for this benchmark. For the
+    /// scientific workloads ("whole benchmark = 1 transaction") this returns
+    /// the number of per-thread completions a `cpus`-processor run waits
+    /// for, i.e. `cpus`.
+    pub fn table3_transactions(self, cpus: usize) -> u64 {
+        match self {
+            Benchmark::Barnes | Benchmark::Ocean => cpus as u64,
+            Benchmark::Ecperf => ecperf::TABLE3_TRANSACTIONS,
+            Benchmark::Slashcode => slashcode::TABLE3_TRANSACTIONS,
+            Benchmark::Oltp => oltp::TABLE3_TRANSACTIONS,
+            Benchmark::Apache => apache::TABLE3_TRANSACTIONS,
+            Benchmark::Specjbb => specjbb::TABLE3_TRANSACTIONS,
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvar_sim::ids::ThreadId;
+    use mtvar_sim::workload::Workload;
+
+    #[test]
+    fn all_benchmarks_instantiate() {
+        for b in Benchmark::ALL {
+            let mut w = b.workload(4, 1);
+            assert!(w.thread_count() > 0, "{b} has no threads");
+            assert_eq!(w.name(), b.name());
+            // Streams start without panicking.
+            for i in 0..100 {
+                let _ = w.next_op(ThreadId(i % w.thread_count() as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn table3_counts_match_paper() {
+        assert_eq!(Benchmark::Barnes.table3_transactions(16), 16);
+        assert_eq!(Benchmark::Ecperf.table3_transactions(16), 5);
+        assert_eq!(Benchmark::Slashcode.table3_transactions(16), 30);
+        assert_eq!(Benchmark::Oltp.table3_transactions(16), 1000);
+        assert_eq!(Benchmark::Apache.table3_transactions(16), 5000);
+        assert_eq!(Benchmark::Specjbb.table3_transactions(16), 60_000);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Benchmark::Oltp.to_string(), "oltp");
+    }
+}

@@ -1,0 +1,155 @@
+//! OLTP: a TPC-C-like transaction mix (§3.1 of the paper).
+//!
+//! The paper's OLTP runs IBM DB2 against a 4000-warehouse TPC-C database
+//! (~800 MB across five disks plus a log disk), 8 users per processor, no
+//! keying or think time. This profile reproduces the concurrency structure:
+//! the five-type TPC-C mix (new-order 45%, payment 43%, order-status 4%,
+//! delivery 4%, stock-level 4%), hot index/metadata blocks, a large cold
+//! table space, row/page latches plus a few hot latches (log buffer, space
+//! management), and log/disk I/O.
+
+use crate::profile::{PhaseModel, ProfiledWorkload, TxnType, WorkloadProfile};
+
+/// Transactions Table 3 measures for OLTP.
+pub const TABLE3_TRANSACTIONS: u64 = 1000;
+
+/// The paper's users-per-processor count.
+pub const USERS_PER_CPU: u32 = 8;
+
+/// Builds the OLTP profile.
+pub fn profile() -> WorkloadProfile {
+    let base = TxnType {
+        weight: 1,
+        segments_mean: 8.0,
+        segments_min: 2,
+        segments_max: 32,
+        mem_per_segment: 12,
+        compute_mean: 45.0,
+        hot_prob: 0.40,
+        private_prob: 0.25,
+        write_prob: 0.28,
+        hot_write_factor: 0.15,
+        reuse_prob: 0.55,
+        dependent_prob: 0.25,
+        lock_prob: 0.35,
+        cs_mem_ops: 3,
+        io_prob: 0.12,
+        io_ns_mean: 60_000,
+        io_fixed: false,
+        branches_per_segment: 5,
+        branch_bias: 0.88,
+    };
+    WorkloadProfile {
+        name: "oltp".into(),
+        threads_per_cpu: USERS_PER_CPU,
+        txn_types: vec![
+            // New-order: 45% — a dozen item lookups + stock updates.
+            TxnType {
+                weight: 45,
+                segments_mean: 10.0,
+                mem_per_segment: 14,
+                write_prob: 0.32,
+                ..base
+            },
+            // Payment: 43% — short, write-heavy, hits hot customer/warehouse
+            // rows and the log latch.
+            TxnType {
+                weight: 43,
+                segments_mean: 4.0,
+                segments_max: 12,
+                mem_per_segment: 10,
+                write_prob: 0.45,
+                lock_prob: 0.5,
+                hot_prob: 0.5,
+                ..base
+            },
+            // Order-status: 4% — small read-only.
+            TxnType {
+                weight: 4,
+                segments_mean: 4.0,
+                segments_max: 12,
+                write_prob: 0.02,
+                lock_prob: 0.1,
+                io_prob: 0.05,
+                ..base
+            },
+            // Delivery: 4% — long, batched updates.
+            TxnType {
+                weight: 4,
+                segments_mean: 16.0,
+                mem_per_segment: 16,
+                write_prob: 0.4,
+                lock_prob: 0.45,
+                io_prob: 0.2,
+                ..base
+            },
+            // Stock-level: 4% — long read-only scans of cold data.
+            TxnType {
+                weight: 4,
+                segments_mean: 18.0,
+                mem_per_segment: 18,
+                hot_prob: 0.15,
+                private_prob: 0.15,
+                write_prob: 0.02,
+                lock_prob: 0.05,
+                io_prob: 0.1,
+                ..base
+            },
+        ],
+        // ~2 MB of hot index/metadata; the cold region models the *cached*
+        // slice of the 800 MB table space (DB2's buffer pool working set) —
+        // large enough for capacity misses, small enough that L2 geometry
+        // matters, as Experiment 1 requires.
+        hot_blocks: 4 * 1024,
+        cold_blocks: 40_000,
+        private_blocks: 2 * 1024,
+        code_blocks_per_type: 24,
+        lock_pool: 256,
+        hot_locks: 6,
+        hot_lock_prob: 0.25,
+        // Slow mix/intensity drift plus a periodic log-flush scan: the
+        // source of the Figure 8/9a time variability.
+        phases: PhaseModel {
+            period_txns: 400,
+            amplitude: 0.30,
+            gc_every: 250,
+            gc_mem_ops: 400,
+            growth_per_txn: 0.0,
+            growth_cap_blocks: 0,
+        },
+        startup_stagger_instr: 0,
+    }
+}
+
+/// Instantiates OLTP for a `cpus`-processor machine (8 users per CPU).
+pub fn workload(cpus: usize, seed: u64) -> ProfiledWorkload {
+    ProfiledWorkload::new(profile(), cpus, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvar_sim::ids::ThreadId;
+    use mtvar_sim::ops::Op;
+    use mtvar_sim::workload::Workload;
+
+    #[test]
+    fn paper_mix_and_thread_count() {
+        let w = workload(16, 1);
+        assert_eq!(w.thread_count(), 128);
+        let weights: Vec<u32> = w.profile().txn_types.iter().map(|t| t.weight).collect();
+        assert_eq!(weights, vec![45, 43, 4, 4, 4]);
+    }
+
+    #[test]
+    fn generates_valid_stream() {
+        let mut w = workload(2, 9);
+        let mut txns = 0;
+        for i in 0..20_000 {
+            if let Op::TxnEnd = w.next_op(ThreadId(i % 16)) {
+                txns += 1;
+            }
+        }
+        assert!(txns > 20, "OLTP must commit transactions, got {txns}");
+    }
+}

@@ -1,0 +1,143 @@
+//! The SPLASH-2 scientific benchmarks: Barnes-Hut (16K bodies) and Ocean
+//! (514×514 grid).
+//!
+//! Both run one thread per processor over a fixed partition of the problem,
+//! with a deterministic phase structure — compute-dominated work, mostly
+//! private data, light read-sharing at partition boundaries, and no lock
+//! contention to speak of. The whole benchmark counts as *one* transaction
+//! in Table 3 (each thread commits once; the run completes at the last
+//! commit), and their space variability is tiny (Barnes 0.16%, Ocean 0.31%).
+
+use crate::profile::{PhaseModel, ProfiledWorkload, TxnType, WorkloadProfile};
+
+/// Transactions Table 3 measures for Barnes and Ocean: the whole benchmark.
+pub const TABLE3_TRANSACTIONS: u64 = 1;
+
+fn scientific_profile(
+    name: &str,
+    segments: u32,
+    mem_per_segment: u32,
+    boundary_share: f64,
+    boundary_write: f64,
+    lock_prob: f64,
+) -> WorkloadProfile {
+    WorkloadProfile {
+        name: name.into(),
+        threads_per_cpu: 1,
+        txn_types: vec![TxnType {
+            weight: 1,
+            // Fixed phase count: min == max makes the structure
+            // deterministic; only addresses and burst lengths draw from the
+            // per-thread stream.
+            segments_mean: f64::from(segments),
+            segments_min: segments,
+            segments_max: segments,
+            mem_per_segment,
+            compute_mean: 90.0,
+            hot_prob: boundary_share, // partition-boundary exchange
+            private_prob: 1.0 - boundary_share,
+            write_prob: boundary_write.clamp(0.0, 1.0),
+            hot_write_factor: 1.0,
+            reuse_prob: 0.55,
+            dependent_prob: 0.12, // array code: mostly independent strides
+            lock_prob, // rare reduction locks / barrier counters
+            cs_mem_ops: 1,
+            io_prob: 0.0,
+            io_ns_mean: 0,
+            io_fixed: false,
+            branches_per_segment: 3,
+            branch_bias: 0.97, // loop branches — highly predictable
+        }],
+        hot_blocks: 8 * 1024, // boundary zones
+        cold_blocks: 1_024,   // (barely used)
+        private_blocks: 64 * 1024,
+        code_blocks_per_type: 10,
+        // A few barrier/reduction counters updated at iteration boundaries
+        // — the synchronization points whose arrival order varies. Spreading
+        // them over four locks keeps contention graded rather than convoyed.
+        lock_pool: 4,
+        hot_locks: 4,
+        hot_lock_prob: 1.0,
+        phases: PhaseModel::none(),
+        startup_stagger_instr: 24_000,
+    }
+}
+
+/// Builds the Barnes-Hut profile (16K bodies): tree-walk heavy, very little
+/// boundary sharing.
+pub fn barnes_profile() -> WorkloadProfile {
+    scientific_profile("barnes", 320, 18, 0.05, 0.10, 0.05)
+}
+
+/// Builds the Ocean profile (514×514 grid): stencil sweeps with more
+/// boundary exchange than Barnes.
+pub fn ocean_profile() -> WorkloadProfile {
+    scientific_profile("ocean", 280, 24, 0.14, 0.20, 0.07)
+}
+
+/// Instantiates Barnes-Hut (one thread per processor).
+pub fn barnes_workload(cpus: usize, seed: u64) -> ProfiledWorkload {
+    ProfiledWorkload::new(barnes_profile(), cpus, seed)
+}
+
+/// Instantiates Ocean (one thread per processor).
+pub fn ocean_workload(cpus: usize, seed: u64) -> ProfiledWorkload {
+    ProfiledWorkload::new(ocean_profile(), cpus, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvar_sim::ids::ThreadId;
+    use mtvar_sim::ops::Op;
+    use mtvar_sim::workload::Workload;
+
+    #[test]
+    fn one_thread_per_cpu() {
+        assert_eq!(barnes_workload(16, 1).thread_count(), 16);
+        assert_eq!(ocean_workload(8, 1).thread_count(), 8);
+    }
+
+    #[test]
+    fn fixed_phase_structure() {
+        // Two different seeds must produce the same *number* of segments per
+        // transaction (only addresses differ).
+        let count_segments = |seed: u64| {
+            let mut w = barnes_workload(1, seed);
+            let mut calls = 0;
+            loop {
+                match w.next_op(ThreadId(0)) {
+                    Op::Call { .. } => calls += 1,
+                    Op::TxnEnd => break,
+                    _ => {}
+                }
+            }
+            calls
+        };
+        assert_eq!(count_segments(1), count_segments(99));
+        assert_eq!(count_segments(1), 320);
+    }
+
+    #[test]
+    fn no_io_and_rare_locks() {
+        let mut w = ocean_workload(2, 3);
+        let mut locks = 0u32;
+        let mut total = 0u32;
+        for i in 0..30_000 {
+            total += 1;
+            match w.next_op(ThreadId(i % 2)) {
+                Op::Io(_) => panic!("scientific workloads do no I/O"),
+                Op::Lock(_) => locks += 1,
+                _ => {}
+            }
+        }
+        assert!(locks < total / 200, "locks should be rare: {locks}/{total}");
+    }
+
+    #[test]
+    fn ocean_shares_more_than_barnes() {
+        let b = barnes_profile().txn_types[0].hot_prob;
+        let o = ocean_profile().txn_types[0].hot_prob;
+        assert!(o > b);
+    }
+}

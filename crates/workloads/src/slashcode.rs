@@ -1,0 +1,128 @@
+//! Slashcode: dynamic web content serving (the software behind
+//! slashdot.org).
+//!
+//! Table 3's most variable workload (CoV 3.6%, range 14.45% over just 30
+//! transactions). The profile captures why: a heavy-tailed mix — most
+//! requests render cached pages, but comment posts and uncached page builds
+//! run long, write-heavy database transactions against hot tables behind a
+//! couple of very hot locks — so *which* requests land in a 30-transaction
+//! window changes the measured rate dramatically.
+
+use crate::profile::{PhaseModel, ProfiledWorkload, TxnType, WorkloadProfile};
+
+/// Transactions Table 3 measures for Slashcode.
+pub const TABLE3_TRANSACTIONS: u64 = 30;
+
+/// Worker threads per processor.
+pub const WORKERS_PER_CPU: u32 = 6;
+
+/// Builds the Slashcode profile.
+pub fn profile() -> WorkloadProfile {
+    let cached_page = TxnType {
+        weight: 12,
+        segments_mean: 5.0,
+        segments_min: 1,
+        segments_max: 20,
+        mem_per_segment: 10,
+        compute_mean: 50.0,
+        hot_prob: 0.5,
+        private_prob: 0.25,
+        write_prob: 0.10,
+        hot_write_factor: 0.3,
+        reuse_prob: 0.5,
+        dependent_prob: 0.45,
+        lock_prob: 0.35,
+        cs_mem_ops: 3,
+        io_prob: 0.25,
+        io_ns_mean: 35_000,
+        io_fixed: false,
+        branches_per_segment: 5,
+        branch_bias: 0.85,
+    };
+    // Uncached page build: joins across story/comment tables.
+    let page_build = TxnType {
+        weight: 5,
+        segments_mean: 28.0,
+        segments_max: 110,
+        mem_per_segment: 16,
+        hot_prob: 0.35,
+        private_prob: 0.2,
+        write_prob: 0.22,
+        lock_prob: 0.55,
+        cs_mem_ops: 5,
+        io_prob: 0.45,
+        io_ns_mean: 90_000,
+        ..cached_page
+    };
+    // Comment post: long write transaction serialized on hot tables.
+    let comment_post = TxnType {
+        weight: 3,
+        segments_mean: 45.0,
+        segments_max: 160,
+        mem_per_segment: 14,
+        write_prob: 0.45,
+        lock_prob: 0.7,
+        cs_mem_ops: 7,
+        io_prob: 0.5,
+        io_ns_mean: 120_000,
+        hot_prob: 0.45,
+        private_prob: 0.15,
+        ..cached_page
+    };
+    WorkloadProfile {
+        name: "slashcode".into(),
+        threads_per_cpu: WORKERS_PER_CPU,
+        txn_types: vec![cached_page, page_build, comment_post],
+        hot_blocks: 16 * 1024,
+        cold_blocks: 4_000_000,
+        private_blocks: 6 * 1024,
+        code_blocks_per_type: 28,
+        lock_pool: 96,
+        hot_locks: 2, // comment-table and story-cache locks
+        hot_lock_prob: 0.65,
+        phases: PhaseModel {
+            period_txns: 300,
+            amplitude: 0.25,
+            gc_every: 150,
+            gc_mem_ops: 600,
+            growth_per_txn: 0.0,
+            growth_cap_blocks: 0,
+        },
+        startup_stagger_instr: 0,
+    }
+}
+
+/// Instantiates Slashcode for a `cpus`-processor machine.
+pub fn workload(cpus: usize, seed: u64) -> ProfiledWorkload {
+    ProfiledWorkload::new(profile(), cpus, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvar_sim::ids::ThreadId;
+    use mtvar_sim::ops::Op;
+    use mtvar_sim::workload::Workload;
+
+    #[test]
+    fn heavy_tailed_transaction_lengths() {
+        let mut w = workload(4, 5);
+        let mut lens = Vec::new();
+        let mut len = 0u64;
+        let mut i = 0u32;
+        while lens.len() < 300 {
+            len += 1;
+            if let Op::TxnEnd = w.next_op(ThreadId(i % 24)) {
+                lens.push(len);
+                len = 0;
+            }
+            i += 1;
+        }
+        let mean = lens.iter().sum::<u64>() as f64 / lens.len() as f64;
+        let max = *lens.iter().max().unwrap() as f64;
+        assert!(
+            max > 4.0 * mean,
+            "tail txn ({max}) should dwarf the mean ({mean})"
+        );
+    }
+}

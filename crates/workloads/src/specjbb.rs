@@ -1,0 +1,128 @@
+//! SPECjbb: a Java server-side business benchmark.
+//!
+//! Each thread owns one warehouse and operates almost entirely on its own
+//! objects — nearly no lock contention and little sharing, which is why
+//! Table 3 shows SPECjbb with the lowest commercial-workload space
+//! variability (CoV 0.26%). Its *time* variability is substantial, though
+//! (Figure 9b: >36% between checkpoints): the heap grows with object churn
+//! and periodic garbage collections scan it, both modeled here as
+//! deterministic functions of the per-thread transaction count.
+
+use crate::profile::{PhaseModel, ProfiledWorkload, TxnType, WorkloadProfile};
+
+/// Transactions Table 3 measures for SPECjbb.
+pub const TABLE3_TRANSACTIONS: u64 = 60_000;
+
+/// One warehouse (thread) per processor, as the benchmark scales.
+pub const WAREHOUSES_PER_CPU: u32 = 1;
+
+/// Builds the SPECjbb profile.
+pub fn profile() -> WorkloadProfile {
+    let base = TxnType {
+        weight: 1,
+        segments_mean: 4.0,
+        segments_min: 1,
+        segments_max: 12,
+        mem_per_segment: 10,
+        compute_mean: 60.0,
+        hot_prob: 0.04,     // tiny shared state (company-level totals)
+        private_prob: 0.88, // warehouse-local objects
+        write_prob: 0.30,
+        hot_write_factor: 0.25,
+        reuse_prob: 0.6,
+        dependent_prob: 0.35,
+        lock_prob: 0.015,
+        cs_mem_ops: 2,
+        io_prob: 0.0, // fully in-memory
+        io_ns_mean: 0,
+        io_fixed: false,
+        branches_per_segment: 5,
+        branch_bias: 0.9,
+    };
+    WorkloadProfile {
+        name: "specjbb".into(),
+        threads_per_cpu: WAREHOUSES_PER_CPU,
+        // The five JBB operation types, same weights as TPC-C.
+        txn_types: vec![
+            TxnType {
+                weight: 45,
+                segments_mean: 5.0,
+                ..base
+            },
+            TxnType {
+                weight: 43,
+                segments_mean: 3.0,
+                ..base
+            },
+            TxnType {
+                weight: 4,
+                segments_mean: 2.0,
+                ..base
+            },
+            TxnType {
+                weight: 4,
+                segments_mean: 8.0,
+                ..base
+            },
+            TxnType {
+                weight: 4,
+                segments_mean: 9.0,
+                mem_per_segment: 14,
+                ..base
+            },
+        ],
+        hot_blocks: 2 * 1024,
+        cold_blocks: 30_000,
+        private_blocks: 48 * 1024, // warehouse heap slice
+        code_blocks_per_type: 20,
+        lock_pool: 16,
+        hot_locks: 1,
+        hot_lock_prob: 0.5,
+        phases: PhaseModel {
+            period_txns: 2_000,
+            amplitude: 0.05,
+            // JVM GC: periodic heap scans.
+            gc_every: 350,
+            gc_mem_ops: 2_500,
+            // Object churn grows the live heap over the run.
+            growth_per_txn: 2.0,
+            growth_cap_blocks: 120_000,
+        },
+        startup_stagger_instr: 0,
+    }
+}
+
+/// Instantiates SPECjbb for a `cpus`-processor machine.
+pub fn workload(cpus: usize, seed: u64) -> ProfiledWorkload {
+    ProfiledWorkload::new(profile(), cpus, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvar_sim::ids::ThreadId;
+    use mtvar_sim::ops::Op;
+    use mtvar_sim::workload::Workload;
+
+    #[test]
+    fn one_warehouse_per_cpu_and_low_sharing() {
+        let w = workload(16, 3);
+        assert_eq!(w.thread_count(), 16);
+        for t in &w.profile().txn_types {
+            assert!(t.private_prob > 0.8, "SPECjbb must be private-data heavy");
+            assert!(t.lock_prob < 0.1, "SPECjbb must be nearly lock-free");
+            assert_eq!(t.io_prob, 0.0, "SPECjbb is in-memory");
+        }
+    }
+
+    #[test]
+    fn no_io_ops_generated() {
+        let mut w = workload(2, 4);
+        for i in 0..20_000 {
+            assert!(
+                !matches!(w.next_op(ThreadId(i % 2)), Op::Io(_)),
+                "SPECjbb generated an I/O op"
+            );
+        }
+    }
+}

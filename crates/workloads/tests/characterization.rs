@@ -1,0 +1,158 @@
+//! Characterization tests: pin the calibrated, Table-3-bearing properties of
+//! every benchmark profile. These constants were tuned (see DESIGN.md §6 and
+//! the calibrate example) so the harness reproduces the paper's variability
+//! ordering; this suite fails loudly if an edit silently breaks that.
+
+use mtvar_sim::ids::ThreadId;
+use mtvar_sim::ops::Op;
+use mtvar_sim::workload::Workload;
+use mtvar_workloads::{apache, ecperf, oltp, scientific, slashcode, specjbb, Benchmark};
+
+/// Mean ops per transaction over a sample of generated transactions.
+fn mean_txn_len(b: Benchmark, txns: usize) -> f64 {
+    let mut w = b.workload(4, 42);
+    let threads = w.thread_count() as u32;
+    let mut lens = Vec::new();
+    let mut len = 0u64;
+    let mut i = 0u32;
+    while lens.len() < txns {
+        len += 1;
+        if let Op::TxnEnd = w.next_op(ThreadId(i % threads)) {
+            lens.push(len);
+            len = 0;
+        }
+        i = i.wrapping_add(1);
+    }
+    lens.iter().sum::<u64>() as f64 / lens.len() as f64
+}
+
+#[test]
+fn oltp_keeps_the_tpcc_mix_and_scale() {
+    let p = oltp::profile();
+    let weights: Vec<u32> = p.txn_types.iter().map(|t| t.weight).collect();
+    assert_eq!(weights, vec![45, 43, 4, 4, 4], "TPC-C mix is part of §3.1");
+    assert_eq!(p.threads_per_cpu, 8, "8 users per processor, §3.1");
+    // Hot data must stay read-mostly or Experiment 1 loses its reuse.
+    for t in &p.txn_types {
+        assert!(
+            t.write_prob * t.hot_write_factor < 0.1,
+            "hot-region effective write ratio must stay below 10%"
+        );
+        // Pointer chasing must stay moderate or Experiment 2's ROB effect
+        // collapses/explodes (DESIGN.md §6).
+        assert!((0.1..=0.5).contains(&t.dependent_prob));
+    }
+    // Phase drift drives Figures 8/9a.
+    assert!(p.phases.amplitude > 0.0);
+    assert!(p.phases.gc_every > 0);
+}
+
+#[test]
+fn specjbb_is_private_and_growing() {
+    let p = specjbb::profile();
+    assert_eq!(p.threads_per_cpu, 1, "one warehouse per processor");
+    for t in &p.txn_types {
+        assert!(t.private_prob > 0.8, "SPECjbb works on warehouse-local data");
+        assert!(t.io_prob == 0.0, "SPECjbb is in-memory");
+        assert!(t.lock_prob < 0.05, "near lock-free, or Table 3 breaks");
+    }
+    // Heap growth + GC are the Figure-9b time-variability sources.
+    assert!(p.phases.growth_per_txn > 0.0);
+    assert!(p.phases.gc_every > 0 && p.phases.gc_mem_ops > 0);
+}
+
+#[test]
+fn scientific_profiles_stay_deterministic_and_staggered() {
+    for p in [scientific::barnes_profile(), scientific::ocean_profile()] {
+        assert_eq!(p.threads_per_cpu, 1);
+        let t = &p.txn_types[0];
+        assert_eq!(
+            t.segments_min, t.segments_max,
+            "fixed phase structure is what keeps scientific CoV tiny"
+        );
+        assert!(t.io_prob == 0.0);
+        // The startup stagger de-synchronizes barrier arrivals (DESIGN.md §6).
+        assert!(p.startup_stagger_instr > 0);
+        assert!(t.lock_prob < 0.1, "barrier counters only");
+    }
+    // Ocean shares and synchronizes more than Barnes — the Table 3 ordering.
+    let b = scientific::barnes_profile();
+    let o = scientific::ocean_profile();
+    assert!(o.txn_types[0].hot_prob > b.txn_types[0].hot_prob);
+    assert!(o.txn_types[0].lock_prob > b.txn_types[0].lock_prob);
+}
+
+#[test]
+fn ecperf_commit_process_is_regularized() {
+    let p = ecperf::profile();
+    // Tight segment bounds keep commit arrivals near-periodic (DESIGN.md §6).
+    for t in &p.txn_types {
+        assert!(t.segments_max - t.segments_min <= 8);
+        assert!(t.io_prob > 0.3, "tier crossings are ECperf's signature");
+    }
+    assert_eq!(p.threads_per_cpu, 2, "queueing regularizes arrivals");
+}
+
+#[test]
+fn slashcode_has_the_heavy_tail() {
+    let p = slashcode::profile();
+    let max_len: u32 = p.txn_types.iter().map(|t| t.segments_max).max().unwrap();
+    let min_mean = p
+        .txn_types
+        .iter()
+        .map(|t| t.segments_mean)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        f64::from(max_len) > 10.0 * min_mean,
+        "comment posts must dwarf cached page views — the source of Table 3's top row"
+    );
+    assert!(p.hot_locks <= 2, "a couple of very hot locks");
+    assert!(p.hot_lock_prob > 0.5);
+}
+
+#[test]
+fn apache_requests_are_short_and_oversubscribed() {
+    let p = apache::profile();
+    assert_eq!(
+        p.threads_per_cpu, 16,
+        "worker oversubscription is Apache's variability mechanism (DESIGN.md §6)"
+    );
+    // GET dominates the mix.
+    let get = &p.txn_types[0];
+    let total: u32 = p.txn_types.iter().map(|t| t.weight).sum();
+    assert!(get.weight * 5 > total * 4, "GETs are >80% of requests");
+}
+
+#[test]
+fn transaction_length_ordering_across_benchmarks() {
+    // The relative transaction scales that make the Table 3 windows
+    // comparable: apache and specjbb are short; oltp medium; slashcode
+    // heavier on average (and far heavier in the tail); ecperf's uniform
+    // business operations are the longest.
+    let apache = mean_txn_len(Benchmark::Apache, 300);
+    let specjbb = mean_txn_len(Benchmark::Specjbb, 300);
+    let oltp = mean_txn_len(Benchmark::Oltp, 300);
+    let ecperf = mean_txn_len(Benchmark::Ecperf, 150);
+    let slashcode = mean_txn_len(Benchmark::Slashcode, 150);
+    assert!(
+        apache < oltp && oltp < slashcode && oltp < ecperf,
+        "txn-length ordering broke: apache {apache:.0}, oltp {oltp:.0}, \
+         ecperf {ecperf:.0}, slashcode {slashcode:.0}"
+    );
+    assert!(specjbb < oltp, "specjbb ops are in-memory and short");
+}
+
+#[test]
+fn all_profiles_validate_and_generate() {
+    for b in Benchmark::ALL {
+        let mut w = b.workload(2, 7);
+        let threads = w.thread_count() as u32;
+        let mut commits = 0;
+        for i in 0..40_000u32 {
+            if let Op::TxnEnd = w.next_op(ThreadId(i % threads)) {
+                commits += 1;
+            }
+        }
+        assert!(commits > 0, "{b} never commits");
+    }
+}

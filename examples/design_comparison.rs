@@ -1,0 +1,69 @@
+//! Full §5.1 workflow for a microarchitectural design comparison: how many
+//! runs do I need, and when is it safe to conclude?
+//!
+//! Compares 32- vs 64-entry reorder buffers with the out-of-order model,
+//! walks sample sizes upward, and reports the first size at which each
+//! significance level is reached — the engineering question Table 5 answers.
+//!
+//! ```text
+//! cargo run --release --example design_comparison
+//! ```
+
+use mtvar_core::compare::Comparison;
+use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_sim::config::MachineConfig;
+use mtvar_sim::proc::{OooConfig, ProcessorConfig};
+use mtvar_stats::infer::sample_size_for_relative_error;
+use mtvar_workloads::Benchmark;
+
+const MAX_RUNS: usize = 16;
+const TXNS: u64 = 50;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let collect = |rob: u32| -> Result<Vec<f64>, mtvar_core::CoreError> {
+        let cfg = MachineConfig::hpca2003()
+            .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(rob)))
+            .with_perturbation(4, 0);
+        let plan = RunPlan::new(TXNS).with_runs(MAX_RUNS).with_warmup(400);
+        Ok(run_space(&cfg, || Benchmark::Oltp.workload(16, 42), &plan)?.runtimes())
+    };
+
+    println!("collecting {MAX_RUNS} runs per ROB size...");
+    let rob32 = collect(32)?;
+    let rob64 = collect(64)?;
+    let cmp = Comparison::from_runs("ROB-32", &rob32, "ROB-64", &rob64)?;
+
+    // Growing-sample view: how the evidence firms up.
+    println!("\n  n    mean-32    mean-64    one-sided p   decision at 5%");
+    for n in (4..=MAX_RUNS).step_by(2) {
+        let c = Comparison::from_runs("ROB-32", &rob32[..n], "ROB-64", &rob64[..n])?;
+        let p = c.wrong_conclusion_bound()?;
+        let (a, b) = c.summaries();
+        println!(
+            "  {n:>2}   {:>8.1}   {:>8.1}   {p:>10.4}    {}",
+            a.mean(),
+            b.mean(),
+            if p <= 0.05 { "conclude" } else { "keep running" }
+        );
+    }
+
+    // The Table-5 question.
+    println!("\n  runs needed per significance level (paper's Table 5 protocol):");
+    for (alpha, n) in cmp.min_runs_for_significance(&[0.10, 0.05, 0.025, 0.01])? {
+        match n {
+            Some(n) => println!("    alpha {:>5.1}% -> {n} runs", alpha * 100.0),
+            None => println!("    alpha {:>5.1}% -> more than {MAX_RUNS} runs", alpha * 100.0),
+        }
+    }
+
+    // And the forward-looking design estimate from §5.1.1.
+    let (s32, _) = cmp.summaries();
+    let cov = s32.coefficient_of_variation()? / 100.0;
+    println!(
+        "\n  planning rule of thumb: with CoV {:.1}%, limiting relative error to 4% at 95% \
+         confidence needs about {} runs",
+        cov * 100.0,
+        sample_size_for_relative_error(cov, 0.04, 0.95)?
+    );
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Quickstart: simulate the paper's 16-processor target running OLTP, expose
+//! its space variability with perturbed runs, and summarize it the way the
+//! methodology prescribes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mtvar_core::metrics::VariabilityReport;
+use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_sim::config::MachineConfig;
+use mtvar_workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The target machine of Alameldeen & Wood (HPCA 2003), §3.2.1:
+    //    16 nodes, 128 KB 4-way L1s, 4 MB 4-way L2, MOSI snooping, 1 GHz.
+    //    The §3.3 perturbation adds a uniform 0-4 ns to every L2 miss.
+    let config = MachineConfig::hpca2003().with_perturbation(4, 0);
+
+    // 2. The OLTP workload: a TPC-C-like mix, 8 users per processor.
+    let workload = || Benchmark::Oltp.workload(16, 42);
+
+    // 3. Run the paper's protocol: N runs from identical initial conditions,
+    //    each with its own perturbation seed, measured over 200 transactions
+    //    after warmup.
+    let plan = RunPlan::new(200).with_runs(10).with_warmup(500);
+    let space = run_space(&config, workload, &plan)?;
+
+    // 4. Summarize with the paper's metrics.
+    let report = VariabilityReport::from_runtimes(&space.runtimes())?;
+    println!("OLTP on the HPCA-2003 target, {} perturbed runs:", report.runs);
+    println!("  cycles/transaction: {:.1} ± {:.1}", report.mean, report.sd);
+    println!("  min / max:          {:.1} / {:.1}", report.min, report.max);
+    println!("  coefficient of variation: {:.2}%", report.cov_percent);
+    println!("  range of variability:     {:.2}%", report.range_percent);
+    println!();
+    println!(
+        "Two single simulations of this same system could differ by {:.1}% — \
+         the reason the paper tells architects to run several.",
+        report.range_percent
+    );
+    Ok(())
+}

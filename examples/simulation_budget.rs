@@ -1,0 +1,70 @@
+//! Planning a simulation campaign under a fixed budget, with
+//! strategy-chosen starting points — the §5.2 "future work" features.
+//!
+//! Workflow: pilot-measure the workload's CoV decay, plan the budget split,
+//! place checkpoints with stratified sampling, and run the campaign.
+//!
+//! ```text
+//! cargo run --release --example simulation_budget
+//! ```
+
+use mtvar_core::budget::{plan_budget, CovModel};
+use mtvar_core::metrics::VariabilityReport;
+use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::timesample::{checkpoint_positions, sweep_checkpoints_at, SamplingStrategy};
+use mtvar_sim::config::MachineConfig;
+use mtvar_sim::machine::Machine;
+use mtvar_workloads::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = MachineConfig::hpca2003().with_perturbation(4, 0);
+
+    // 1. Pilot: a quick CoV-vs-length sweep (a miniature Table 4).
+    println!("pilot sweep...");
+    let mut pilot = Vec::new();
+    for len in [100u64, 200, 400] {
+        let plan = RunPlan::new(len).with_runs(6).with_warmup(600);
+        let space = run_space(&cfg, || Benchmark::Oltp.workload(16, 42), &plan)?;
+        let rep = VariabilityReport::from_runtimes(&space.runtimes())?;
+        println!("  {len:>4}-txn runs: CoV {:.2}%", rep.cov_percent);
+        pilot.push((len, rep.cov_percent));
+    }
+
+    // 2. Fit and plan: how should 6,000 transactions of budget be spent?
+    let model = CovModel::fit(&pilot)?;
+    let plan = plan_budget(&model, 6_000, 100, 0.95)?;
+    println!(
+        "\nplan for a 6,000-transaction budget: {} runs x {} transactions \
+         (predicted CI halfwidth ±{:.2}%)",
+        plan.runs, plan.transactions_per_run, plan.ci_halfwidth_percent
+    );
+
+    // 3. Time sampling: place 4 starting points by stratified sampling over
+    //    the first 4,000 transactions of the workload's lifetime.
+    let positions = checkpoint_positions(SamplingStrategy::Stratified { seed: 9 }, 4, 4_000)?;
+    println!("stratified starting points (txns warmed): {positions:?}");
+
+    let mut machine = Machine::new(cfg, Benchmark::Oltp.workload(16, 42))?;
+    let run_plan = RunPlan::new(plan.transactions_per_run).with_runs(plan.runs.min(5));
+    let study = sweep_checkpoints_at(&mut machine, &positions, &run_plan)?;
+
+    for (ck, group) in study.checkpoints().iter().zip(study.groups()) {
+        let rep = VariabilityReport::from_runtimes(group)?;
+        println!(
+            "  checkpoint @{ck:>5}: cycles/txn {:.1} ± {:.1}",
+            rep.mean, rep.sd
+        );
+    }
+    let anova = study.anova()?;
+    println!(
+        "ANOVA across starting points: F = {:.2}, p = {:.3e} -> {}",
+        anova.f_statistic(),
+        anova.p_value(),
+        if study.requires_time_sampling(0.05)? {
+            "report the grand mean over all starting points"
+        } else {
+            "a single starting point would have sufficed"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! `mtvar` — a reproduction of *Variability in Architectural Simulations of
+//! Multi-Threaded Workloads* (Alameldeen & Wood, HPCA 2003) as a Rust
+//! workspace.
+//!
+//! This umbrella crate re-exports the four member crates:
+//!
+//! * [`sim`] — the deterministic discrete-event multiprocessor simulator
+//!   (MOSI snooping caches, crossbar+DRAM timing, simple and out-of-order
+//!   processor models, OS scheduler, locks, checkpoints).
+//! * [`workloads`] — synthetic equivalents of the paper's seven benchmarks.
+//! * [`stats`] — the classical statistics the methodology uses.
+//! * [`core`] — the methodology itself: perturbed run spaces, the
+//!   wrong-conclusion ratio, variability metrics, comparison verdicts, and
+//!   ANOVA-driven time sampling.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use mtvar::core::runspace::{run_space, RunPlan};
+//! use mtvar::sim::config::MachineConfig;
+//! use mtvar::workloads::Benchmark;
+//!
+//! let cfg = MachineConfig::hpca2003().with_cpus(4).with_perturbation(4, 0);
+//! let plan = RunPlan::new(25).with_runs(3);
+//! let space = run_space(&cfg, || Benchmark::Oltp.workload(4, 1), &plan)?;
+//! assert_eq!(space.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use mtvar_core as core;
+pub use mtvar_sim as sim;
+pub use mtvar_stats as stats;
+pub use mtvar_workloads as workloads;

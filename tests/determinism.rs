@@ -1,0 +1,122 @@
+//! Integration tests of the determinism contract that the whole methodology
+//! rests on (§3.3): the simulator is a pure function of `(configuration,
+//! workload seed, perturbation seed)`, and only the perturbation seed may
+//! change an outcome from fixed initial conditions.
+
+use mtvar::sim::config::MachineConfig;
+use mtvar::sim::machine::Machine;
+use mtvar::workloads::Benchmark;
+
+fn small_config() -> MachineConfig {
+    MachineConfig::hpca2003().with_cpus(4)
+}
+
+#[test]
+fn identical_configs_replay_identically() {
+    let run = || {
+        let mut m = Machine::new(
+            small_config().with_perturbation(4, 99),
+            Benchmark::Oltp.workload(4, 7),
+        )
+        .expect("machine");
+        let r = m.run_transactions(120).expect("run");
+        (r.elapsed(), r.commit_cycles.clone(), r.mem, r.sched)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0, "elapsed time must replay exactly");
+    assert_eq!(a.1, b.1, "commit log must replay exactly");
+    assert_eq!(a.2, b.2, "memory counters must replay exactly");
+    assert_eq!(a.3, b.3, "scheduler counters must replay exactly");
+}
+
+#[test]
+fn zero_perturbation_is_fully_deterministic_across_seeds() {
+    // With max_ns = 0 the seed is irrelevant: the simulator of §3.2 is
+    // deterministic.
+    let run = |seed| {
+        let mut m = Machine::new(
+            small_config().with_perturbation(0, seed),
+            Benchmark::Apache.workload(4, 3),
+        )
+        .expect("machine");
+        m.run_transactions(150).expect("run").elapsed()
+    };
+    assert_eq!(run(1), run(2));
+    assert_eq!(run(2), run(12345));
+}
+
+#[test]
+fn perturbation_seeds_explore_distinct_paths() {
+    let elapsed = |seed| {
+        let mut m = Machine::new(
+            small_config().with_perturbation(4, seed),
+            Benchmark::Oltp.workload(4, 7),
+        )
+        .expect("machine");
+        m.run_transactions(150).expect("run").elapsed()
+    };
+    let runs: Vec<u64> = (0..8).map(elapsed).collect();
+    let distinct: std::collections::HashSet<u64> = runs.iter().copied().collect();
+    assert!(
+        distinct.len() >= 4,
+        "8 perturbed runs should explore several paths, saw {distinct:?}"
+    );
+}
+
+#[test]
+fn workload_seed_changes_the_workload_not_the_contract() {
+    let elapsed = |wseed| {
+        let mut m = Machine::new(
+            small_config().with_perturbation(0, 0),
+            Benchmark::Oltp.workload(4, wseed),
+        )
+        .expect("machine");
+        m.run_transactions(100).expect("run").elapsed()
+    };
+    // Different workload seeds give different (but individually
+    // reproducible) runs.
+    assert_ne!(elapsed(1), elapsed(2));
+    assert_eq!(elapsed(1), elapsed(1));
+}
+
+#[test]
+fn checkpoint_resume_is_bit_identical() {
+    let mut m = Machine::new(
+        small_config().with_perturbation(4, 5),
+        Benchmark::Slashcode.workload(4, 11),
+    )
+    .expect("machine");
+    m.run_transactions(40).expect("warmup");
+    let ckpt = m.checkpoint();
+
+    let mut a = ckpt.checkpoint();
+    let mut b = ckpt.checkpoint();
+    let ra = a.run_transactions(60).expect("a");
+    let rb = b.run_transactions(60).expect("b");
+    assert_eq!(ra.commit_cycles, rb.commit_cycles);
+    assert_eq!(ra.mem, rb.mem);
+
+    // And the original can continue too, identically.
+    let rc = m.run_transactions(60).expect("c");
+    assert_eq!(rc.commit_cycles, ra.commit_cycles);
+}
+
+#[test]
+fn reseeded_checkpoint_diverges_but_reproduces() {
+    let mut m = Machine::new(
+        small_config().with_perturbation(4, 5),
+        Benchmark::Oltp.workload(4, 11),
+    )
+    .expect("machine");
+    m.run_transactions(40).expect("warmup");
+
+    let r1 = m.with_perturbation_seed(77).run_transactions(80).expect("run");
+    let r2 = m.with_perturbation_seed(77).run_transactions(80).expect("run");
+    let r3 = m.with_perturbation_seed(78).run_transactions(80).expect("run");
+    assert_eq!(r1.elapsed(), r2.elapsed(), "same seed must reproduce");
+    assert_ne!(
+        r1.commit_cycles, r3.commit_cycles,
+        "different seeds should diverge from a warm checkpoint"
+    );
+}

@@ -1,0 +1,107 @@
+//! Scaled-down smoke versions of the paper's experiments, checking that the
+//! harness mechanics hold (directions, logs, sweeps) without the full 20-run
+//! budgets of `cargo bench`.
+
+use mtvar::core::runspace::{run_space, RunPlan};
+use mtvar::sim::config::MachineConfig;
+use mtvar::sim::machine::Machine;
+use mtvar::sim::proc::{OooConfig, ProcessorConfig};
+use mtvar::sim::sched::SchedEventKind;
+use mtvar::workloads::Benchmark;
+
+#[test]
+fn fig1_smoke_schedule_logs_diverge_between_associativities() {
+    let dispatches = |ways: u32| {
+        let cfg = MachineConfig::hpca2003()
+            .with_l2_associativity(ways)
+            .with_sched_log();
+        let mut m = Machine::new(cfg, Benchmark::Oltp.workload(16, 42)).expect("machine");
+        let run = m.run_transactions(600).expect("run");
+        run.sched_events
+            .iter()
+            .filter(|e| e.kind == SchedEventKind::Dispatch)
+            .map(|e| (e.cpu.0, e.thread.0))
+            .collect::<Vec<_>>()
+    };
+    let a = dispatches(2);
+    let b = dispatches(4);
+    assert!(!a.is_empty() && !b.is_empty());
+    assert_ne!(a, b, "different cache configs must eventually diverge");
+    // And they must agree on a non-empty prefix (same initial conditions).
+    assert_eq!(a[0], b[0], "first dispatch must match");
+}
+
+#[test]
+fn fig4_smoke_dram_sweep_is_not_monotone() {
+    let mut results = Vec::new();
+    for latency in [80u64, 82, 84, 86, 88, 90] {
+        let cfg = MachineConfig::hpca2003()
+            .with_cpus(8)
+            .with_dram_latency_ns(latency);
+        let mut m = Machine::new(cfg, Benchmark::Oltp.workload(8, 42)).expect("machine");
+        m.run_transactions(150).expect("warmup");
+        results.push(m.run_transactions(150).expect("run").cycles_per_transaction());
+    }
+    // The paper's central observation: tiny latency changes do NOT map to a
+    // clean monotone curve.
+    let monotone = results.windows(2).all(|w| w[1] >= w[0]);
+    assert!(
+        !monotone,
+        "a perfectly monotone response to 2 ns steps would contradict the paper: {results:?}"
+    );
+}
+
+#[test]
+fn experiment2_smoke_bigger_rob_wins_on_average() {
+    let mean_for = |rob: u32| {
+        let cfg = MachineConfig::hpca2003()
+            .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(rob)))
+            .with_perturbation(4, 0);
+        let plan = RunPlan::new(50).with_runs(6).with_warmup(300);
+        let rt = run_space(&cfg, || Benchmark::Oltp.workload(16, 42), &plan)
+            .expect("space")
+            .runtimes();
+        rt.iter().sum::<f64>() / rt.len() as f64
+    };
+    let rob16 = mean_for(16);
+    let rob64 = mean_for(64);
+    assert!(
+        rob64 < rob16,
+        "64-entry ROB ({rob64:.1}) must beat 16-entry ({rob16:.1}) on average"
+    );
+}
+
+#[test]
+fn table3_smoke_commercial_workloads_more_variable_than_scientific() {
+    let cov_for = |b: Benchmark, txns: u64, warmup: u64| {
+        let cfg = MachineConfig::hpca2003().with_perturbation(4, 0);
+        let plan = RunPlan::new(txns).with_runs(8).with_warmup(warmup);
+        let rt = run_space(&cfg, || b.workload(16, 42), &plan)
+            .expect("space")
+            .runtimes();
+        let s = mtvar::stats::describe::Summary::from_slice(&rt).expect("summary");
+        s.coefficient_of_variation().expect("cov")
+    };
+    // Slashcode's variability develops once the lock/buffer state is warm.
+    let barnes = cov_for(Benchmark::Barnes, 16, 0);
+    let slashcode = cov_for(Benchmark::Slashcode, 30, 200);
+    assert!(
+        slashcode > barnes,
+        "slashcode ({slashcode:.3}%) must be more variable than barnes ({barnes:.3}%)"
+    );
+}
+
+#[test]
+fn noise_machine_smoke_runs_vary_without_perturbation() {
+    let elapsed = |noise_seed: u64| {
+        let cfg = MachineConfig::e5000_like(noise_seed).with_cpus(4);
+        let mut m = Machine::new(cfg, Benchmark::Oltp.workload(4, 42)).expect("machine");
+        m.run_transactions(200).expect("run").elapsed()
+    };
+    assert_eq!(elapsed(3), elapsed(3), "same environment must replay");
+    assert_ne!(
+        elapsed(3),
+        elapsed(4),
+        "different environmental noise must change the run"
+    );
+}
