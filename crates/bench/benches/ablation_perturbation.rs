@@ -44,7 +44,11 @@ fn main() {
             table.add_row(vec![
                 "0 (deterministic)".into(),
                 format!("{:.1}", rt[0]),
-                if identical { "0.00% (all runs identical)".into() } else { "NONZERO (bug!)".into() },
+                if identical {
+                    "0.00% (all runs identical)".into()
+                } else {
+                    "NONZERO (bug!)".into()
+                },
                 "0.00%".into(),
             ]);
             continue;

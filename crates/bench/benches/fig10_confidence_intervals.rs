@@ -48,7 +48,11 @@ fn main() {
             ci32.upper(),
             ci64.lower(),
             ci64.upper(),
-            if ci32.overlaps(&ci64) { "yes" } else { "NO — conclusion safe at 95%" }
+            if ci32.overlaps(&ci64) {
+                "yes"
+            } else {
+                "NO — conclusion safe at 95%"
+            }
         );
     }
 

@@ -20,7 +20,9 @@ fn rob_runs(rob: u32) -> Vec<f64> {
     let cfg = MachineConfig::hpca2003()
         .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(rob)))
         .with_perturbation(4, 0);
-    let plan = RunPlan::new(TRANSACTIONS).with_runs(runs()).with_warmup(WARMUP);
+    let plan = RunPlan::new(TRANSACTIONS)
+        .with_runs(runs())
+        .with_warmup(WARMUP);
     run_space(&cfg, || Benchmark::Oltp.workload(16, seed()), &plan)
         .expect("simulation")
         .runtimes()

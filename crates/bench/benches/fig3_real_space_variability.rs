@@ -64,7 +64,10 @@ fn main() {
             }
         }
         let avg = cross_sd_pct.iter().sum::<f64>() / cross_sd_pct.len() as f64;
-        let max = cross_sd_pct.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = cross_sd_pct
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         println!(
             "  {interval_s:>3}s intervals: cross-run sd averages {avg:>5.2}% of the mean per window (max {max:>5.2}%) over {} windows",
             cross_sd_pct.len()

@@ -27,8 +27,7 @@ fn main() {
     let mut results = Vec::new();
     for latency in 80u64..=90 {
         let cfg = MachineConfig::hpca2003().with_dram_latency_ns(latency);
-        let mut machine =
-            Machine::new(cfg, Benchmark::Oltp.workload(16, seed())).expect("machine");
+        let mut machine = Machine::new(cfg, Benchmark::Oltp.workload(16, seed())).expect("machine");
         machine.run_transactions(WARMUP).expect("warmup");
         let run = machine.run_transactions(TRANSACTIONS).expect("measure");
         results.push((latency, run.cycles_per_transaction()));
@@ -39,8 +38,8 @@ fn main() {
     for &(latency, cpt) in &results {
         let delta = 100.0 * (cpt - base) / base;
         let bars = (delta.abs() * 4.0).round() as usize;
-        let bar: String = std::iter::repeat_n(if delta >= 0.0 { '+' } else { '-' }, bars.min(60))
-            .collect();
+        let bar: String =
+            std::iter::repeat_n(if delta >= 0.0 { '+' } else { '-' }, bars.min(60)).collect();
         println!("  {latency:>5}     {cpt:>9.1}   {delta:+6.2}% {bar}");
     }
 

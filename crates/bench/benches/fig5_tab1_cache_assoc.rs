@@ -38,7 +38,10 @@ fn main() {
             1 => "direct-mapped".to_owned(),
             w => format!("{w}-way"),
         };
-        println!("  L2 {label:>13}: cycles/txn {}", fmt_sample(&space.runtimes()));
+        println!(
+            "  L2 {label:>13}: cycles/txn {}",
+            fmt_sample(&space.runtimes())
+        );
         samples.push((label, space.runtimes()));
     }
 

@@ -70,6 +70,8 @@ fn main() {
     measured_order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
     let order: Vec<&str> = measured_order.iter().map(|(n, _)| n.as_str()).collect();
     println!("  measured CoV ordering: {}", order.join(" < "));
-    println!("  paper    CoV ordering: barnes < specjbb < ocean < apache < oltp < ecperf < slashcode");
+    println!(
+        "  paper    CoV ordering: barnes < specjbb < ocean < apache < oltp < ecperf < slashcode"
+    );
     footer(t0);
 }

@@ -26,8 +26,7 @@ fn main() {
     let mut results = Vec::with_capacity(RUNS);
     for r in 0..RUNS {
         let cfg = MachineConfig::hpca2003().with_perturbation(4, r as u64);
-        let mut machine =
-            Machine::new(cfg, Benchmark::Oltp.workload(16, seed())).expect("machine");
+        let mut machine = Machine::new(cfg, Benchmark::Oltp.workload(16, seed())).expect("machine");
         machine.run_transactions(WARMUP).expect("warmup");
         results.push(machine.run_transactions(TRANSACTIONS).expect("measure"));
     }

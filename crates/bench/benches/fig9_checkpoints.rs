@@ -39,10 +39,12 @@ fn main() {
             "paper: >36% spread, negligible within-checkpoint deviation",
         ),
     ] {
-        println!("\n  -- {} ({txns}-transaction runs from {POINTS} checkpoints) --", benchmark);
+        println!(
+            "\n  -- {} ({txns}-transaction runs from {POINTS} checkpoints) --",
+            benchmark
+        );
         let cfg = MachineConfig::hpca2003().with_perturbation(4, 0);
-        let mut machine =
-            Machine::new(cfg, benchmark.workload(16, seed())).expect("machine");
+        let mut machine = Machine::new(cfg, benchmark.workload(16, seed())).expect("machine");
         let plan = RunPlan::new(txns).with_runs(runs());
         let study =
             sweep_checkpoints(&mut machine, POINTS, spacing, &plan).expect("checkpoint sweep");

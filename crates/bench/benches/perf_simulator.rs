@@ -1,8 +1,12 @@
-//! Criterion micro-benchmarks of the simulator itself: how fast the
-//! substrate executes, which bounds how many perturbed runs a methodology
-//! user can afford (the paper's §5.2 "fixed simulation budget" trade-off).
+//! Micro-benchmarks of the simulator itself: how fast the substrate
+//! executes, which bounds how many perturbed runs a methodology user can
+//! afford (the paper's §5.2 "fixed simulation budget" trade-off).
+//!
+//! Formerly a `criterion` harness; rewritten as a self-contained timing loop
+//! (median of repeated batches) so the workspace builds with no network
+//! access.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::{Duration, Instant};
 
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::ids::{BlockAddr, CpuId};
@@ -13,82 +17,80 @@ use mtvar_sim::proc::predictor::Yags;
 use mtvar_sim::proc::{OooConfig, ProcessorConfig};
 use mtvar_workloads::Benchmark;
 
-fn bench_oltp_simple(c: &mut Criterion) {
-    c.bench_function("machine/oltp_100txn_simple_4cpu", |b| {
-        b.iter_batched(
-            || {
-                Machine::new(
-                    MachineConfig::hpca2003().with_cpus(4).with_perturbation(4, 1),
-                    Benchmark::Oltp.workload(4, 42),
-                )
-                .expect("machine")
-            },
-            |mut m| m.run_transactions(100).expect("run"),
-            BatchSize::SmallInput,
-        );
+/// Times `iters` invocations of `f` per sample, collects `samples` samples,
+/// and reports the median per-invocation time.
+fn bench<T>(name: &str, samples: usize, iters: usize, mut f: impl FnMut() -> T) {
+    let mut per_iter: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            t0.elapsed() / iters as u32
+        })
+        .collect();
+    per_iter.sort_unstable();
+    let median = per_iter[per_iter.len() / 2];
+    println!("{name:<40} {median:>12.2?}/iter  (median of {samples} x {iters})");
+}
+
+fn bench_oltp_simple() {
+    bench("machine/oltp_100txn_simple_4cpu", 10, 1, || {
+        let mut m = Machine::new(
+            MachineConfig::hpca2003()
+                .with_cpus(4)
+                .with_perturbation(4, 1),
+            Benchmark::Oltp.workload(4, 42),
+        )
+        .expect("machine");
+        m.run_transactions(100).expect("run")
     });
 }
 
-fn bench_oltp_ooo(c: &mut Criterion) {
-    c.bench_function("machine/oltp_100txn_ooo_4cpu", |b| {
-        b.iter_batched(
-            || {
-                Machine::new(
-                    MachineConfig::hpca2003()
-                        .with_cpus(4)
-                        .with_processor(ProcessorConfig::OutOfOrder(OooConfig::tfsim_default()))
-                        .with_perturbation(4, 1),
-                    Benchmark::Oltp.workload(4, 42),
-                )
-                .expect("machine")
-            },
-            |mut m| m.run_transactions(100).expect("run"),
-            BatchSize::SmallInput,
-        );
+fn bench_oltp_ooo() {
+    bench("machine/oltp_100txn_ooo_4cpu", 10, 1, || {
+        let mut m = Machine::new(
+            MachineConfig::hpca2003()
+                .with_cpus(4)
+                .with_processor(ProcessorConfig::OutOfOrder(OooConfig::tfsim_default()))
+                .with_perturbation(4, 1),
+            Benchmark::Oltp.workload(4, 42),
+        )
+        .expect("machine");
+        m.run_transactions(100).expect("run")
     });
 }
 
-fn bench_memory_system(c: &mut Criterion) {
-    c.bench_function("mem/coherent_access_mix", |b| {
-        let mut sys =
-            MemorySystem::new(MemoryConfig::hpca2003(), 4, Perturbation::new(4, 1)).expect("mem");
-        let mut t = 0u64;
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            t += 10;
-            let cpu = CpuId((i % 4) as u32);
-            let kind = if i.is_multiple_of(5) {
-                AccessKind::Write
-            } else {
-                AccessKind::Read
-            };
-            sys.access(cpu, BlockAddr(i * 97 % 10_000), kind, t)
-        });
+fn bench_memory_system() {
+    let mut sys =
+        MemorySystem::new(MemoryConfig::hpca2003(), 4, Perturbation::new(4, 1)).expect("mem");
+    let mut t = 0u64;
+    let mut i = 0u64;
+    bench("mem/coherent_access_mix", 10, 100_000, || {
+        i = i.wrapping_add(1);
+        t += 10;
+        let cpu = CpuId((i % 4) as u32);
+        let kind = if i.is_multiple_of(5) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        sys.access(cpu, BlockAddr(i * 97 % 10_000), kind, t)
     });
 }
 
-fn bench_predictor(c: &mut Criterion) {
-    c.bench_function("predictor/yags_update", |b| {
-        let mut yags = Yags::tfsim_default();
-        let mut i = 0u32;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            yags.update(i % 509, !i.is_multiple_of(3))
-        });
+fn bench_predictor() {
+    let mut yags = Yags::tfsim_default();
+    let mut i = 0u32;
+    bench("predictor/yags_update", 10, 1_000_000, || {
+        i = i.wrapping_add(1);
+        yags.update(i % 509, !i.is_multiple_of(3))
     });
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500))
+fn main() {
+    bench_oltp_simple();
+    bench_oltp_ooo();
+    bench_memory_system();
+    bench_predictor();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_oltp_simple, bench_oltp_ooo, bench_memory_system, bench_predictor
-}
-criterion_main!(benches);

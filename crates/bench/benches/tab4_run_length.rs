@@ -25,7 +25,10 @@ const PAPER: [(u64, f64, f64); 5] = [
 ];
 
 fn main() {
-    let t0 = banner("Table 4", "OLTP space variability for different run lengths");
+    let t0 = banner(
+        "Table 4",
+        "OLTP space variability for different run lengths",
+    );
 
     let mut table = Table::new("Table 4. OLTP space variability for different run lengths");
     table.set_headers(vec![

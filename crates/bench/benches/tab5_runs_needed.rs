@@ -22,7 +22,9 @@ fn rob_runs(rob: u32) -> Vec<f64> {
     let cfg = MachineConfig::hpca2003()
         .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(rob)))
         .with_perturbation(4, 0);
-    let plan = RunPlan::new(TRANSACTIONS).with_runs(runs()).with_warmup(WARMUP);
+    let plan = RunPlan::new(TRANSACTIONS)
+        .with_runs(runs())
+        .with_warmup(WARMUP);
     run_space(&cfg, || Benchmark::Oltp.workload(16, seed()), &plan)
         .expect("simulation")
         .runtimes()
@@ -43,15 +45,14 @@ fn main() {
     let needed = cmp.min_runs_for_significance(&levels).expect("estimation");
 
     let mut table = Table::new("Table 5. Number of runs needed for different significance levels");
-    table.set_headers(vec![
-        "Significance level",
-        "#Runs measured",
-        "#Runs paper",
-    ]);
+    table.set_headers(vec!["Significance level", "#Runs measured", "#Runs paper"]);
     for (k, (alpha, n)) in needed.iter().enumerate() {
         table.add_row(vec![
             format!("{:.1}%", alpha * 100.0),
-            n.map_or_else(|| format!("> {}", r32.len().min(r64.len())), |v| v.to_string()),
+            n.map_or_else(
+                || format!("> {}", r32.len().min(r64.len())),
+                |v| v.to_string(),
+            ),
             paper[k].to_owned(),
         ]);
     }
@@ -69,8 +70,6 @@ fn main() {
         n
     );
     let n_paper = sample_size_for_relative_error(0.09, 0.04, 0.95).expect("sample size");
-    println!(
-        "  with the paper's 9% CoV the same formula gives {n_paper} runs (paper: ~20)"
-    );
+    println!("  with the paper's 9% CoV the same formula gives {n_paper} runs (paper: ~20)");
     footer(t0);
 }

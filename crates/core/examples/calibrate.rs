@@ -44,13 +44,19 @@ fn main() {
                 let rep = VariabilityReport::from_runtimes(&space.runtimes()).unwrap();
                 println!(
                     "assoc {ways}-way: mean={:.0} cov={:.2}% range={:.2}% [{:.1?}]",
-                    rep.mean, rep.cov_percent, rep.range_percent, t0.elapsed()
+                    rep.mean,
+                    rep.cov_percent,
+                    rep.range_percent,
+                    t0.elapsed()
                 );
                 spaces.push(space.runtimes());
             }
             for (i, j, label) in [(0, 1, "DM vs 2w"), (0, 2, "DM vs 4w"), (1, 2, "2w vs 4w")] {
                 let w = wrong_conclusion_ratio(&spaces[i], &spaces[j]).unwrap();
-                println!("{label}: superior={:?} wcr={:.1}%", w.superior, w.wcr_percent);
+                println!(
+                    "{label}: superior={:?} wcr={:.1}%",
+                    w.superior, w.wcr_percent
+                );
             }
         }
         "rob" => {
@@ -65,13 +71,19 @@ fn main() {
                 let rep = VariabilityReport::from_runtimes(&space.runtimes()).unwrap();
                 println!(
                     "rob {rob}: mean={:.0} cov={:.2}% range={:.2}% [{:.1?}]",
-                    rep.mean, rep.cov_percent, rep.range_percent, t0.elapsed()
+                    rep.mean,
+                    rep.cov_percent,
+                    rep.range_percent,
+                    t0.elapsed()
                 );
                 spaces.push(space.runtimes());
             }
             for (i, j, label) in [(0, 1, "16 vs 32"), (0, 2, "16 vs 64"), (1, 2, "32 vs 64")] {
                 let w = wrong_conclusion_ratio(&spaces[i], &spaces[j]).unwrap();
-                println!("{label}: superior={:?} wcr={:.1}%", w.superior, w.wcr_percent);
+                println!(
+                    "{label}: superior={:?} wcr={:.1}%",
+                    w.superior, w.wcr_percent
+                );
             }
         }
         "bench7" => {
@@ -93,7 +105,10 @@ fn main() {
                 let rep = VariabilityReport::from_runtimes(&space.runtimes()).unwrap();
                 println!(
                     "{b}: txns={txns} mean={:.0} cov={:.2}% range={:.2}% [{:.1?}]",
-                    rep.mean, rep.cov_percent, rep.range_percent, t0.elapsed()
+                    rep.mean,
+                    rep.cov_percent,
+                    rep.range_percent,
+                    t0.elapsed()
                 );
             }
         }
@@ -167,10 +182,18 @@ fn main() {
                 let mut m = Machine::new(cfg, Benchmark::Oltp.workload(16, 42)).unwrap();
                 m.run_transactions(100).unwrap();
                 let r = m.run_transactions(200).unwrap();
-                println!("--- {label}: cpt={:.0} elapsed={}", r.cycles_per_transaction(), r.elapsed());
+                println!(
+                    "--- {label}: cpt={:.0} elapsed={}",
+                    r.cycles_per_transaction(),
+                    r.elapsed()
+                );
                 println!("  mem {:?}", r.mem);
                 println!("  proc {:?}", r.proc);
-                println!("  locks {:?} contention={:.2}", r.locks, r.locks.contention_ratio());
+                println!(
+                    "  locks {:?} contention={:.2}",
+                    r.locks,
+                    r.locks.contention_ratio()
+                );
                 println!("  sched {:?}", r.sched);
             }
         }

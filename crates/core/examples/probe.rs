@@ -13,17 +13,14 @@ fn main() {
         .into_iter()
         .find(|b| b.name() == name)
         .expect("unknown benchmark");
-    let txns: u64 = args
-        .get(2)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(match b {
-            Benchmark::Barnes | Benchmark::Ocean => 16,
-            Benchmark::Ecperf => 50,
-            Benchmark::Slashcode => 30,
-            Benchmark::Oltp => 400,
-            Benchmark::Apache => 500,
-            Benchmark::Specjbb => 2000,
-        });
+    let txns: u64 = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(match b {
+        Benchmark::Barnes | Benchmark::Ocean => 16,
+        Benchmark::Ecperf => 50,
+        Benchmark::Slashcode => 30,
+        Benchmark::Oltp => 400,
+        Benchmark::Apache => 500,
+        Benchmark::Specjbb => 2000,
+    });
     let warmup: u64 = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(match b {
         Benchmark::Barnes | Benchmark::Ocean => 0,
         _ => 200,

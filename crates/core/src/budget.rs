@@ -11,15 +11,17 @@
 //! length L)` frontier under `n·L ≤ budget` for the split minimizing the
 //! confidence-interval half-width `t_{n−1} · CoV(L) / √n`.
 
-use serde::{Deserialize, Serialize};
-
+use mtvar_sim::config::MachineConfig;
+use mtvar_sim::workload::Workload;
 use mtvar_stats::infer::critical_value;
 
+use crate::runspace::{Executor, RunPlan};
 use crate::{CoreError, Result};
 
 /// A fitted power-law model of space variability vs run length:
 /// `CoV(L) = coefficient · L^(−exponent)`, with CoV in percent.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CovModel {
     coefficient: f64,
     exponent: f64,
@@ -111,10 +113,48 @@ impl CovModel {
     pub fn exponent(&self) -> f64 {
         self.exponent
     }
+
+    /// Measures pilot CoV points by simulation and fits the power law —
+    /// the end-to-end form of [`CovModel::fit`].
+    ///
+    /// For each length in `pilot_lengths`, a run space of `pilot_runs`
+    /// perturbed runs (after `warmup` transactions each) executes on
+    /// `executor` — in parallel, sharing the executor's result cache — and
+    /// contributes one `(length, CoV)` point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors, and [`CovModel::fit`]'s conditions on
+    /// the measured points (at least two distinct lengths with positive
+    /// CoV).
+    pub fn fit_by_pilot<W, F>(
+        executor: &Executor,
+        config: &MachineConfig,
+        make_workload: F,
+        pilot_lengths: &[u64],
+        pilot_runs: usize,
+        warmup: u64,
+    ) -> Result<Self>
+    where
+        W: Workload + Send,
+        F: Fn() -> W + Sync,
+    {
+        let mut points = Vec::with_capacity(pilot_lengths.len());
+        for &length in pilot_lengths {
+            let plan = RunPlan::new(length)
+                .with_runs(pilot_runs)
+                .with_warmup(warmup);
+            let space = executor.run_space(config, &make_workload, &plan)?;
+            let summary = space.summary()?;
+            points.push((length, summary.coefficient_of_variation()?));
+        }
+        CovModel::fit(&points)
+    }
 }
 
 /// The recommended split of a fixed budget.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BudgetPlan {
     /// Number of perturbed runs.
     pub runs: usize,
@@ -205,7 +245,11 @@ mod tests {
         ];
         let m = CovModel::fit(&table4).unwrap();
         // The paper's data decays a bit faster than sqrt averaging.
-        assert!(m.exponent() > 0.4 && m.exponent() < 1.2, "b = {}", m.exponent());
+        assert!(
+            m.exponent() > 0.4 && m.exponent() < 1.2,
+            "b = {}",
+            m.exponent()
+        );
         // Interpolation stays within the measured envelope.
         let c = m.cov_percent_at(500);
         assert!(c > 0.9 && c < 3.3);

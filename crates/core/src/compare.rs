@@ -1,20 +1,20 @@
 //! The §5.1 comparison methodology: confidence intervals, hypothesis
 //! testing, verdicts, and minimum-run estimation.
 
-use serde::{Deserialize, Serialize};
-
 use mtvar_stats::describe::Summary;
 use mtvar_stats::infer::{
     jarque_bera, mean_confidence_interval, two_sample_t_test, ConfidenceInterval, JarqueBera,
     TTest, TTestKind,
 };
 
+use crate::runspace::RunSpace;
 use crate::wcr::Superior;
 use crate::{CoreError, Result};
 
 /// A two-configuration comparison over multi-run samples of a runtime-like
 /// metric (lower is better).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Comparison {
     name_a: String,
     name_b: String,
@@ -25,7 +25,8 @@ pub struct Comparison {
 }
 
 /// Outcome of a variability-aware comparison at a given significance level.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Verdict {
     /// One configuration is statistically better; the wrong-conclusion
     /// probability is bounded by `wrong_conclusion_bound`.
@@ -64,12 +65,10 @@ impl Comparison {
         let b = Summary::from_slice(runs_b)?;
         for s in [&a, &b] {
             if s.n() < 2 {
-                return Err(CoreError::Stats(
-                    mtvar_stats::StatsError::SampleTooSmall {
-                        required: 2,
-                        actual: s.n() as usize,
-                    },
-                ));
+                return Err(CoreError::Stats(mtvar_stats::StatsError::SampleTooSmall {
+                    required: 2,
+                    actual: s.n() as usize,
+                }));
             }
         }
         Ok(Comparison {
@@ -80,6 +79,16 @@ impl Comparison {
             runs_a: runs_a.to_vec(),
             runs_b: runs_b.to_vec(),
         })
+    }
+
+    /// Builds a comparison from two collected [`RunSpace`]s — the form used
+    /// with [`crate::runspace::Executor`] output.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Comparison::from_runs`].
+    pub fn from_spaces(name_a: &str, a: &RunSpace, name_b: &str, b: &RunSpace) -> Result<Self> {
+        Comparison::from_runs(name_a, &a.runtimes(), name_b, &b.runtimes())
     }
 
     /// Names of the two configurations.
@@ -199,8 +208,7 @@ impl Comparison {
         for &alpha in levels {
             let mut found = None;
             for n in 2..=max_n {
-                let cmp =
-                    Comparison::from_runs("a", &self.runs_a[..n], "b", &self.runs_b[..n])?;
+                let cmp = Comparison::from_runs("a", &self.runs_a[..n], "b", &self.runs_b[..n])?;
                 match cmp.t_test() {
                     Ok(t) if t.rejects_one_sided(alpha) => {
                         found = Some(n);
@@ -230,13 +238,7 @@ mod tests {
     }
 
     fn overlapping() -> Comparison {
-        Comparison::from_runs(
-            "a",
-            &[10.0, 11.0, 9.5, 10.5],
-            "b",
-            &[10.2, 9.8, 10.8, 9.6],
-        )
-        .unwrap()
+        Comparison::from_runs("a", &[10.0, 11.0, 9.5, 10.5], "b", &[10.2, 9.8, 10.8, 9.6]).unwrap()
     }
 
     #[test]
@@ -272,7 +274,10 @@ mod tests {
     fn t_test_orientation_is_one_sided_for_the_better_config() {
         let c = clearly_different();
         let t = c.t_test().unwrap();
-        assert!(t.statistic() > 0.0, "statistic should favour the faster config");
+        assert!(
+            t.statistic() > 0.0,
+            "statistic should favour the faster config"
+        );
         assert!(t.p_one_sided() < 0.001);
         // Pooled df = 2n - 2.
         assert!((t.df() - 10.0).abs() < 1e-12);
@@ -281,12 +286,14 @@ mod tests {
     #[test]
     fn min_runs_monotone_in_alpha() {
         // Construct samples where significance arrives gradually.
-        let a: Vec<f64> = (0..16).map(|i| 10.0 + 0.4 * ((i % 5) as f64 - 2.0)).collect();
-        let b: Vec<f64> = (0..16).map(|i| 9.6 + 0.4 * (((i + 2) % 5) as f64 - 2.0)).collect();
+        let a: Vec<f64> = (0..16)
+            .map(|i| 10.0 + 0.4 * ((i % 5) as f64 - 2.0))
+            .collect();
+        let b: Vec<f64> = (0..16)
+            .map(|i| 9.6 + 0.4 * (((i + 2) % 5) as f64 - 2.0))
+            .collect();
         let c = Comparison::from_runs("a", &a, "b", &b).unwrap();
-        let req = c
-            .min_runs_for_significance(&[0.10, 0.05, 0.01])
-            .unwrap();
+        let req = c.min_runs_for_significance(&[0.10, 0.05, 0.01]).unwrap();
         // Tighter levels can never need fewer runs.
         let vals: Vec<Option<usize>> = req.iter().map(|&(_, n)| n).collect();
         for w in vals.windows(2) {

@@ -8,20 +8,19 @@
 //! methodology verdicts — everything the paper says to look at before
 //! claiming one design beats another.
 
-use serde::{Deserialize, Serialize};
-
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::workload::Workload;
 
 use crate::compare::{Comparison, Verdict};
 use crate::metrics::VariabilityReport;
 use crate::report::Table;
-use crate::runspace::{run_space, RunPlan};
+use crate::runspace::{Executor, RunPlan};
 use crate::wcr::{wrong_conclusion_ratio, Superior, Wcr};
 use crate::{CoreError, Result};
 
 /// A named configuration under test.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Arm {
     /// Display name ("2-way", "ROB-64", ...).
     pub name: String,
@@ -30,7 +29,8 @@ pub struct Arm {
 }
 
 /// A declarative multi-configuration comparison experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Experiment {
     name: String,
     arms: Vec<Arm>,
@@ -88,23 +88,44 @@ impl Experiment {
         &self.name
     }
 
-    /// Runs every arm's perturbed run space and assembles the report.
+    /// Runs every arm's perturbed run space sequentially and assembles the
+    /// report. Equivalent to [`Experiment::run_with`] on a single-threaded
+    /// [`Executor`] — and bit-identical to any other thread count.
     ///
     /// `make_workload` is called once per run with the same semantics as
-    /// [`run_space`]; all arms share the same workload factory, so the
-    /// comparison isolates the configuration difference.
+    /// [`crate::runspace::run_space`]; all arms share the same workload
+    /// factory, so the comparison isolates the configuration difference.
     ///
     /// # Errors
     ///
     /// Propagates simulator and statistics errors.
     pub fn run<W, F>(&self, make_workload: F) -> Result<ExperimentReport>
     where
-        W: Workload,
-        F: Fn() -> W,
+        W: Workload + Send,
+        F: Fn() -> W + Sync,
+    {
+        self.run_with(&Executor::sequential(), make_workload)
+    }
+
+    /// Runs every arm's perturbed run space on `executor` and assembles the
+    /// report.
+    ///
+    /// Each arm's runs fan out over the executor's thread pool; per-arm seed
+    /// streams derive from each configuration's fingerprint, so the result is
+    /// independent of thread count and of the order arms execute in. The
+    /// executor's cache lets repeated or overlapping experiments re-use runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator and statistics errors.
+    pub fn run_with<W, F>(&self, executor: &Executor, make_workload: F) -> Result<ExperimentReport>
+    where
+        W: Workload + Send,
+        F: Fn() -> W + Sync,
     {
         let mut arms = Vec::with_capacity(self.arms.len());
         for arm in &self.arms {
-            let space = run_space(&arm.config, &make_workload, &self.plan)?;
+            let space = executor.run_space(&arm.config, &make_workload, &self.plan)?;
             let runtimes = space.runtimes();
             let variability = VariabilityReport::from_runtimes(&runtimes)?;
             arms.push(ArmResult {
@@ -155,7 +176,8 @@ impl Experiment {
 }
 
 /// Per-configuration outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ArmResult {
     /// Configuration name.
     pub name: String,
@@ -166,7 +188,8 @@ pub struct ArmResult {
 }
 
 /// Pairwise comparison outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PairResult {
     /// First configuration name.
     pub first: String,
@@ -180,7 +203,8 @@ pub struct PairResult {
 }
 
 /// The assembled result of an [`Experiment`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ExperimentReport {
     name: String,
     alpha: f64,
@@ -221,7 +245,13 @@ impl ExperimentReport {
     /// Renders the report as two text tables (per-arm and pairwise).
     pub fn to_table(&self) -> (Table, Table) {
         let mut arms = Table::new(&format!("{} — per-configuration results", self.name));
-        arms.set_headers(vec!["configuration", "mean cyc/txn", "CoV", "range", "runs"]);
+        arms.set_headers(vec![
+            "configuration",
+            "mean cyc/txn",
+            "CoV",
+            "range",
+            "runs",
+        ]);
         for a in &self.arms {
             arms.add_row(vec![
                 a.name.clone(),
@@ -267,7 +297,9 @@ mod tests {
     use mtvar_sim::workload::SharingWorkload;
 
     fn arms() -> Vec<Arm> {
-        let base = MachineConfig::hpca2003().with_cpus(4).with_perturbation(4, 0);
+        let base = MachineConfig::hpca2003()
+            .with_cpus(4)
+            .with_perturbation(4, 0);
         vec![
             Arm {
                 name: "slow-dram".into(),

@@ -11,7 +11,10 @@
 //! is that methodology:
 //!
 //! * [`runspace`] — execute the space of perturbed runs for one
-//!   configuration (optionally from a checkpoint).
+//!   configuration (optionally from a checkpoint), sequentially or in
+//!   parallel via the deterministic [`runspace::Executor`]: seeds derive
+//!   from `(configuration, run index)`, so results are bit-identical for
+//!   any thread count, with run-result caching and progress observation.
 //! * [`metrics`] — coefficient of variation, range of variability, and
 //!   windowed time series (§4.2, §4.3).
 //! * [`wcr`] — the wrong-conclusion ratio by pairwise enumeration (§4.1).
@@ -113,10 +116,7 @@ mod tests {
 
     #[test]
     fn error_conversions_and_display() {
-        let s: CoreError = mtvar_sim::SimError::InvalidConfig {
-            what: "x".into(),
-        }
-        .into();
+        let s: CoreError = mtvar_sim::SimError::InvalidConfig { what: "x".into() }.into();
         assert!(s.to_string().contains("simulation error"));
         let t: CoreError = mtvar_stats::StatsError::EmptySample.into();
         assert!(t.to_string().contains("statistics error"));

@@ -1,14 +1,13 @@
 //! Variability metrics (§3.3, §4.2) and time-series windows (§4.3).
 
-use serde::{Deserialize, Serialize};
-
 use mtvar_sim::stats::RunResult;
 use mtvar_stats::describe::Summary;
 
 use crate::{CoreError, Result};
 
 /// The paper's variability metrics over a sample of runtimes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct VariabilityReport {
     /// Number of runs.
     pub runs: u64,

@@ -1,11 +1,54 @@
-//! Executing the *space of runs* for one configuration (§3.3).
+//! Executing the *space of runs* for one configuration (§3.3), sequentially
+//! or in parallel.
 //!
 //! The paper's mechanism: start every run from the same initial conditions
 //! (fresh machine or checkpoint), give each a unique perturbation seed, and
 //! collect the resulting cycles-per-transaction sample. "We use the mean of
 //! these runs as our performance metric."
+//!
+//! # Parallel execution
+//!
+//! Every run in a space is independent — the ensemble is embarrassingly
+//! parallel — so the [`Executor`] fans runs out across OS threads with a
+//! small work-stealing pool built on [`std::thread::scope`] (no external
+//! crates). Three properties make the parallel path safe to adopt
+//! everywhere:
+//!
+//! 1. **Deterministic seeding.** Each run's perturbation seed is derived by
+//!    [`derive_run_seed`], a SplitMix64-style mix of `(config_id, base_seed,
+//!    run_index)`. Seeds are a pure function of the plan, never of thread
+//!    count or scheduling order, and results are written into their run-index
+//!    slot — so a space is **bit-identical** for 1, 2 or N threads, and
+//!    identical to the sequential path.
+//! 2. **Result caching.** Completed runs are memoized under
+//!    `(config_fingerprint, workload_fingerprint, seed, warmup,
+//!    transactions)`. Overlapping experiments — WCR sweeps, sample-size
+//!    walks, ANOVA time-sampling — re-use runs instead of re-simulating
+//!    them.
+//! 3. **Observability.** A [`RunProgress`] observer receives
+//!    started/completed/cached callbacks (with per-run wall time), which the
+//!    examples and benches use for live reporting.
+//!
+//! ```no_run
+//! # fn main() -> Result<(), mtvar_core::CoreError> {
+//! use mtvar_core::runspace::{Executor, RunPlan};
+//! use mtvar_sim::config::MachineConfig;
+//! use mtvar_sim::workload::SharingWorkload;
+//!
+//! let config = MachineConfig::hpca2003().with_perturbation(4, 0);
+//! let plan = RunPlan::new(200).with_runs(30);
+//! let executor = Executor::new(); // one worker per core
+//! let space = executor.run_space(&config, || SharingWorkload::new(16, 7, 50, 4096, 10), &plan)?;
+//! assert_eq!(space.len(), 30);
+//! # Ok(())
+//! # }
+//! ```
 
-use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::fmt::{self, Write as _};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::machine::Machine;
@@ -16,7 +59,8 @@ use mtvar_stats::describe::Summary;
 use crate::{CoreError, Result};
 
 /// Design of a multi-run experiment on one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunPlan {
     /// Number of perturbed runs (the paper's experiments use 20).
     pub runs: usize,
@@ -25,7 +69,8 @@ pub struct RunPlan {
     /// Transactions executed before measurement starts (cache and lock-state
     /// warmup; the paper warms its database for 10,000 transactions).
     pub warmup_transactions: u64,
-    /// First perturbation seed; run `i` uses `base_seed + i`.
+    /// Base perturbation seed; run `i` uses
+    /// [`derive_run_seed`]`(source_id, base_seed, i)`.
     pub base_seed: u64,
 }
 
@@ -69,7 +114,8 @@ impl RunPlan {
 }
 
 /// The collected space of runs for one configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunSpace {
     results: Vec<RunResult>,
 }
@@ -122,60 +168,528 @@ impl RunSpace {
     }
 }
 
-/// Runs `plan` on a fresh machine per run: build with perturbation seed
-/// `base_seed + i`, warm up, measure.
+// ---------------------------------------------------------------------------
+// Deterministic seed derivation and fingerprinting
+// ---------------------------------------------------------------------------
+
+/// One round of the SplitMix64 output mix: a strong 64-bit finalizer.
+#[inline]
+fn splitmix_mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the perturbation seed of run `run_index` by SplitMix64-style
+/// mixing of `(source_id, base_seed, run_index)`.
+///
+/// `source_id` is a [`config_fingerprint`] (fresh-machine spaces) or a
+/// [`machine_fingerprint`] (checkpoint spaces). The derivation is a pure
+/// function of its arguments: it does not depend on thread count, scheduling
+/// order, or any global state, which is what makes parallel run spaces
+/// bit-identical to sequential ones. Mixing the source identity in also
+/// decorrelates the seed streams of different experiment arms (or different
+/// checkpoints) that share a `base_seed`.
+pub fn derive_run_seed(source_id: u64, base_seed: u64, run_index: u64) -> u64 {
+    let a = splitmix_mix(source_id ^ 0x6A09_E667_F3BC_C909);
+    let b = splitmix_mix(base_seed ^ 0xBB67_AE85_84CA_A73B);
+    splitmix_mix(a ^ b.rotate_left(32) ^ run_index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// FNV-1a over the bytes fed through `fmt::Write` — a tiny streaming hasher
+/// used to fingerprint configurations and machine states without allocating
+/// their full debug representation.
+struct FnvWriter(u64);
+
+impl FnvWriter {
+    fn new() -> Self {
+        FnvWriter(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn finish(&self) -> u64 {
+        // One extra mix so low-entropy inputs still avalanche.
+        splitmix_mix(self.0)
+    }
+}
+
+impl fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for b in s.bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Ok(())
+    }
+}
+
+/// A stable-within-process fingerprint of a machine configuration, used both
+/// as the `source_id` for [`derive_run_seed`] and as part of the result-cache
+/// key.
+///
+/// Computed over the configuration's complete `Debug` representation, so any
+/// field difference (cache geometry, processor model, noise, perturbation
+/// magnitude, ...) yields a different fingerprint.
+pub fn config_fingerprint(config: &MachineConfig) -> u64 {
+    let mut w = FnvWriter::new();
+    let _ = write!(w, "{config:?}");
+    w.finish()
+}
+
+/// Fingerprints a workload *factory* by probing one fresh instance: its
+/// name, thread count, and a prefix of every thread's op stream. This
+/// distinguishes workloads that share a name but differ in internal seed or
+/// sizing, which must not collide in the result cache.
+fn workload_fingerprint<W: Workload>(probe: &mut W) -> u64 {
+    let mut w = FnvWriter::new();
+    let _ = write!(w, "{}/{}", probe.name(), probe.thread_count());
+    let threads = probe.thread_count();
+    for t in 0..threads.min(8) {
+        for _ in 0..8 {
+            let op = probe.next_op(mtvar_sim::ids::ThreadId(t as u32));
+            let _ = write!(w, "{op:?}");
+        }
+    }
+    w.finish()
+}
+
+/// Fingerprints a checkpointed machine's complete state (configuration,
+/// event queue, caches, scheduler, workload position). Two checkpoints taken
+/// at different points of a workload's lifetime hash differently, which keys
+/// their cached runs apart and decorrelates their derived seed streams —
+/// replacing any need for manual seed blocking between checkpoints.
+pub fn machine_fingerprint<W: Workload + fmt::Debug>(machine: &Machine<W>) -> u64 {
+    let mut w = FnvWriter::new();
+    let _ = write!(w, "{machine:?}");
+    w.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Progress observation
+// ---------------------------------------------------------------------------
+
+/// Observer of run-space execution, for live progress reporting.
+///
+/// All methods have empty defaults; implementations must be cheap and
+/// thread-safe — callbacks arrive concurrently from worker threads.
+pub trait RunProgress: Send + Sync {
+    /// A run left the queue and began simulating.
+    fn run_started(&self, run_index: usize) {
+        let _ = run_index;
+    }
+
+    /// A run finished simulating after `wall` of wall-clock time.
+    fn run_completed(&self, run_index: usize, wall: Duration) {
+        let _ = (run_index, wall);
+    }
+
+    /// A run was satisfied from the result cache without simulating.
+    fn run_cached(&self, run_index: usize) {
+        let _ = run_index;
+    }
+}
+
+/// A [`RunProgress`] implementation that counts events and accumulates
+/// simulated wall time — the observer used by the examples and benches.
+#[derive(Debug, Default)]
+pub struct ProgressCounters {
+    started: AtomicUsize,
+    completed: AtomicUsize,
+    cached: AtomicUsize,
+    wall_ns: AtomicU64,
+}
+
+impl ProgressCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs that began simulating.
+    pub fn started(&self) -> usize {
+        self.started.load(Ordering::Relaxed)
+    }
+
+    /// Runs that finished simulating.
+    pub fn completed(&self) -> usize {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Runs satisfied from the cache.
+    pub fn cached(&self) -> usize {
+        self.cached.load(Ordering::Relaxed)
+    }
+
+    /// Total wall time spent simulating, summed over workers (exceeds
+    /// elapsed time when runs execute concurrently).
+    pub fn total_wall(&self) -> Duration {
+        Duration::from_nanos(self.wall_ns.load(Ordering::Relaxed))
+    }
+}
+
+impl RunProgress for ProgressCounters {
+    fn run_started(&self, _run_index: usize) {
+        self.started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn run_completed(&self, _run_index: usize, wall: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.wall_ns
+            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn run_cached(&self, _run_index: usize) {
+        self.cached.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------------------
+
+/// Cache key: the complete identity of one simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RunKey {
+    source: u64,
+    workload: u64,
+    seed: u64,
+    warmup: u64,
+    transactions: u64,
+}
+
+#[derive(Debug, Default)]
+struct ResultCache {
+    map: Mutex<HashMap<RunKey, RunResult>>,
+}
+
+impl ResultCache {
+    fn get(&self, key: &RunKey) -> Option<RunResult> {
+        self.map.lock().expect("cache poisoned").get(key).cloned()
+    }
+
+    fn insert(&self, key: RunKey, result: RunResult) {
+        self.map.lock().expect("cache poisoned").insert(key, result);
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().expect("cache poisoned").len()
+    }
+
+    fn clear(&self) {
+        self.map.lock().expect("cache poisoned").clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The executor
+// ---------------------------------------------------------------------------
+
+/// Deterministic parallel run-space executor.
+///
+/// Fans the perturbed runs of a [`RunPlan`] out across OS threads, memoizes
+/// completed runs, and reports progress — see the [module docs](self) for
+/// the determinism contract. Construction is cheap; the thread pool is
+/// scoped per call, while the cache lives for the executor's lifetime (and
+/// is shared by clones of the executor).
+#[derive(Clone)]
+pub struct Executor {
+    threads: usize,
+    cache: Option<Arc<ResultCache>>,
+    progress: Option<Arc<dyn RunProgress>>,
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
+            .field("cached_runs", &self.cache_len())
+            .field("has_progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+impl Executor {
+    /// An executor with one worker per available core and caching enabled.
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, usize::from);
+        Executor::with_threads(threads)
+    }
+
+    /// A single-threaded executor (the reference sequential path) with
+    /// caching enabled.
+    pub fn sequential() -> Self {
+        Executor::with_threads(1)
+    }
+
+    /// An executor with exactly `threads` workers (clamped to >= 1) and
+    /// caching enabled.
+    pub fn with_threads(threads: usize) -> Self {
+        Executor {
+            threads: threads.max(1),
+            cache: Some(Arc::new(ResultCache::default())),
+            progress: None,
+        }
+    }
+
+    /// Number of worker threads this executor uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Attaches a progress observer (shared with clones of the executor).
+    #[must_use]
+    pub fn with_progress(mut self, progress: Arc<dyn RunProgress>) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// Disables the result cache: every run simulates, every time.
+    #[must_use]
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Number of run results currently memoized.
+    pub fn cache_len(&self) -> usize {
+        self.cache.as_ref().map_or(0, |c| c.len())
+    }
+
+    /// Drops all memoized run results.
+    pub fn clear_cache(&self) {
+        if let Some(c) = &self.cache {
+            c.clear();
+        }
+    }
+
+    /// Runs `plan` on a fresh machine per run: build with the derived
+    /// perturbation seed, warm up, measure. Parallel, cached, and
+    /// bit-identical to [`run_space`] for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and deadlock errors from the simulator; when
+    /// several runs fail, the error of the lowest run index is returned
+    /// (deterministically, regardless of scheduling).
+    pub fn run_space<W, F>(
+        &self,
+        config: &MachineConfig,
+        make_workload: F,
+        plan: &RunPlan,
+    ) -> Result<RunSpace>
+    where
+        W: Workload + Send,
+        F: Fn() -> W + Sync,
+    {
+        plan.validate()?;
+        let config_id = config_fingerprint(config);
+        let workload_id = workload_fingerprint(&mut make_workload());
+        let perturbation_max = config.perturbation_max_ns;
+        self.execute(plan, config_id, workload_id, |seed| {
+            let cfg = config.clone().with_perturbation(perturbation_max, seed);
+            let mut machine = Machine::new(cfg, make_workload())?;
+            if plan.warmup_transactions > 0 {
+                machine.run_transactions(plan.warmup_transactions)?;
+            }
+            Ok(machine.run_transactions(plan.transactions)?)
+        })
+    }
+
+    /// Runs `plan` from a checkpoint: every run restarts from the identical
+    /// machine state, differing only in derived perturbation seed — the
+    /// paper's space-variability protocol, parallel and cached.
+    ///
+    /// Seeds derive from the checkpoint's [`machine_fingerprint`], so
+    /// different checkpoints of one workload get decorrelated seed streams
+    /// and distinct cache entries without any manual seed blocking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (lowest failing run index wins).
+    pub fn run_space_from_checkpoint<W>(
+        &self,
+        checkpoint: &Machine<W>,
+        plan: &RunPlan,
+    ) -> Result<RunSpace>
+    where
+        W: Workload + Clone + Send + Sync + fmt::Debug,
+    {
+        plan.validate()?;
+        let state_id = machine_fingerprint(checkpoint);
+        self.execute(plan, state_id, 0, |seed| {
+            let mut machine = checkpoint.with_perturbation_seed(seed);
+            if plan.warmup_transactions > 0 {
+                machine.run_transactions(plan.warmup_transactions)?;
+            }
+            Ok(machine.run_transactions(plan.transactions)?)
+        })
+    }
+
+    /// Shared execution core: derive seeds, satisfy runs from the cache,
+    /// fan the misses out over the pool, reassemble in run-index order.
+    fn execute<J>(
+        &self,
+        plan: &RunPlan,
+        source_id: u64,
+        workload_id: u64,
+        job: J,
+    ) -> Result<RunSpace>
+    where
+        J: Fn(u64) -> Result<RunResult> + Sync,
+    {
+        let keys: Vec<RunKey> = (0..plan.runs)
+            .map(|i| RunKey {
+                source: source_id,
+                workload: workload_id,
+                seed: derive_run_seed(source_id, plan.base_seed, i as u64),
+                warmup: plan.warmup_transactions,
+                transactions: plan.transactions,
+            })
+            .collect();
+
+        let mut slots: Vec<Option<RunResult>> = vec![None; plan.runs];
+        let mut misses: Vec<usize> = Vec::with_capacity(plan.runs);
+        for (i, key) in keys.iter().enumerate() {
+            match self.cache.as_ref().and_then(|c| c.get(key)) {
+                Some(hit) => {
+                    if let Some(p) = &self.progress {
+                        p.run_cached(i);
+                    }
+                    slots[i] = Some(hit);
+                }
+                None => misses.push(i),
+            }
+        }
+
+        let outcomes = run_on_pool(self.threads, &misses, |run_index| {
+            if let Some(p) = &self.progress {
+                p.run_started(run_index);
+            }
+            let t0 = Instant::now();
+            let outcome = job(keys[run_index].seed);
+            if outcome.is_ok() {
+                if let Some(p) = &self.progress {
+                    p.run_completed(run_index, t0.elapsed());
+                }
+            }
+            outcome
+        });
+
+        for (&i, outcome) in misses.iter().zip(outcomes) {
+            let result = outcome?;
+            if let Some(c) = &self.cache {
+                c.insert(keys[i], result.clone());
+            }
+            slots[i] = Some(result);
+        }
+        RunSpace::from_results(slots.into_iter().map(|s| s.expect("slot filled")).collect())
+    }
+}
+
+/// Executes `job` for every element of `items` on a scoped work-stealing
+/// pool and returns the outcomes in `items` order.
+///
+/// Each worker owns a deque preloaded round-robin; workers pop locally from
+/// the front and steal from the back of the fullest other queue when empty.
+/// Ordering of *execution* is nondeterministic; ordering of *results* is by
+/// construction the input order, which is what keeps parallel run spaces
+/// bit-identical to sequential ones.
+fn run_on_pool<T, J>(threads: usize, items: &[usize], job: J) -> Vec<T>
+where
+    T: Send + Sync,
+    J: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(|&i| job(i)).collect();
+    }
+
+    // Slot k receives the outcome of items[k].
+    let slots: Vec<OnceLock<T>> = (0..items.len()).map(|_| OnceLock::new()).collect();
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (k, queue) in (0..items.len()).zip((0..workers).cycle()) {
+        queues[queue].lock().expect("queue poisoned").push_back(k);
+    }
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let slots = &slots;
+            let queues = &queues;
+            let job = &job;
+            scope.spawn(move || loop {
+                // Local work first (front of own deque)...
+                let mut next = queues[w].lock().expect("queue poisoned").pop_front();
+                if next.is_none() {
+                    // ...then steal from the back of the fullest other deque.
+                    let victim = (0..workers)
+                        .filter(|&v| v != w)
+                        .max_by_key(|&v| queues[v].lock().expect("queue poisoned").len());
+                    if let Some(v) = victim {
+                        next = queues[v].lock().expect("queue poisoned").pop_back();
+                    }
+                }
+                match next {
+                    Some(k) => {
+                        let outcome = job(items[k]);
+                        let _ = slots[k].set(outcome);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("all jobs completed"))
+        .collect()
+}
+
+/// Runs `plan` on a fresh machine per run, sequentially: build with the
+/// derived perturbation seed, warm up, measure.
+///
+/// This is the reference single-threaded path; [`Executor::run_space`]
+/// produces bit-identical results on any thread count and adds caching and
+/// progress reporting. Prefer the executor for multi-run work — this free
+/// function remains for small spaces and as the determinism baseline.
 ///
 /// # Errors
 ///
 /// Propagates configuration and deadlock errors from the simulator.
-pub fn run_space<W, F>(
-    config: &MachineConfig,
-    make_workload: F,
-    plan: &RunPlan,
-) -> Result<RunSpace>
+pub fn run_space<W, F>(config: &MachineConfig, make_workload: F, plan: &RunPlan) -> Result<RunSpace>
 where
-    W: Workload,
-    F: Fn() -> W,
+    W: Workload + Send,
+    F: Fn() -> W + Sync,
 {
-    plan.validate()?;
-    let mut results = Vec::with_capacity(plan.runs);
-    for i in 0..plan.runs {
-        let cfg = config
-            .clone()
-            .with_perturbation(config.perturbation_max_ns, plan.base_seed + i as u64);
-        let mut machine = Machine::new(cfg, make_workload())?;
-        if plan.warmup_transactions > 0 {
-            machine.run_transactions(plan.warmup_transactions)?;
-        }
-        results.push(machine.run_transactions(plan.transactions)?);
-    }
-    RunSpace::from_results(results)
+    Executor::sequential()
+        .without_cache()
+        .run_space(config, make_workload, plan)
 }
 
-/// Runs `plan` from a checkpoint: every run restarts from the identical
-/// machine state, differing only in perturbation seed — the paper's
-/// space-variability protocol.
+/// Runs `plan` from a checkpoint, sequentially: every run restarts from the
+/// identical machine state, differing only in derived perturbation seed —
+/// the paper's space-variability protocol.
+///
+/// [`Executor::run_space_from_checkpoint`] is the parallel, cached form;
+/// both produce bit-identical results.
 ///
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn run_space_from_checkpoint<W>(
-    checkpoint: &Machine<W>,
-    plan: &RunPlan,
-) -> Result<RunSpace>
+pub fn run_space_from_checkpoint<W>(checkpoint: &Machine<W>, plan: &RunPlan) -> Result<RunSpace>
 where
-    W: Workload + Clone,
+    W: Workload + Clone + Send + Sync + fmt::Debug,
 {
-    plan.validate()?;
-    let mut results = Vec::with_capacity(plan.runs);
-    for i in 0..plan.runs {
-        let mut machine = checkpoint.with_perturbation_seed(plan.base_seed + i as u64);
-        if plan.warmup_transactions > 0 {
-            machine.run_transactions(plan.warmup_transactions)?;
-        }
-        results.push(machine.run_transactions(plan.transactions)?);
-    }
-    RunSpace::from_results(results)
+    Executor::sequential()
+        .without_cache()
+        .run_space_from_checkpoint(checkpoint, plan)
 }
 
 #[cfg(test)]
@@ -184,7 +698,9 @@ mod tests {
     use mtvar_sim::workload::SharingWorkload;
 
     fn small_config() -> MachineConfig {
-        MachineConfig::hpca2003().with_cpus(4).with_perturbation(4, 0)
+        MachineConfig::hpca2003()
+            .with_cpus(4)
+            .with_perturbation(4, 0)
     }
 
     fn small_workload() -> SharingWorkload {
@@ -222,6 +738,100 @@ mod tests {
     }
 
     #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let plan = RunPlan::new(30).with_runs(6);
+        let seq = run_space(&small_config(), small_workload, &plan).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let par = Executor::with_threads(threads)
+                .run_space(&small_config(), small_workload, &plan)
+                .unwrap();
+            assert_eq!(seq, par, "thread count {threads} changed results");
+        }
+    }
+
+    #[test]
+    fn cache_satisfies_repeat_invocations() {
+        let progress = Arc::new(ProgressCounters::new());
+        let exec = Executor::with_threads(2).with_progress(progress.clone());
+        let plan = RunPlan::new(20).with_runs(4);
+        let a = exec
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        assert_eq!(progress.completed(), 4);
+        assert_eq!(progress.cached(), 0);
+        assert_eq!(exec.cache_len(), 4);
+
+        let b = exec
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        assert_eq!(a, b, "cached results must be identical");
+        assert_eq!(progress.completed(), 4, "no re-simulation on second call");
+        assert_eq!(progress.cached(), 4);
+
+        // A longer plan re-uses nothing (transactions are part of the key)...
+        let longer = RunPlan::new(21).with_runs(4);
+        let _ = exec
+            .run_space(&small_config(), small_workload, &longer)
+            .unwrap();
+        assert_eq!(progress.completed(), 8);
+
+        // ...and an extended run count re-uses the shared prefix.
+        let extended = plan.with_runs(6);
+        let c = exec
+            .run_space(&small_config(), small_workload, &extended)
+            .unwrap();
+        assert_eq!(progress.cached(), 8, "first 4 runs of the extension hit");
+        assert_eq!(&c.runtimes()[..4], &a.runtimes()[..], "prefix must match");
+
+        exec.clear_cache();
+        assert_eq!(exec.cache_len(), 0);
+    }
+
+    #[test]
+    fn cache_distinguishes_workload_parameters() {
+        let progress = Arc::new(ProgressCounters::new());
+        let exec = Executor::sequential().with_progress(progress.clone());
+        let plan = RunPlan::new(15).with_runs(2);
+        let a = exec
+            .run_space(
+                &small_config(),
+                || SharingWorkload::new(8, 1, 40, 4096, 10),
+                &plan,
+            )
+            .unwrap();
+        let b = exec
+            .run_space(
+                &small_config(),
+                || SharingWorkload::new(8, 2, 40, 4096, 10),
+                &plan,
+            )
+            .unwrap();
+        assert_eq!(
+            progress.cached(),
+            0,
+            "different workload seeds must not collide"
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_and_stable() {
+        let id = config_fingerprint(&small_config());
+        let seeds: Vec<u64> = (0..64).map(|i| derive_run_seed(id, 0, i)).collect();
+        let distinct: std::collections::HashSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(distinct.len(), seeds.len(), "seed collisions within a plan");
+        assert_eq!(
+            seeds,
+            (0..64)
+                .map(|i| derive_run_seed(id, 0, i))
+                .collect::<Vec<_>>()
+        );
+        // Different arms (config ids) get decorrelated streams.
+        let other = config_fingerprint(&small_config().with_cpus(8));
+        assert_ne!(derive_run_seed(other, 0, 0), seeds[0]);
+    }
+
+    #[test]
     fn checkpoint_space_starts_from_identical_state() {
         let mut m = Machine::new(small_config(), small_workload()).unwrap();
         m.run_transactions(20).unwrap();
@@ -230,6 +840,24 @@ mod tests {
         let b = run_space_from_checkpoint(&m, &plan).unwrap();
         assert_eq!(a.runtimes(), b.runtimes());
         assert_eq!(a.len(), 4);
+        // The parallel executor agrees bit-for-bit.
+        let c = Executor::with_threads(4)
+            .run_space_from_checkpoint(&m, &plan)
+            .unwrap();
+        assert_eq!(a.runtimes(), c.runtimes());
+    }
+
+    #[test]
+    fn checkpoints_at_different_positions_decorrelate() {
+        let mut m = Machine::new(small_config(), small_workload()).unwrap();
+        m.run_transactions(10).unwrap();
+        let early = machine_fingerprint(&m);
+        m.run_transactions(10).unwrap();
+        let late = machine_fingerprint(&m);
+        assert_ne!(
+            early, late,
+            "advancing the machine must change its fingerprint"
+        );
     }
 
     #[test]
@@ -239,5 +867,14 @@ mod tests {
         let bad2 = RunPlan::new(0);
         assert!(run_space(&small_config(), small_workload, &bad2).is_err());
         assert!(RunSpace::from_results(vec![]).is_err());
+    }
+
+    #[test]
+    fn pool_preserves_input_order_under_stealing() {
+        for threads in [1, 2, 4, 16] {
+            let items: Vec<usize> = (0..97).collect();
+            let out = run_on_pool(threads, &items, |i| i * 3);
+            assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+        }
     }
 }

@@ -5,14 +5,14 @@
 //! starting point, or whether the sample should contain runs from many
 //! starting points."
 
-use serde::{Deserialize, Serialize};
+use std::fmt;
 
 use mtvar_sim::machine::Machine;
 use mtvar_sim::rng::Xoshiro256StarStar;
 use mtvar_sim::workload::Workload;
 use mtvar_stats::infer::{anova_one_way, Anova};
 
-use crate::runspace::{run_space_from_checkpoint, RunPlan};
+use crate::runspace::{Executor, RunPlan};
 use crate::{CoreError, Result};
 
 /// How starting points are placed through the workload's lifetime.
@@ -21,7 +21,8 @@ use crate::{CoreError, Result};
 /// other than systematic sampling can be used to select representative time
 /// samples" as future work; the random and stratified placements implement
 /// that.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SamplingStrategy {
     /// Fixed spacing: point `i` at `(i+1) · span / points` (the paper's
     /// §5.2 choice).
@@ -92,7 +93,8 @@ pub fn checkpoint_positions(
 
 /// Per-checkpoint run groups: `groups[p]` holds the cycles-per-transaction
 /// of every perturbed run launched from starting point `p`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimeSampleStudy {
     groups: Vec<Vec<f64>>,
     /// Warmup transactions executed before each starting point, aligned with
@@ -174,7 +176,28 @@ pub fn sweep_checkpoints<W>(
     plan: &RunPlan,
 ) -> Result<TimeSampleStudy>
 where
-    W: Workload + Clone,
+    W: Workload + Clone + Send + Sync + fmt::Debug,
+{
+    sweep_checkpoints_with(&Executor::sequential(), machine, points, spacing_txns, plan)
+}
+
+/// [`sweep_checkpoints`] driven by an explicit [`Executor`]: each
+/// checkpoint's run space fans out over the executor's thread pool, and the
+/// executor's cache carries run results across overlapping sweeps.
+///
+/// # Errors
+///
+/// Propagates simulator errors; returns [`CoreError::InvalidExperiment`]
+/// for a degenerate design.
+pub fn sweep_checkpoints_with<W>(
+    executor: &Executor,
+    machine: &mut Machine<W>,
+    points: usize,
+    spacing_txns: u64,
+    plan: &RunPlan,
+) -> Result<TimeSampleStudy>
+where
+    W: Workload + Clone + Send + Sync + fmt::Debug,
 {
     if spacing_txns == 0 {
         return Err(CoreError::InvalidExperiment {
@@ -182,7 +205,7 @@ where
         });
     }
     let positions: Vec<u64> = (1..=points as u64).map(|i| i * spacing_txns).collect();
-    sweep_checkpoints_at(machine, &positions, plan)
+    sweep_checkpoints_at_with(executor, machine, &positions, plan)
 }
 
 /// Like [`sweep_checkpoints`], but with explicit checkpoint positions
@@ -200,7 +223,31 @@ pub fn sweep_checkpoints_at<W>(
     plan: &RunPlan,
 ) -> Result<TimeSampleStudy>
 where
-    W: Workload + Clone,
+    W: Workload + Clone + Send + Sync + fmt::Debug,
+{
+    sweep_checkpoints_at_with(&Executor::sequential(), machine, positions, plan)
+}
+
+/// [`sweep_checkpoints_at`] driven by an explicit [`Executor`].
+///
+/// Per-checkpoint seed independence comes from the executor's seed
+/// derivation: each checkpoint's machine state fingerprints differently, so
+/// the derived seed streams are decorrelated without manual seed blocking
+/// (formerly `base_seed + p * 10_000`, which collided for plans of more than
+/// 10,000 runs and correlated identically-seeded points).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidExperiment`] for fewer than two positions or
+/// non-increasing positions, and propagates simulator errors.
+pub fn sweep_checkpoints_at_with<W>(
+    executor: &Executor,
+    machine: &mut Machine<W>,
+    positions: &[u64],
+    plan: &RunPlan,
+) -> Result<TimeSampleStudy>
+where
+    W: Workload + Clone + Send + Sync + fmt::Debug,
 {
     if positions.len() < 2 {
         return Err(CoreError::InvalidExperiment {
@@ -215,16 +262,11 @@ where
     let mut groups = Vec::with_capacity(positions.len());
     let mut checkpoints = Vec::with_capacity(positions.len());
     let mut warmed: u64 = 0;
-    for (p, &pos) in positions.iter().enumerate() {
+    for &pos in positions {
         machine.run_transactions(pos - warmed)?;
         warmed = pos;
         let ckpt = machine.checkpoint();
-        // Distinct seed block per point so run spaces are independent.
-        let plan_p = RunPlan {
-            base_seed: plan.base_seed + (p as u64) * 10_000,
-            ..*plan
-        };
-        let space = run_space_from_checkpoint(&ckpt, &plan_p)?;
+        let space = executor.run_space_from_checkpoint(&ckpt, plan)?;
         groups.push(space.runtimes());
         checkpoints.push(warmed);
     }
@@ -240,9 +282,7 @@ mod tests {
     #[test]
     fn study_validation() {
         assert!(TimeSampleStudy::from_groups(vec![vec![1.0]], vec![0]).is_err());
-        assert!(
-            TimeSampleStudy::from_groups(vec![vec![1.0], vec![2.0]], vec![0]).is_err()
-        );
+        assert!(TimeSampleStudy::from_groups(vec![vec![1.0], vec![2.0]], vec![0]).is_err());
     }
 
     #[test]

@@ -8,14 +8,14 @@
 //! conclusion when a researcher ignores variability and compares single
 //! simulations.
 
-use serde::{Deserialize, Serialize};
-
 use mtvar_stats::describe::Summary;
 
+use crate::runspace::RunSpace;
 use crate::{CoreError, Result};
 
 /// Which configuration a comparison ranks better (lower runtime).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Superior {
     /// The first configuration's mean is lower (faster).
     First,
@@ -24,7 +24,8 @@ pub enum Superior {
 }
 
 /// Result of a wrong-conclusion-ratio enumeration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Wcr {
     /// Which configuration the run averages rank better.
     pub superior: Superior,
@@ -34,6 +35,16 @@ pub struct Wcr {
     pub wrong_pairs: u64,
     /// Total pairs enumerated (`N_a × N_b`).
     pub total_pairs: u64,
+}
+
+/// [`wrong_conclusion_ratio`] over two collected [`RunSpace`]s — the form
+/// used with [`crate::runspace::Executor`] output.
+///
+/// # Errors
+///
+/// Same conditions as [`wrong_conclusion_ratio`].
+pub fn wcr_from_spaces(a: &RunSpace, b: &RunSpace) -> Result<Wcr> {
+    wrong_conclusion_ratio(&a.runtimes(), &b.runtimes())
 }
 
 /// Enumerates the wrong-conclusion ratio between two run sets of the
@@ -69,8 +80,7 @@ pub fn wrong_conclusion_ratio(a: &[f64], b: &[f64]) -> Result<Wcr> {
     let sb = Summary::from_slice(b)?;
     if sa.mean() == sb.mean() {
         return Err(CoreError::InvalidExperiment {
-            what: "the two configurations have identical means; no conclusion to contradict"
-                .into(),
+            what: "the two configurations have identical means; no conclusion to contradict".into(),
         });
     }
     // Correct conclusion: the lower mean is the superior configuration.
@@ -140,7 +150,7 @@ mod tests {
     fn ties_count_half() {
         let a = [1.0, 2.0];
         let b = [2.0, 3.0]; // mean 1.5 vs 2.5, a superior
-        // Pairs: (1,2)+, (1,3)+, (2,2) tie, (2,3)+ => 0.5/4 = 12.5%.
+                            // Pairs: (1,2)+, (1,3)+, (2,2) tie, (2,3)+ => 0.5/4 = 12.5%.
         let w = wrong_conclusion_ratio(&a, &b).unwrap();
         assert!((w.wcr_percent - 12.5).abs() < 1e-9);
     }

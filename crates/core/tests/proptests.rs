@@ -1,95 +1,135 @@
-//! Property-based tests of the methodology layer's invariants.
-
-use proptest::prelude::*;
+//! Randomized tests of the methodology layer's invariants.
+//!
+//! Formerly written against the `proptest` crate; rewritten as deterministic
+//! seeded sweeps (driven by the simulator's own RNG) so the suite builds with
+//! no network access.
 
 use mtvar_core::compare::Comparison;
 use mtvar_core::metrics::VariabilityReport;
 use mtvar_core::wcr::{wrong_conclusion_ratio, Superior};
+use mtvar_sim::rng::Xoshiro256StarStar;
 
-fn runtimes(min_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(1.0..1.0e6f64, min_len..24)
+/// A runtime-like sample: values in [1, 1e6), length in [min_len, 24).
+fn runtimes(rng: &mut Xoshiro256StarStar, min_len: usize) -> Vec<f64> {
+    let n = rng.next_range(min_len as u64, 23) as usize;
+    (0..n)
+        .map(|_| 1.0 + rng.next_f64() * (1.0e6 - 1.0))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
+const CASES: usize = 200;
 
-    #[test]
-    fn wcr_is_bounded_and_antisymmetric(a in runtimes(1), b in runtimes(1)) {
+#[test]
+fn wcr_is_bounded_and_antisymmetric() {
+    let mut g = Xoshiro256StarStar::new(0xC0_0001);
+    for _ in 0..CASES {
+        let a = runtimes(&mut g, 1);
+        let b = runtimes(&mut g, 1);
         match wrong_conclusion_ratio(&a, &b) {
             Ok(ab) => {
-                prop_assert!((0.0..=100.0).contains(&ab.wcr_percent));
-                prop_assert_eq!(ab.total_pairs, (a.len() * b.len()) as u64);
+                assert!((0.0..=100.0).contains(&ab.wcr_percent));
+                assert_eq!(ab.total_pairs, (a.len() * b.len()) as u64);
                 let ba = wrong_conclusion_ratio(&b, &a).unwrap();
-                prop_assert!((ab.wcr_percent - ba.wcr_percent).abs() < 1e-9);
-                prop_assert_ne!(ab.superior, ba.superior);
+                assert!((ab.wcr_percent - ba.wcr_percent).abs() < 1e-9);
+                assert_ne!(ab.superior, ba.superior);
             }
             Err(_) => {
                 // Only identical means are rejected.
                 let ma = a.iter().sum::<f64>() / a.len() as f64;
                 let mb = b.iter().sum::<f64>() / b.len() as f64;
-                prop_assert!((ma - mb).abs() < 1e-6 * ma.max(mb));
+                assert!((ma - mb).abs() < 1e-6 * ma.max(mb));
             }
         }
     }
+}
 
-    #[test]
-    fn wcr_is_zero_for_disjoint_ranges(a in runtimes(1), shift in 1.0e6..2.0e6f64) {
+#[test]
+fn wcr_is_zero_for_disjoint_ranges() {
+    let mut g = Xoshiro256StarStar::new(0xC0_0002);
+    for _ in 0..CASES {
+        let a = runtimes(&mut g, 1);
+        let shift = 1.0e6 + g.next_f64() * 1.0e6;
         let b: Vec<f64> = a.iter().map(|v| v + shift).collect();
         let w = wrong_conclusion_ratio(&a, &b).unwrap();
-        prop_assert_eq!(w.wcr_percent, 0.0);
-        prop_assert_eq!(w.superior, Superior::First);
+        assert_eq!(w.wcr_percent, 0.0);
+        assert_eq!(w.superior, Superior::First);
     }
+}
 
-    #[test]
-    fn wcr_under_50_means_averages_agree_with_majority(a in runtimes(2), b in runtimes(2)) {
+#[test]
+fn wcr_wrong_pairs_never_exceed_total() {
+    let mut g = Xoshiro256StarStar::new(0xC0_0003);
+    for _ in 0..CASES {
+        let a = runtimes(&mut g, 2);
+        let b = runtimes(&mut g, 2);
         if let Ok(w) = wrong_conclusion_ratio(&a, &b) {
-            // By definition the WCR counts the minority direction only when
-            // means and majority agree; it can exceed 50% (means are not
-            // medians), but the total never exceeds 100%.
-            prop_assert!(w.wrong_pairs <= w.total_pairs);
+            // The WCR can exceed 50% (means are not medians), but the wrong
+            // pairs can never exceed the enumerated total.
+            assert!(w.wrong_pairs <= w.total_pairs);
         }
     }
+}
 
-    #[test]
-    fn variability_report_invariants(rt in runtimes(2)) {
-        prop_assume!(rt.iter().any(|&v| (v - rt[0]).abs() > 1e-9));
+#[test]
+fn variability_report_invariants() {
+    let mut g = Xoshiro256StarStar::new(0xC0_0004);
+    for _ in 0..CASES {
+        let rt = runtimes(&mut g, 2);
+        if !rt.iter().any(|&v| (v - rt[0]).abs() > 1e-9) {
+            continue;
+        }
         let rep = VariabilityReport::from_runtimes(&rt).unwrap();
-        prop_assert!(rep.min <= rep.mean + 1e-9);
-        prop_assert!(rep.mean <= rep.max + 1e-9);
-        prop_assert!(rep.cov_percent >= 0.0);
-        prop_assert!(rep.range_percent >= 0.0);
-        // Range of variability always dominates CoV for n >= 2... not in
-        // general, but both must be finite and consistent with the extremes.
+        assert!(rep.min <= rep.mean + 1e-9);
+        assert!(rep.mean <= rep.max + 1e-9);
+        assert!(rep.cov_percent >= 0.0);
+        assert!(rep.range_percent >= 0.0);
+        // Both metrics must be finite and consistent with the extremes.
         let expected_range = 100.0 * (rep.max - rep.min) / rep.mean;
-        prop_assert!((rep.range_percent - expected_range).abs() < 1e-9);
+        assert!((rep.range_percent - expected_range).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn comparison_p_values_are_probabilities(a in runtimes(2), b in runtimes(2)) {
-        prop_assume!(a.iter().any(|&v| (v - a[0]).abs() > 1e-9)
-                  || b.iter().any(|&v| (v - b[0]).abs() > 1e-9));
+#[test]
+fn comparison_p_values_are_probabilities() {
+    let mut g = Xoshiro256StarStar::new(0xC0_0005);
+    for _ in 0..CASES {
+        let a = runtimes(&mut g, 2);
+        let b = runtimes(&mut g, 2);
+        if !(a.iter().any(|&v| (v - a[0]).abs() > 1e-9)
+            || b.iter().any(|&v| (v - b[0]).abs() > 1e-9))
+        {
+            continue;
+        }
         let cmp = Comparison::from_runs("a", &a, "b", &b).unwrap();
         let p = cmp.wrong_conclusion_bound().unwrap();
-        prop_assert!((0.0..=1.0).contains(&p));
-        // The one-sided bound for the better config never exceeds 1/2 by
-        // more than numerical noise when means differ... it can approach
-        // 0.5 exactly for near-ties; just sanity-check the verdict logic.
+        assert!((0.0..=1.0).contains(&p));
         let v = cmp.verdict(0.05).unwrap();
         match v {
-            mtvar_core::compare::Verdict::Superior { wrong_conclusion_bound, .. } =>
-                prop_assert!(wrong_conclusion_bound <= 0.05),
-            mtvar_core::compare::Verdict::Inconclusive { p_value } =>
-                prop_assert!(p_value > 0.05),
+            mtvar_core::compare::Verdict::Superior {
+                wrong_conclusion_bound,
+                ..
+            } => {
+                assert!(wrong_conclusion_bound <= 0.05)
+            }
+            mtvar_core::compare::Verdict::Inconclusive { p_value } => assert!(p_value > 0.05),
         }
     }
+}
 
-    #[test]
-    fn ci_overlap_is_symmetric(a in runtimes(3), b in runtimes(3)) {
-        prop_assume!(a.iter().any(|&v| (v - a[0]).abs() > 1e-9));
-        prop_assume!(b.iter().any(|&v| (v - b[0]).abs() > 1e-9));
+#[test]
+fn ci_overlap_is_symmetric() {
+    let mut g = Xoshiro256StarStar::new(0xC0_0006);
+    for _ in 0..CASES {
+        let a = runtimes(&mut g, 3);
+        let b = runtimes(&mut g, 3);
+        if !a.iter().any(|&v| (v - a[0]).abs() > 1e-9)
+            || !b.iter().any(|&v| (v - b[0]).abs() > 1e-9)
+        {
+            continue;
+        }
         let ab = Comparison::from_runs("a", &a, "b", &b).unwrap();
         let ba = Comparison::from_runs("b", &b, "a", &a).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             ab.intervals_overlap(0.95).unwrap(),
             ba.intervals_overlap(0.95).unwrap()
         );

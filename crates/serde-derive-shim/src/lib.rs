@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the in-tree serde shim.
+//!
+//! Each derive expands to nothing: the annotated type compiles unchanged and
+//! no trait impl is generated. That is sufficient for this workspace, where
+//! serde derives are declarative markers (no code performs serialization).
+//! Container/field attributes (`#[serde(...)]`) are accepted and ignored via
+//! the `attributes(serde)` declaration.
+
+use proc_macro::TokenStream;
+
+/// Expands `#[derive(Serialize)]` to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands `#[derive(Deserialize)]` to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,29 @@
+//! Offline stand-in for the [serde](https://serde.rs) facade.
+//!
+//! This workspace builds in environments with no network access, so it cannot
+//! depend on crates.io. The `serde` *feature* on the mtvar crates only gates
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]`
+//! annotations; nothing in-tree performs actual serialization. This crate
+//! supplies just enough surface for those annotations to compile:
+//!
+//! * marker traits [`Serialize`] and [`Deserialize`], and
+//! * no-op derive macros of the same names (via the sibling `serde_derive`
+//!   shim), which emit empty token streams.
+//!
+//! To use real serde (e.g. to add JSON export with `serde_json`), point the
+//! workspace `serde` dependency back at crates.io — the annotation sites need
+//! no changes, because they already use the real serde derive syntax.
+
+/// Marker stand-in for `serde::Serialize`.
+///
+/// The no-op derive does not implement this trait; it exists so downstream
+/// code can name the path `serde::Serialize` in bounds if it ever needs to.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// Mirrors [`Serialize`]; the lifetime parameter of real serde's
+/// `Deserialize<'de>` is intentionally omitted — no in-tree code names it.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -18,8 +18,14 @@ fn main() {
     let t0 = Instant::now();
     let r = m.run_transactions(2000).unwrap();
     let dt = t0.elapsed();
-    println!("2000 txns in {:?}; {:.0} cycles/txn; sim cycles {}; {:.1} Mcycles/s; {:.0} txns/s",
-        dt, r.cycles_per_transaction(), r.elapsed(), r.elapsed() as f64/1e6/dt.as_secs_f64(), 2000.0/dt.as_secs_f64());
+    println!(
+        "2000 txns in {:?}; {:.0} cycles/txn; sim cycles {}; {:.1} Mcycles/s; {:.0} txns/s",
+        dt,
+        r.cycles_per_transaction(),
+        r.elapsed(),
+        r.elapsed() as f64 / 1e6 / dt.as_secs_f64(),
+        2000.0 / dt.as_secs_f64()
+    );
     println!("mem: {:?}", r.mem);
     println!("sched: {:?}", r.sched);
     println!("locks: {:?}", r.locks);

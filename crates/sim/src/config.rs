@@ -1,7 +1,5 @@
 //! Whole-machine configuration.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::Nanos;
 use crate::mem::MemoryConfig;
 use crate::noise::NoiseConfig;
@@ -24,7 +22,8 @@ use crate::SimError;
 ///     .with_perturbation(4, 12345);
 /// assert_eq!(cfg.cpus, 16);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MachineConfig {
     /// Number of processor nodes.
     pub cpus: usize,

@@ -4,7 +4,6 @@
 //! space; these newtypes keep them from being confused for one another
 //! (C-NEWTYPE) at zero runtime cost.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A point in simulated time, measured in cycles of the 1 GHz system clock.
@@ -20,9 +19,8 @@ pub type Cycle = u64;
 pub type Nanos = u64;
 
 /// A processor (node) index in the simulated multiprocessor.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CpuId(pub u32);
 
 impl fmt::Display for CpuId {
@@ -40,9 +38,8 @@ impl CpuId {
 }
 
 /// A software thread index.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ThreadId(pub u32);
 
 impl fmt::Display for ThreadId {
@@ -60,9 +57,8 @@ impl ThreadId {
 }
 
 /// A lock (mutex) identifier within the workload's lock namespace.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LockId(pub u32);
 
 impl fmt::Display for LockId {
@@ -75,9 +71,8 @@ impl fmt::Display for LockId {
 ///
 /// The simulator never needs sub-block offsets, so addresses are stored
 /// directly at block granularity (one unit = one 64-byte block).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockAddr(pub u64);
 
 impl fmt::Display for BlockAddr {

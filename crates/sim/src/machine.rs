@@ -12,10 +12,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::MachineConfig;
-use crate::ids::{Cycle, CpuId, ThreadId};
+use crate::ids::{CpuId, Cycle, ThreadId};
 use crate::mem::{MemorySystem, Perturbation};
 use crate::noise::NoiseState;
 use crate::ops::{AccessKind, Op};
@@ -27,14 +25,16 @@ use crate::workload::Workload;
 use crate::SimError;
 
 /// A scheduled simulation event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct Event {
     time: Cycle,
     seq: u64,
     kind: EventKind,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 enum EventKind {
     /// The CPU finished its previous step and can take another.
     CpuReady(CpuId),
@@ -43,7 +43,8 @@ enum EventKind {
 }
 
 /// Per-CPU execution state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct Cpu {
     core: ProcCore,
     thread: Option<ThreadId>,
@@ -71,7 +72,8 @@ struct Cpu {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Machine<W> {
     config: MachineConfig,
     now: Cycle,
@@ -462,6 +464,17 @@ impl<W: Workload + Clone> Machine<W> {
     }
 }
 
+// The parallel run-space executor in `mtvar-core` moves machines across OS
+// threads; every field of `Machine` is owned data, so `Machine<W>` is
+// `Send`/`Sync` whenever the workload is. This assertion keeps that
+// property from silently regressing (e.g. by someone adding an `Rc` or a
+// raw pointer to the event queue).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Machine<crate::workload::UniformWorkload>>();
+    assert_send_sync::<Machine<crate::workload::SharingWorkload>>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,7 +611,8 @@ mod tests {
 
     /// A workload whose threads all deadlock: everyone acquires the same
     /// lock and never releases it.
-    #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+    #[derive(Debug, Clone)]
+    #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
     struct DeadlockWorkload {
         threads: usize,
         acquired: Vec<bool>,
@@ -653,7 +667,8 @@ mod tests {
     /// A workload that genuinely wedges: a thread blocks on a lock held by a
     /// thread that has exited its op stream (yields forever are impossible —
     /// so we emulate with both threads blocking on each other's locks).
-    #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+    #[derive(Debug, Clone)]
+    #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
     struct CrossLockWorkload {
         step: Vec<u8>,
     }

@@ -6,15 +6,14 @@
 //! MESI/MOSI/MOESI family. [`CoherenceState`] carries the per-block state
 //! and [`CacheArray`] the tag/LRU bookkeeping shared by the L1 and L2 models.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::BlockAddr;
 use crate::SimError;
 
 /// Coherence state of a cache block (MOESI state space; MOSI and MESI use
 /// subsets of it, selected by
 /// [`CoherenceProtocol`](crate::mem::CoherenceProtocol)).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CoherenceState {
     /// Modified: the only copy, dirty, readable and writable.
     Modified,
@@ -64,7 +63,8 @@ impl CoherenceState {
 }
 
 /// Geometry of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -115,8 +115,7 @@ impl CacheConfig {
         let row = u64::from(self.associativity) * u64::from(self.block_bytes);
         if !self.size_bytes.is_multiple_of(row) || self.size_bytes / row == 0 {
             return Err(SimError::InvalidConfig {
-                what: "cache size must be a positive multiple of associativity × block size"
-                    .into(),
+                what: "cache size must be a positive multiple of associativity × block size".into(),
             });
         }
         Ok(())
@@ -136,7 +135,8 @@ impl CacheConfig {
 }
 
 /// One cache line's metadata.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct Line {
     tag: u64,
     state: CoherenceState,
@@ -148,7 +148,8 @@ struct Line {
 ///
 /// Stores metadata only (tags and states); the simulator never models data
 /// values, just their movement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheArray {
     config: CacheConfig,
     lines: Vec<Line>,

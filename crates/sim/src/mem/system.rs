@@ -6,10 +6,8 @@
 //! 80 ns DRAM, a block comes from memory in 180 ns and from another cache in
 //! 125 ns (two traversals plus the 80 ns/25 ns provider times).
 
-use serde::{Deserialize, Serialize};
-
 use super::cache::{CacheArray, CacheConfig, CoherenceState};
-use crate::ids::{BlockAddr, Cycle, CpuId, Nanos};
+use crate::ids::{BlockAddr, CpuId, Cycle, Nanos};
 use crate::ops::AccessKind;
 use crate::rng::Xoshiro256StarStar;
 use crate::SimError;
@@ -19,7 +17,8 @@ use crate::SimError;
 /// The paper's target uses MOSI (§3.2.1); its simulator supports a broad
 /// range of protocols (§3.2.3), and the ablation benches compare the three
 /// classic variants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CoherenceProtocol {
     /// Modified/Owned/Shared/Invalid — dirty sharing, cache-to-cache supply
     /// from the owner (the paper's protocol).
@@ -51,7 +50,8 @@ impl CoherenceProtocol {
 }
 
 /// Latency and geometry configuration for the memory hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemoryConfig {
     /// L1 instruction-cache geometry (paper: 128 KB, 4-way, 64 B).
     pub l1i: CacheConfig,
@@ -140,7 +140,8 @@ impl MemoryConfig {
 }
 
 /// Where an access was satisfied.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AccessSource {
     /// L1 hit.
     L1,
@@ -165,7 +166,8 @@ pub struct AccessOutcome {
 }
 
 /// Aggregate memory-system counters for one run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemStats {
     /// L1 instruction-cache hits.
     pub l1i_hits: u64,
@@ -215,7 +217,8 @@ impl MemStats {
 }
 
 /// Per-node cache stack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct Node {
     l1i: CacheArray,
     l1d: CacheArray,
@@ -225,7 +228,8 @@ struct Node {
 /// The §3.3 pseudo-random timing perturbation: a uniform integer in
 /// `[0, max_ns]` added to every L2 miss. `max_ns = 0` restores the
 /// deterministic baseline simulator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Perturbation {
     max_ns: Nanos,
     rng: Xoshiro256StarStar,
@@ -262,7 +266,8 @@ impl Perturbation {
 }
 
 /// The full coherent memory system shared by all processors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemorySystem {
     config: MemoryConfig,
     nodes: Vec<Node>,
@@ -281,7 +286,11 @@ impl MemorySystem {
     ///
     /// Returns [`SimError::InvalidConfig`] if `cpus == 0` or the memory
     /// configuration is inconsistent.
-    pub fn new(config: MemoryConfig, cpus: usize, perturbation: Perturbation) -> Result<Self, SimError> {
+    pub fn new(
+        config: MemoryConfig,
+        cpus: usize,
+        perturbation: Perturbation,
+    ) -> Result<Self, SimError> {
         if cpus == 0 {
             return Err(SimError::InvalidConfig {
                 what: "memory system needs at least one node".into(),

@@ -13,14 +13,13 @@
 //! simulated "real machine" differ because the environment differs, exactly
 //! as on hardware.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{Cycle, Nanos};
 use crate::rng::Xoshiro256StarStar;
 use crate::SimError;
 
 /// Configuration of the environmental noise source.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NoiseConfig {
     /// Timer-interrupt period per CPU (ns). Solaris ticks at 100 Hz; scaled
     /// simulations shrink this proportionally.
@@ -67,7 +66,8 @@ impl NoiseConfig {
 }
 
 /// Live noise state for one machine.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NoiseState {
     config: NoiseConfig,
     rng: Xoshiro256StarStar,
@@ -156,8 +156,12 @@ mod tests {
     fn different_seeds_give_different_noise() {
         let mut a = NoiseState::new(cfg(1), 2).unwrap();
         let mut b = NoiseState::new(cfg(2), 2).unwrap();
-        let sa: Vec<u64> = (0..200u64).map(|i| a.overhead(0, i * 50_000, 10_000)).collect();
-        let sb: Vec<u64> = (0..200u64).map(|i| b.overhead(0, i * 50_000, 10_000)).collect();
+        let sa: Vec<u64> = (0..200u64)
+            .map(|i| a.overhead(0, i * 50_000, 10_000))
+            .collect();
+        let sb: Vec<u64> = (0..200u64)
+            .map(|i| b.overhead(0, i * 50_000, 10_000))
+            .collect();
         assert_ne!(sa, sb);
     }
 

@@ -7,12 +7,11 @@
 //! ALU instructions — which keeps the event count proportional to memory and
 //! synchronization activity rather than instruction count.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{BlockAddr, LockId, Nanos};
 
 /// Whether a memory access reads or writes its block.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AccessKind {
     /// A load: needs a readable (M/O/S) copy of the block.
     Read,
@@ -22,7 +21,8 @@ pub enum AccessKind {
 
 /// Direction hint for conditional branches, produced by the workload's own
 /// deterministic control-flow model and consumed by the branch predictors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BranchInfo {
     /// Static identity of the branch (hashes into predictor tables).
     pub pc: u32,
@@ -31,7 +31,8 @@ pub struct BranchInfo {
 }
 
 /// One unit of work in a thread's instruction stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Op {
     /// Execute `instructions` ALU instructions touching the code region
     /// identified by `code_block` (drives the L1 I-cache model).

@@ -20,14 +20,13 @@ mod simple;
 pub use ooo::{OooConfig, OooCore};
 pub use simple::SimpleCore;
 
-use serde::{Deserialize, Serialize};
-
-use crate::ids::{Cycle, CpuId, Nanos};
+use crate::ids::{CpuId, Cycle, Nanos};
 use crate::mem::MemorySystem;
 use crate::ops::Op;
 
 /// Which processor timing model drives each CPU.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Default)]
 pub enum ProcessorConfig {
     /// Blocking in-order model (IPC 1 with perfect L1s).
@@ -37,9 +36,9 @@ pub enum ProcessorConfig {
     OutOfOrder(OooConfig),
 }
 
-
 /// Counters accumulated by one processor core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProcStats {
     /// Instructions executed (compute bursts count their full size).
     pub instructions: u64,
@@ -58,7 +57,8 @@ pub struct ProcStats {
 }
 
 /// One CPU's processor state, dispatching to the configured model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ProcCore {
     /// Blocking model state.
     Simple(SimpleCore),

@@ -11,16 +11,15 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use super::predictor::{CascadedIndirect, ReturnAddressStack, Yags};
 use super::ProcStats;
-use crate::ids::{Cycle, CpuId, Nanos};
+use crate::ids::{CpuId, Cycle, Nanos};
 use crate::mem::MemorySystem;
 use crate::ops::Op;
 
 /// Configuration of the out-of-order core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OooConfig {
     /// Issue/retire width in instructions per cycle (TFsim: 4).
     pub width: u32,
@@ -53,7 +52,8 @@ impl OooConfig {
 }
 
 /// One in-flight long-latency access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct Outstanding {
     complete: Cycle,
     /// Cumulative instruction count when this access issued.
@@ -61,7 +61,8 @@ struct Outstanding {
 }
 
 /// State of one out-of-order core.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OooCore {
     config: OooConfig,
     yags: Yags,
@@ -343,7 +344,7 @@ mod tests {
         core.execute(CpuId(0), &compute(4), 0, &mut m); // warm I-cache
         let t0 = 10_000;
         core.execute(CpuId(0), &read(0x5000), t0, &mut m); // miss in window
-        // 64 instructions >> 15 remaining ROB slots: must stall for the miss.
+                                                           // 64 instructions >> 15 remaining ROB slots: must stall for the miss.
         let busy = core.execute(CpuId(0), &compute(64), t0 + 1, &mut m);
         assert!(
             busy >= 170,

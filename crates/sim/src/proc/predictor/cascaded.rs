@@ -6,15 +6,15 @@
 //! The second stage overrides the first on a tag hit; entries are promoted
 //! into the second stage when the first stage mispredicts.
 
-use serde::{Deserialize, Serialize};
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct Stage1Entry {
     target: u32,
     valid: bool,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct Stage2Entry {
     tag: u16,
     target: u32,
@@ -22,7 +22,8 @@ struct Stage2Entry {
 }
 
 /// The cascaded two-stage indirect branch predictor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CascadedIndirect {
     stage1: Vec<Stage1Entry>,
     stage2: Vec<Stage2Entry>,
@@ -158,7 +159,9 @@ mod tests {
         for i in 0..600usize {
             p.update(0x20, targets[i % 3]);
         }
-        let correct = (600..1200usize).filter(|&i| p.update(0x20, targets[i % 3])).count();
+        let correct = (600..1200usize)
+            .filter(|&i| p.update(0x20, targets[i % 3]))
+            .count();
         assert!(correct > 450, "only {correct}/600 correct");
     }
 

@@ -1,13 +1,12 @@
 //! A return-address stack predictor, matching the 64-entry RAS TFsim models
 //! (§3.2.4).
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-depth circular return-address stack.
 ///
 /// Overflow wraps (oldest entries are overwritten), underflow mispredicts —
 /// both behaviours of real hardware RASes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ReturnAddressStack {
     stack: Vec<u32>,
     top: usize,

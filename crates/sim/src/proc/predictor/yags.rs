@@ -6,11 +6,10 @@
 //! not-taken — indexed by PC xor global history. A branch first consults the
 //! choice PHT; the corresponding direction cache can override on a tag hit.
 
-use serde::{Deserialize, Serialize};
-
 use super::Counter2;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct DirEntry {
     tag: u16,
     counter: Counter2,
@@ -18,7 +17,8 @@ struct DirEntry {
 }
 
 /// A YAGS direct branch predictor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Yags {
     choice: Vec<Counter2>,
     taken_cache: Vec<DirEntry>,

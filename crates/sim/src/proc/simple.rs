@@ -1,16 +1,15 @@
 //! The fast blocking processor model (§3.2.4): one instruction per cycle
 //! with perfect L1s, full stalls on every memory access.
 
-use serde::{Deserialize, Serialize};
-
 use super::ProcStats;
-use crate::ids::{Cycle, CpuId};
+use crate::ids::{CpuId, Cycle};
 use crate::mem::MemorySystem;
 use crate::ops::Op;
 
 /// State of a simple blocking core (counters only — the model has no
 /// microarchitectural state).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SimpleCore {
     stats: ProcStats,
 }
@@ -119,11 +118,21 @@ mod tests {
         let mut c = SimpleCore::new();
         let mut m = mem();
         assert_eq!(
-            c.execute(CpuId(0), &Op::Branch(BranchInfo { pc: 1, taken: true }), 0, &mut m),
+            c.execute(
+                CpuId(0),
+                &Op::Branch(BranchInfo { pc: 1, taken: true }),
+                0,
+                &mut m
+            ),
             1
         );
         assert_eq!(
-            c.execute(CpuId(0), &Op::IndirectBranch { pc: 2, target: 9 }, 0, &mut m),
+            c.execute(
+                CpuId(0),
+                &Op::IndirectBranch { pc: 2, target: 9 },
+                0,
+                &mut m
+            ),
             1
         );
     }

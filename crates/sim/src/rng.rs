@@ -8,8 +8,6 @@
 //! between `rand` versions and it is not serializable), so we carry our own
 //! [`SplitMix64`] (seeding) and [`Xoshiro256StarStar`] (simulation streams).
 
-use serde::{Deserialize, Serialize};
-
 /// SplitMix64: a tiny 64-bit generator used to expand one `u64` seed into the
 /// 256-bit state of [`Xoshiro256StarStar`], and as a cheap standalone stream
 /// where statistical quality demands are low.
@@ -23,7 +21,8 @@ use serde::{Deserialize, Serialize};
 /// let mut b = SplitMix64::new(7);
 /// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SplitMix64 {
     state: u64,
 }
@@ -47,7 +46,8 @@ impl SplitMix64 {
 /// xoshiro256** — the workhorse generator for workload streams and timing
 /// perturbations. Fast, tiny state, excellent statistical quality, and the
 /// algorithm is pinned in this crate so checkpoints stay replayable forever.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Xoshiro256StarStar {
     s: [u64; 4],
 }
@@ -79,10 +79,7 @@ impl Xoshiro256StarStar {
     /// Returns the next 64 pseudo-random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -138,7 +135,9 @@ impl Xoshiro256StarStar {
     ///
     /// Panics if `cumulative` is empty or its last element is not positive.
     pub fn next_weighted(&mut self, cumulative: &[u32]) -> usize {
-        let total = *cumulative.last().expect("cumulative table must be non-empty");
+        let total = *cumulative
+            .last()
+            .expect("cumulative table must be non-empty");
         assert!(total > 0, "cumulative weights must end positive");
         let x = self.next_below(u64::from(total)) as u32;
         cumulative

@@ -9,13 +9,12 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
-use crate::ids::{Cycle, CpuId, LockId, Nanos, ThreadId};
+use crate::ids::{CpuId, Cycle, LockId, Nanos, ThreadId};
 use crate::SimError;
 
 /// Scheduler tuning parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SchedConfig {
     /// Time-slice length (ns). Solaris' time-share class uses 20–200 ms;
     /// scaled down so scheduling stays active in short simulations.
@@ -62,7 +61,8 @@ impl SchedConfig {
 }
 
 /// Lifecycle state of a simulated thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum ThreadState {
     /// Runnable, waiting in the ready queue.
     Ready,
@@ -75,7 +75,8 @@ pub enum ThreadState {
 }
 
 /// What a scheduling-log entry records.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SchedEventKind {
     /// Thread dispatched onto a CPU.
     Dispatch,
@@ -92,7 +93,8 @@ pub enum SchedEventKind {
 }
 
 /// One scheduling event (a point in Figure 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SchedEvent {
     /// When it happened.
     pub cycle: Cycle,
@@ -105,7 +107,8 @@ pub struct SchedEvent {
 }
 
 /// Scheduler counters for one run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SchedStats {
     /// Threads dispatched onto CPUs.
     pub dispatches: u64,
@@ -118,7 +121,8 @@ pub struct SchedStats {
 }
 
 /// Per-thread scheduler bookkeeping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct ThreadRecord {
     state: ThreadState,
     last_cpu: Option<CpuId>,
@@ -132,7 +136,8 @@ struct ThreadRecord {
 
 /// The scheduler: a global ready queue with round-robin dispatch, soft CPU
 /// affinity and quantum-based preemption.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Scheduler {
     config: SchedConfig,
     threads: Vec<ThreadRecord>,
@@ -153,7 +158,11 @@ impl Scheduler {
     ///
     /// Returns [`SimError::InvalidConfig`] if the config is invalid or
     /// either count is zero.
-    pub fn new(config: SchedConfig, thread_count: usize, cpu_count: usize) -> Result<Self, SimError> {
+    pub fn new(
+        config: SchedConfig,
+        thread_count: usize,
+        cpu_count: usize,
+    ) -> Result<Self, SimError> {
         config.validate()?;
         if thread_count == 0 || cpu_count == 0 {
             return Err(SimError::InvalidConfig {
@@ -254,10 +263,7 @@ impl Scheduler {
             .enumerate()
         {
             let rec = &self.threads[t.index()];
-            if rec.affine
-                && rec.last_cpu == Some(cpu)
-                && self.last_thread[cpu.index()] != Some(t)
-            {
+            if rec.affine && rec.last_cpu == Some(cpu) && self.last_thread[cpu.index()] != Some(t) {
                 chosen_idx = i;
                 break;
             }

@@ -1,7 +1,5 @@
 //! Per-run measurement results.
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::Cycle;
 use crate::mem::MemStats;
 use crate::proc::ProcStats;
@@ -13,7 +11,8 @@ use crate::sync::LockStats;
 /// The headline number is [`RunResult::cycles_per_transaction`] — the paper's
 /// §3.1 metric: simulated time to finish a fixed number of transactions,
 /// divided by that number.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunResult {
     /// Cycle at which measurement began.
     pub start_cycle: Cycle,

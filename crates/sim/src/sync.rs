@@ -8,8 +8,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{BlockAddr, Cycle, LockId, ThreadId};
 
 /// First block address of the lock-word region. Workload data addresses must
@@ -27,7 +25,8 @@ pub enum AcquireOutcome {
     Queued,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct LockState {
     holder: Option<ThreadId>,
     waiters: VecDeque<ThreadId>,
@@ -36,7 +35,8 @@ struct LockState {
 }
 
 /// Aggregate lock counters for one run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LockStats {
     /// Successful acquisitions (immediate or after waiting).
     pub acquisitions: u64,
@@ -60,7 +60,8 @@ impl LockStats {
 }
 
 /// The lock table: one entry per `LockId`, grown on demand.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LockTable {
     locks: Vec<LockState>,
     /// When each blocked thread started waiting (indexed by thread).
@@ -210,7 +211,10 @@ mod tests {
     #[test]
     fn table_grows_on_demand() {
         let mut t = LockTable::new(2);
-        assert_eq!(t.acquire(LockId(500), ThreadId(0), 0), AcquireOutcome::Acquired);
+        assert_eq!(
+            t.acquire(LockId(500), ThreadId(0), 0),
+            AcquireOutcome::Acquired
+        );
         assert_eq!(t.holder(LockId(500)), Some(ThreadId(0)));
         assert_eq!(t.holder(LockId(1000)), None);
     }

@@ -38,7 +38,8 @@ pub trait Workload {
 
 /// A trivial single-op workload, useful in unit tests: every thread spins on
 /// compute bursts and commits a transaction every `ops_per_txn` ops.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct UniformWorkload {
     threads: usize,
     ops_per_txn: u32,
@@ -93,7 +94,8 @@ impl Workload for UniformWorkload {
 /// (coherence misses, lock contention, scheduling interactions). Real
 /// benchmark profiles live in the `mtvar-workloads` crate; this one exists
 /// for simulator tests and quick experiments.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SharingWorkload {
     threads: usize,
     ops_per_txn: u32,
@@ -105,13 +107,12 @@ pub struct SharingWorkload {
     state: Vec<SharingThreadState>,
 }
 
-use serde::{Deserialize, Serialize};
-
 use crate::ids::{BlockAddr, LockId};
 use crate::ops::AccessKind;
 use crate::rng::Xoshiro256StarStar;
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct SharingThreadState {
     rng: Xoshiro256StarStar,
     ops: u64,
@@ -160,7 +161,6 @@ impl SharingWorkload {
             state,
         }
     }
-
 }
 
 impl Workload for SharingWorkload {
@@ -190,7 +190,11 @@ impl Workload for SharingWorkload {
             } else {
                 AccessKind::Read
             };
-            return Op::Memory { addr, kind, dependent: false };
+            return Op::Memory {
+                addr,
+                kind,
+                dependent: false,
+            };
         }
 
         st.ops += 1;
@@ -209,7 +213,11 @@ impl Workload for SharingWorkload {
             } else {
                 AccessKind::Read
             };
-            return Op::Memory { addr, kind, dependent: false };
+            return Op::Memory {
+                addr,
+                kind,
+                dependent: false,
+            };
         }
         Op::Compute {
             instructions: st.rng.next_burst(20.0, 120) as u32,

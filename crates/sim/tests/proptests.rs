@@ -1,20 +1,33 @@
-//! Property-based tests of the simulator's structural invariants: cache
+//! Randomized tests of the simulator's structural invariants: cache
 //! bookkeeping, the MOSI single-writer property under arbitrary access
-//! interleavings, scheduler conservation, and checkpoint equivalence.
-
-use proptest::prelude::*;
+//! interleavings, RNG bounds, and checkpoint equivalence.
+//!
+//! Formerly written against the `proptest` crate; rewritten as deterministic
+//! seeded sweeps (driven by the crate's own [`Xoshiro256StarStar`]) so the
+//! suite builds with no network access.
 
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::ids::{BlockAddr, CpuId};
 use mtvar_sim::machine::Machine;
-use mtvar_sim::mem::{CacheArray, CacheConfig, MemoryConfig, MemorySystem, CoherenceState, Perturbation};
+use mtvar_sim::mem::{
+    CacheArray, CacheConfig, CoherenceState, MemoryConfig, MemorySystem, Perturbation,
+};
 use mtvar_sim::ops::AccessKind;
 use mtvar_sim::rng::Xoshiro256StarStar;
 use mtvar_sim::workload::SharingWorkload;
 
-/// A compact encoding of a random access: (cpu, block, is_write).
-fn accesses(max: usize) -> impl Strategy<Value = Vec<(u8, u16, bool)>> {
-    prop::collection::vec((0u8..4, 0u16..96, any::<bool>()), 1..max)
+/// A random access sequence: (cpu in 0..4, block in 0..96, is_write).
+fn accesses(rng: &mut Xoshiro256StarStar, max: usize) -> Vec<(u8, u16, bool)> {
+    let n = rng.next_range(1, max as u64 - 1) as usize;
+    (0..n)
+        .map(|_| {
+            (
+                rng.next_below(4) as u8,
+                rng.next_below(96) as u16,
+                rng.next_bool(0.5),
+            )
+        })
+        .collect()
 }
 
 fn small_mem(cpus: usize) -> MemorySystem {
@@ -25,107 +38,175 @@ fn small_mem(cpus: usize) -> MemorySystem {
     MemorySystem::new(cfg, cpus, Perturbation::new(4, 9)).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn mosi_single_writer_invariant_holds(ops in accesses(400)) {
+#[test]
+fn mosi_single_writer_invariant_holds() {
+    let mut rng = Xoshiro256StarStar::new(0x51_0001);
+    for _ in 0..64 {
+        let ops = accesses(&mut rng, 400);
         let mut mem = small_mem(4);
         let mut now = 0u64;
         for (cpu, block, write) in &ops {
             now += 10;
-            let kind = if *write { AccessKind::Write } else { AccessKind::Read };
-            let out = mem.access(CpuId(u32::from(*cpu)), BlockAddr(u64::from(*block)), kind, now);
-            prop_assert!(out.latency >= 1);
+            let kind = if *write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let out = mem.access(
+                CpuId(u32::from(*cpu)),
+                BlockAddr(u64::from(*block)),
+                kind,
+                now,
+            );
+            assert!(out.latency >= 1);
         }
         // Every touched block satisfies the protocol invariant afterwards.
         for b in 0..96u64 {
-            prop_assert!(mem.check_coherence_invariant(BlockAddr(b)), "block {b} violates MOSI");
+            assert!(
+                mem.check_coherence_invariant(BlockAddr(b)),
+                "block {b} violates MOSI"
+            );
         }
     }
+}
 
-    #[test]
-    fn store_grants_exclusive_access(ops in accesses(200), victim in 0u16..96) {
+#[test]
+fn store_grants_exclusive_access() {
+    let mut rng = Xoshiro256StarStar::new(0x51_0002);
+    for _ in 0..64 {
+        let ops = accesses(&mut rng, 200);
+        let victim = rng.next_below(96);
         let mut mem = small_mem(4);
         let mut now = 0u64;
         for (cpu, block, write) in &ops {
             now += 10;
-            let kind = if *write { AccessKind::Write } else { AccessKind::Read };
-            mem.access(CpuId(u32::from(*cpu)), BlockAddr(u64::from(*block)), kind, now);
+            let kind = if *write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            mem.access(
+                CpuId(u32::from(*cpu)),
+                BlockAddr(u64::from(*block)),
+                kind,
+                now,
+            );
         }
         // A final write by cpu 0 leaves exactly one valid copy: its own M.
-        mem.access(CpuId(0), BlockAddr(u64::from(victim)), AccessKind::Write, now + 10);
-        prop_assert_eq!(mem.l2_state(CpuId(0), BlockAddr(u64::from(victim))), CoherenceState::Modified);
+        mem.access(CpuId(0), BlockAddr(victim), AccessKind::Write, now + 10);
+        assert_eq!(
+            mem.l2_state(CpuId(0), BlockAddr(victim)),
+            CoherenceState::Modified
+        );
         for c in 1..4u32 {
-            prop_assert_eq!(mem.l2_state(CpuId(c), BlockAddr(u64::from(victim))), CoherenceState::Invalid);
+            assert_eq!(
+                mem.l2_state(CpuId(c), BlockAddr(victim)),
+                CoherenceState::Invalid
+            );
         }
     }
+}
 
-    #[test]
-    fn cache_array_never_exceeds_capacity(inserts in prop::collection::vec(0u64..4096, 1..600)) {
+#[test]
+fn cache_array_never_exceeds_capacity() {
+    let mut rng = Xoshiro256StarStar::new(0x51_0003);
+    for _ in 0..64 {
         let cfg = CacheConfig::new(2048, 2, 64).unwrap(); // 32 blocks
         let mut cache = CacheArray::new(cfg).unwrap();
-        for a in inserts {
-            cache.insert(BlockAddr(a), CoherenceState::Shared);
-            prop_assert!(cache.resident_blocks() <= 32);
+        let n = rng.next_range(1, 599);
+        for _ in 0..n {
+            cache.insert(BlockAddr(rng.next_below(4096)), CoherenceState::Shared);
+            assert!(cache.resident_blocks() <= 32);
         }
     }
+}
 
-    #[test]
-    fn cache_insert_then_probe_hits(addr in 0u64..100_000, filler in prop::collection::vec(0u64..100_000, 0..8)) {
+#[test]
+fn cache_insert_then_probe_hits() {
+    let mut rng = Xoshiro256StarStar::new(0x51_0004);
+    for _ in 0..64 {
         let cfg = CacheConfig::new(4096, 4, 64).unwrap();
         let mut cache = CacheArray::new(cfg).unwrap();
-        for f in filler {
-            cache.insert(BlockAddr(f), CoherenceState::Shared);
+        let fillers = rng.next_below(8);
+        for _ in 0..fillers {
+            cache.insert(BlockAddr(rng.next_below(100_000)), CoherenceState::Shared);
         }
+        let addr = rng.next_below(100_000);
         cache.insert(BlockAddr(addr), CoherenceState::Owned);
-        prop_assert_eq!(cache.probe(BlockAddr(addr)), CoherenceState::Owned);
+        assert_eq!(cache.probe(BlockAddr(addr)), CoherenceState::Owned);
     }
+}
 
-    #[test]
-    fn rng_bounds_hold(seed in any::<u64>(), bound in 1u64..1_000_000, lo in 0u64..1000, width in 0u64..1000) {
+#[test]
+fn rng_bounds_hold() {
+    let mut meta = Xoshiro256StarStar::new(0x51_0005);
+    for _ in 0..64 {
+        let seed = meta.next_u64();
+        let bound = meta.next_range(1, 1_000_000);
+        let lo = meta.next_below(1000);
+        let width = meta.next_below(1000);
         let mut rng = Xoshiro256StarStar::new(seed);
         for _ in 0..50 {
-            prop_assert!(rng.next_below(bound) < bound);
+            assert!(rng.next_below(bound) < bound);
             let v = rng.next_range(lo, lo + width);
-            prop_assert!((lo..=lo + width).contains(&v));
+            assert!((lo..=lo + width).contains(&v));
             let f = rng.next_f64();
-            prop_assert!((0.0..1.0).contains(&f));
+            assert!((0.0..1.0).contains(&f));
         }
     }
+}
 
-    #[test]
-    fn machine_determinism_for_arbitrary_seeds(wseed in any::<u64>(), pseed in any::<u64>()) {
+#[test]
+fn machine_determinism_for_arbitrary_seeds() {
+    let mut meta = Xoshiro256StarStar::new(0x51_0006);
+    for _ in 0..8 {
+        let wseed = meta.next_u64();
+        let pseed = meta.next_u64();
         let run = || {
-            let cfg = MachineConfig::hpca2003().with_cpus(2).with_perturbation(4, pseed);
+            let cfg = MachineConfig::hpca2003()
+                .with_cpus(2)
+                .with_perturbation(4, pseed);
             let mut m = Machine::new(cfg, SharingWorkload::new(4, wseed, 30, 512, 8)).unwrap();
             m.run_transactions(40).unwrap().elapsed()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    #[test]
-    fn checkpoint_equivalence_under_random_split(wseed in any::<u64>(), split in 10u64..60) {
+#[test]
+fn checkpoint_equivalence_under_random_split() {
+    let mut meta = Xoshiro256StarStar::new(0x51_0007);
+    for _ in 0..8 {
+        let wseed = meta.next_u64();
+        let split = meta.next_range(10, 59);
         // Running A txns, checkpointing, then B txns must equal running
         // straight through when observed from the checkpoint onward.
-        let cfg = MachineConfig::hpca2003().with_cpus(2).with_perturbation(4, 3);
+        let cfg = MachineConfig::hpca2003()
+            .with_cpus(2)
+            .with_perturbation(4, 3);
         let mut m = Machine::new(cfg, SharingWorkload::new(4, wseed, 25, 256, 6)).unwrap();
         m.run_transactions(split).unwrap();
         let mut fork = m.checkpoint();
         let straight = m.run_transactions(30).unwrap();
         let forked = fork.run_transactions(30).unwrap();
-        prop_assert_eq!(straight.elapsed(), forked.elapsed());
-        prop_assert_eq!(straight.commit_cycles, forked.commit_cycles);
+        assert_eq!(straight.elapsed(), forked.elapsed());
+        assert_eq!(straight.commit_cycles, forked.commit_cycles);
     }
+}
 
-    #[test]
-    fn commit_log_is_sorted_and_complete(wseed in any::<u64>()) {
-        let cfg = MachineConfig::hpca2003().with_cpus(3).with_perturbation(4, 1);
+#[test]
+fn commit_log_is_sorted_and_complete() {
+    let mut meta = Xoshiro256StarStar::new(0x51_0008);
+    for _ in 0..8 {
+        let wseed = meta.next_u64();
+        let cfg = MachineConfig::hpca2003()
+            .with_cpus(3)
+            .with_perturbation(4, 1);
         let mut m = Machine::new(cfg, SharingWorkload::new(6, wseed, 20, 512, 5)).unwrap();
         let r = m.run_transactions(50).unwrap();
-        prop_assert_eq!(r.transactions, 50);
-        prop_assert_eq!(r.commit_cycles.len(), 50);
-        prop_assert!(r.commit_cycles.windows(2).all(|w| w[0] <= w[1]));
-        prop_assert!(r.end_cycle >= r.start_cycle);
+        assert_eq!(r.transactions, 50);
+        assert_eq!(r.commit_cycles.len(), 50);
+        assert!(r.commit_cycles.windows(2).all(|w| w[0] <= w[1]));
+        assert!(r.end_cycle >= r.start_cycle);
     }
 }

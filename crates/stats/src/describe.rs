@@ -7,8 +7,6 @@
 //! minimum runtimes, taken as a percentage of the mean". Both are implemented
 //! on [`Summary`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Result, StatsError};
 
 /// A numerically stable summary of a sample of `f64` observations.
@@ -30,7 +28,8 @@ use crate::{Result, StatsError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Summary {
     n: u64,
     mean: f64,

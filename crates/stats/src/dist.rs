@@ -544,8 +544,16 @@ mod tests {
     fn normal_with_location_scale() {
         let d = Normal::new(10.0, 2.0).unwrap();
         assert_close(d.cdf(10.0), 0.5, 1e-14);
-        assert_close(d.quantile(0.975).unwrap(), 10.0 + 2.0 * 1.959963984540054, 1e-9);
-        assert_close(d.pdf(10.0), 1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt()), 1e-14);
+        assert_close(
+            d.quantile(0.975).unwrap(),
+            10.0 + 2.0 * 1.959963984540054,
+            1e-9,
+        );
+        assert_close(
+            d.pdf(10.0),
+            1.0 / (2.0 * (2.0 * std::f64::consts::PI).sqrt()),
+            1e-14,
+        );
     }
 
     #[test]
@@ -733,11 +741,7 @@ mod tests {
     #[test]
     fn tail_helpers_are_consistent() {
         for x in [0.0, 0.5, 2.0, 4.0] {
-            assert_close(
-                standard_normal_cdf(x) + standard_normal_sf(x),
-                1.0,
-                1e-12,
-            );
+            assert_close(standard_normal_cdf(x) + standard_normal_sf(x), 1.0, 1e-12);
             assert_close(
                 standard_normal_two_sided_p(x),
                 2.0 * standard_normal_sf(x.abs()),

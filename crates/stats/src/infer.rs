@@ -12,8 +12,6 @@
 //!   variability is distinguishable from within-checkpoint (space)
 //!   variability.
 
-use serde::{Deserialize, Serialize};
-
 use crate::describe::Summary;
 use crate::dist::{ContinuousDistribution, Normal, StudentT};
 use crate::special::reg_inc_beta_unchecked;
@@ -35,7 +33,8 @@ fn check_level(level: f64) -> Result<()> {
 }
 
 /// A two-sided confidence interval for a population parameter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ConfidenceInterval {
     lower: f64,
     upper: f64,
@@ -171,7 +170,8 @@ pub fn mean_confidence_interval(summary: &Summary, level: f64) -> Result<Confide
 }
 
 /// Which two-sample t-test to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum TTestKind {
     /// Pooled-variance test (the paper's §5.1.2 formulation, `2n − 2`
     /// degrees of freedom for equal group sizes).
@@ -182,7 +182,8 @@ pub enum TTestKind {
 }
 
 /// Result of a two-sample t-test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TTest {
     statistic: f64,
     df: f64,
@@ -268,8 +269,7 @@ pub fn two_sample_t_test(a: &Summary, b: &Summary, kind: TTestKind) -> Result<TT
         TTestKind::Welch => {
             let se2 = va / na + vb / nb;
             let se = se2.sqrt();
-            let df = se2 * se2
-                / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+            let df = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
             (diff / se, df)
         }
     };
@@ -327,7 +327,8 @@ pub fn sample_size_for_relative_error(
 }
 
 /// Result of a one-way analysis of variance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Anova {
     ss_between: f64,
     ss_within: f64,
@@ -473,7 +474,8 @@ pub fn anova_one_way(groups: &[&[f64]]) -> Result<Anova> {
 /// The §5.1 machinery (t-tests, CIs) assumes approximately normal runtimes;
 /// this diagnostic flags samples where that assumption is shaky (e.g. a
 /// bimodal run space caused by a lock convoy that forms in some runs only).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct JarqueBera {
     statistic: f64,
     skewness: f64,
@@ -552,7 +554,8 @@ pub fn jarque_bera(values: &[f64]) -> Result<JarqueBera> {
 }
 
 /// Result of a two-way (two-factor, with replication) analysis of variance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TwoWayAnova {
     /// F statistic and p-value for factor A (rows).
     pub factor_a: (f64, f64),
@@ -638,11 +641,7 @@ pub fn anova_two_way(cells: &[Vec<Vec<f64>>]) -> Result<TwoWayAnova> {
     }
     let mut ss_b = 0.0;
     for j in 0..b_levels {
-        let mean_b: f64 = cells
-            .iter()
-            .flat_map(|row| row[j].iter())
-            .sum::<f64>()
-            / (a * r);
+        let mean_b: f64 = cells.iter().flat_map(|row| row[j].iter()).sum::<f64>() / (a * r);
         ss_b += a * r * (mean_b - grand).powi(2);
     }
     let mut ss_error = 0.0;
@@ -882,7 +881,7 @@ mod tests {
     #[test]
     fn jarque_bera_accepts_near_normal_symmetric_data() {
         // Symmetric, light-tailed sample: skewness ~ 0, kurtosis mild.
-        let vals: Vec<f64> = (-20..=20).map(|i| f64::from(i)).collect();
+        let vals: Vec<f64> = (-20..=20).map(f64::from).collect();
         let jb = jarque_bera(&vals).unwrap();
         assert!(jb.skewness().abs() < 1e-9);
         // Uniform data is platykurtic but with n = 41 JB stays moderate.
@@ -915,10 +914,18 @@ mod tests {
             vec![vec![20.0, 21.0, 19.0], vec![20.5, 21.5, 19.5]],
         ];
         let a = anova_two_way(&cells).unwrap();
-        assert!(a.factor_a.0 > 50.0, "A should dominate: F = {}", a.factor_a.0);
+        assert!(
+            a.factor_a.0 > 50.0,
+            "A should dominate: F = {}",
+            a.factor_a.0
+        );
         assert!(a.factor_a.1 < 0.001);
         assert!(a.factor_b.1 > 0.3, "B is weak: p = {}", a.factor_b.1);
-        assert!(a.interaction.1 > 0.5, "no interaction: p = {}", a.interaction.1);
+        assert!(
+            a.interaction.1 > 0.5,
+            "no interaction: p = {}",
+            a.interaction.1
+        );
         assert!(!a.interaction_significant(0.05));
         assert!(a.ms_error > 0.0);
     }
@@ -940,16 +947,10 @@ mod tests {
         assert!(anova_two_way(&[]).is_err());
         assert!(anova_two_way(&[vec![vec![1.0, 2.0]]]).is_err());
         // Ragged design.
-        let ragged = vec![
-            vec![vec![1.0, 2.0], vec![1.0, 2.0]],
-            vec![vec![1.0, 2.0]],
-        ];
+        let ragged = vec![vec![vec![1.0, 2.0], vec![1.0, 2.0]], vec![vec![1.0, 2.0]]];
         assert!(anova_two_way(&ragged).is_err());
         // Single replicate.
-        let single = vec![
-            vec![vec![1.0], vec![2.0]],
-            vec![vec![3.0], vec![4.0]],
-        ];
+        let single = vec![vec![vec![1.0], vec![2.0]], vec![vec![3.0], vec![4.0]]];
         assert!(anova_two_way(&single).is_err());
         // Constant data.
         let constant = vec![

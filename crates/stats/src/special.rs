@@ -361,7 +361,11 @@ mod tests {
             if n > 1 {
                 fact *= (n - 1) as f64;
             }
-            assert_close(ln_gamma(n as f64).unwrap(), fact.ln(), 1e-10 * (1.0 + fact.ln().abs()));
+            assert_close(
+                ln_gamma(n as f64).unwrap(),
+                fact.ln(),
+                1e-10 * (1.0 + fact.ln().abs()),
+            );
         }
     }
 
@@ -413,11 +417,7 @@ mod tests {
     fn reg_lower_gamma_exponential_identity() {
         // P(1, x) = 1 - e^{-x}
         for x in [0.1, 1.0, 3.0, 10.0] {
-            assert_close(
-                reg_lower_gamma(1.0, x).unwrap(),
-                1.0 - (-x).exp(),
-                1e-12,
-            );
+            assert_close(reg_lower_gamma(1.0, x).unwrap(), 1.0 - (-x).exp(), 1e-12);
         }
     }
 

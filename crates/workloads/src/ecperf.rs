@@ -45,10 +45,7 @@ pub fn profile() -> WorkloadProfile {
         threads_per_cpu: THREADS_PER_CPU,
         txn_types: vec![
             // Order entry.
-            TxnType {
-                weight: 5,
-                ..base
-            },
+            TxnType { weight: 5, ..base },
             // Manufacturing (work orders).
             TxnType {
                 weight: 3,
@@ -63,7 +60,7 @@ pub fn profile() -> WorkloadProfile {
                 segments_mean: 19.0,
                 write_prob: 0.04,
                 lock_prob: 0.1,
-                                ..base
+                ..base
             },
         ],
         hot_blocks: 12 * 1024,

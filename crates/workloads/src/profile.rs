@@ -14,8 +14,6 @@
 
 use std::collections::VecDeque;
 
-use serde::{Deserialize, Serialize};
-
 use mtvar_sim::ids::{LockId, Nanos, ThreadId};
 use mtvar_sim::ops::{AccessKind, BranchInfo, Op};
 use mtvar_sim::rng::Xoshiro256StarStar;
@@ -27,7 +25,8 @@ use crate::regions;
 const RECENT_RING: usize = 192;
 
 /// One transaction type in the mix (e.g. TPC-C's new-order).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TxnType {
     /// Relative weight in the mix.
     pub weight: u32,
@@ -112,7 +111,8 @@ impl TxnType {
 /// **time variability** (§4.3). All terms are deterministic functions of the
 /// per-thread transaction index, so they shift behaviour *between
 /// checkpoints* without adding within-checkpoint randomness.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PhaseModel {
     /// Period, in per-thread transactions, of the work-intensity wave.
     pub period_txns: u64,
@@ -161,7 +161,8 @@ impl PhaseModel {
 }
 
 /// The complete description of one benchmark's behaviour.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WorkloadProfile {
     /// Benchmark name ("oltp", "apache", ...).
     pub name: String,
@@ -238,7 +239,8 @@ impl WorkloadProfile {
 }
 
 /// Per-thread generator state.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 struct ThreadGen {
     rng: Xoshiro256StarStar,
     txns: u64,
@@ -261,7 +263,8 @@ struct ThreadGen {
 /// assert_eq!(w.thread_count(), 16 * 8); // 8 users per processor
 /// let _op = w.next_op(mtvar_sim::ids::ThreadId(0));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ProfiledWorkload {
     profile: WorkloadProfile,
     cum_weights: Vec<u32>,

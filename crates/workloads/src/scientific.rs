@@ -40,7 +40,7 @@ fn scientific_profile(
             hot_write_factor: 1.0,
             reuse_prob: 0.55,
             dependent_prob: 0.12, // array code: mostly independent strides
-            lock_prob, // rare reduction locks / barrier counters
+            lock_prob,            // rare reduction locks / barrier counters
             cs_mem_ops: 1,
             io_prob: 0.0,
             io_ns_mean: 0,

@@ -52,7 +52,10 @@ fn specjbb_is_private_and_growing() {
     let p = specjbb::profile();
     assert_eq!(p.threads_per_cpu, 1, "one warehouse per processor");
     for t in &p.txn_types {
-        assert!(t.private_prob > 0.8, "SPECjbb works on warehouse-local data");
+        assert!(
+            t.private_prob > 0.8,
+            "SPECjbb works on warehouse-local data"
+        );
         assert!(t.io_prob == 0.0, "SPECjbb is in-memory");
         assert!(t.lock_prob < 0.05, "near lock-free, or Table 3 breaks");
     }

@@ -1,0 +1,68 @@
+//! Baseline the parallel run-space executor against the sequential path on
+//! the `design_comparison` workload (16 perturbed OLTP runs of one ROB-32
+//! configuration), verify bit-identity, and write the wall-time record to
+//! `BENCH_runspace.json`.
+//!
+//! ```text
+//! cargo run --release --example bench_runspace
+//! ```
+//!
+//! The JSON is an honest record of *this host*: on a single-core container
+//! the parallel path cannot beat sequential (there is nothing to overlap
+//! with), and the file says so via `host_parallelism`. The quantity under
+//! test is the determinism contract — identical results at every thread
+//! count — with speedup as a free side effect wherever cores exist.
+
+use std::time::Instant;
+
+use mtvar_core::runspace::{run_space, Executor, RunPlan, RunSpace};
+use mtvar_sim::config::MachineConfig;
+use mtvar_sim::proc::{OooConfig, ProcessorConfig};
+use mtvar_workloads::Benchmark;
+
+const RUNS: usize = 16;
+const TXNS: u64 = 50;
+const WARMUP: u64 = 400;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = MachineConfig::hpca2003()
+        .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(32)))
+        .with_perturbation(4, 0);
+    let plan = RunPlan::new(TXNS).with_runs(RUNS).with_warmup(WARMUP);
+    let workload = || Benchmark::Oltp.workload(16, 42);
+
+    // Sequential reference: the free function, uncached.
+    let t0 = Instant::now();
+    let reference = run_space(&cfg, workload, &plan)?;
+    let sequential_s = t0.elapsed().as_secs_f64();
+
+    // Parallel executor, cache disabled so the measurement is pure compute.
+    let executor = Executor::new().without_cache();
+    let threads = executor.threads();
+    let t1 = Instant::now();
+    let parallel = executor.run_space(&cfg, workload, &plan)?;
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    assert_eq!(
+        reference.results(),
+        parallel.results(),
+        "parallel executor must be bit-identical to the sequential reference"
+    );
+
+    // Cached re-invocation of the same space (cache enabled this time).
+    let cached_exec = Executor::new();
+    cached_exec.run_space(&cfg, workload, &plan)?;
+    let t2 = Instant::now();
+    let cached: RunSpace = cached_exec.run_space(&cfg, workload, &plan)?;
+    let cached_s = t2.elapsed().as_secs_f64();
+    assert_eq!(reference.results(), cached.results());
+
+    let speedup = sequential_s / parallel_s;
+    let json = format!(
+        "{{\n  \"workload\": \"design_comparison: OLTP 16 threads, ROB-32, {RUNS} runs x {TXNS} txns, warmup {WARMUP}\",\n  \"host_parallelism\": {threads},\n  \"sequential_seconds\": {sequential_s:.4},\n  \"parallel_seconds\": {parallel_s:.4},\n  \"cached_seconds\": {cached_s:.6},\n  \"speedup_parallel_vs_sequential\": {speedup:.3},\n  \"bit_identical\": true\n}}\n"
+    );
+    std::fs::write("BENCH_runspace.json", &json)?;
+    println!("{json}");
+    println!("wrote BENCH_runspace.json ({threads} worker thread(s) on this host)");
+    Ok(())
+}

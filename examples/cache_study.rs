@@ -10,7 +10,7 @@
 //! ```
 
 use mtvar_core::compare::{Comparison, Verdict};
-use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::runspace::{Executor, RunPlan};
 use mtvar_core::wcr::wrong_conclusion_ratio;
 use mtvar_sim::config::MachineConfig;
 use mtvar_workloads::Benchmark;
@@ -19,15 +19,23 @@ const RUNS: usize = 12;
 const TXNS: u64 = 200;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One executor for the whole study: both configurations' run spaces fan
+    // out over its thread pool, and its cache would satisfy any repeats.
+    let executor = Executor::new();
     let runs_for = |ways: u32| -> Result<Vec<f64>, mtvar_core::CoreError> {
         let cfg = MachineConfig::hpca2003()
             .with_l2_associativity(ways)
             .with_perturbation(4, 0);
         let plan = RunPlan::new(TXNS).with_runs(RUNS).with_warmup(1000);
-        Ok(run_space(&cfg, || Benchmark::Oltp.workload(16, 42), &plan)?.runtimes())
+        Ok(executor
+            .run_space(&cfg, || Benchmark::Oltp.workload(16, 42), &plan)?
+            .runtimes())
     };
 
-    println!("collecting {RUNS} perturbed runs per configuration...");
+    println!(
+        "collecting {RUNS} perturbed runs per configuration on {} thread(s)...",
+        executor.threads()
+    );
     let two_way = runs_for(2)?;
     let four_way = runs_for(4)?;
 

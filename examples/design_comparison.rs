@@ -10,7 +10,7 @@
 //! ```
 
 use mtvar_core::compare::Comparison;
-use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::runspace::{Executor, RunPlan};
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::proc::{OooConfig, ProcessorConfig};
 use mtvar_stats::infer::sample_size_for_relative_error;
@@ -20,15 +20,21 @@ const MAX_RUNS: usize = 16;
 const TXNS: u64 = 50;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let executor = Executor::new();
     let collect = |rob: u32| -> Result<Vec<f64>, mtvar_core::CoreError> {
         let cfg = MachineConfig::hpca2003()
             .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(rob)))
             .with_perturbation(4, 0);
         let plan = RunPlan::new(TXNS).with_runs(MAX_RUNS).with_warmup(400);
-        Ok(run_space(&cfg, || Benchmark::Oltp.workload(16, 42), &plan)?.runtimes())
+        Ok(executor
+            .run_space(&cfg, || Benchmark::Oltp.workload(16, 42), &plan)?
+            .runtimes())
     };
 
-    println!("collecting {MAX_RUNS} runs per ROB size...");
+    println!(
+        "collecting {MAX_RUNS} runs per ROB size on {} thread(s)...",
+        executor.threads()
+    );
     let rob32 = collect(32)?;
     let rob64 = collect(64)?;
     let cmp = Comparison::from_runs("ROB-32", &rob32, "ROB-64", &rob64)?;
@@ -43,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {n:>2}   {:>8.1}   {:>8.1}   {p:>10.4}    {}",
             a.mean(),
             b.mean(),
-            if p <= 0.05 { "conclude" } else { "keep running" }
+            if p <= 0.05 {
+                "conclude"
+            } else {
+                "keep running"
+            }
         );
     }
 
@@ -52,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (alpha, n) in cmp.min_runs_for_significance(&[0.10, 0.05, 0.025, 0.01])? {
         match n {
             Some(n) => println!("    alpha {:>5.1}% -> {n} runs", alpha * 100.0),
-            None => println!("    alpha {:>5.1}% -> more than {MAX_RUNS} runs", alpha * 100.0),
+            None => println!(
+                "    alpha {:>5.1}% -> more than {MAX_RUNS} runs",
+                alpha * 100.0
+            ),
         }
     }
 

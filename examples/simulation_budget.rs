@@ -10,28 +10,36 @@
 
 use mtvar_core::budget::{plan_budget, CovModel};
 use mtvar_core::metrics::VariabilityReport;
-use mtvar_core::runspace::{run_space, RunPlan};
-use mtvar_core::timesample::{checkpoint_positions, sweep_checkpoints_at, SamplingStrategy};
+use mtvar_core::runspace::{Executor, RunPlan};
+use mtvar_core::timesample::{checkpoint_positions, sweep_checkpoints_at_with, SamplingStrategy};
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::machine::Machine;
 use mtvar_workloads::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = MachineConfig::hpca2003().with_perturbation(4, 0);
+    let executor = Executor::new();
 
-    // 1. Pilot: a quick CoV-vs-length sweep (a miniature Table 4).
-    println!("pilot sweep...");
-    let mut pilot = Vec::new();
+    // 1. Pilot: a quick CoV-vs-length sweep (a miniature Table 4), measured
+    //    and fitted in one call. The pilot's run spaces execute in parallel
+    //    on the executor.
+    println!("pilot sweep on {} thread(s)...", executor.threads());
+    let model = CovModel::fit_by_pilot(
+        &executor,
+        &cfg,
+        || Benchmark::Oltp.workload(16, 42),
+        &[100, 200, 400],
+        6,
+        600,
+    )?;
     for len in [100u64, 200, 400] {
-        let plan = RunPlan::new(len).with_runs(6).with_warmup(600);
-        let space = run_space(&cfg, || Benchmark::Oltp.workload(16, 42), &plan)?;
-        let rep = VariabilityReport::from_runtimes(&space.runtimes())?;
-        println!("  {len:>4}-txn runs: CoV {:.2}%", rep.cov_percent);
-        pilot.push((len, rep.cov_percent));
+        println!(
+            "  {len:>4}-txn runs: fitted CoV {:.2}%",
+            model.cov_percent_at(len)
+        );
     }
 
-    // 2. Fit and plan: how should 6,000 transactions of budget be spent?
-    let model = CovModel::fit(&pilot)?;
+    // 2. Plan: how should 6,000 transactions of budget be spent?
     let plan = plan_budget(&model, 6_000, 100, 0.95)?;
     println!(
         "\nplan for a 6,000-transaction budget: {} runs x {} transactions \
@@ -46,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut machine = Machine::new(cfg, Benchmark::Oltp.workload(16, 42))?;
     let run_plan = RunPlan::new(plan.transactions_per_run).with_runs(plan.runs.min(5));
-    let study = sweep_checkpoints_at(&mut machine, &positions, &run_plan)?;
+    let study = sweep_checkpoints_at_with(&executor, &mut machine, &positions, &run_plan)?;
 
     for (ck, group) in study.checkpoints().iter().zip(study.groups()) {
         let rep = VariabilityReport::from_runtimes(group)?;

@@ -10,8 +10,8 @@
 //! cargo run --release --example time_sampling
 //! ```
 
-use mtvar_core::runspace::RunPlan;
-use mtvar_core::timesample::sweep_checkpoints;
+use mtvar_core::runspace::{Executor, RunPlan};
+use mtvar_core::timesample::sweep_checkpoints_with;
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::machine::Machine;
 use mtvar_stats::describe::Summary;
@@ -22,10 +22,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut machine = Machine::new(cfg, Benchmark::Specjbb.workload(16, 42))?;
 
     // Six starting points, 1,500 transactions apart, five perturbed
-    // 400-transaction runs from each.
-    println!("sweeping checkpoints through the SPECjbb lifetime...");
+    // 400-transaction runs from each. Each checkpoint's run space fans out
+    // over the executor's threads; seeds derive from the checkpoint state,
+    // so the groups are decorrelated and reproducible.
+    let executor = Executor::new();
+    println!(
+        "sweeping checkpoints through the SPECjbb lifetime on {} thread(s)...",
+        executor.threads()
+    );
     let plan = RunPlan::new(400).with_runs(5);
-    let study = sweep_checkpoints(&mut machine, 6, 1_500, &plan)?;
+    let study = sweep_checkpoints_with(&executor, &mut machine, 6, 1_500, &plan)?;
 
     println!("\n  checkpoint (txns warmed)   cycles/txn mean ± sd");
     for (ck, group) in study.checkpoints().iter().zip(study.groups()) {

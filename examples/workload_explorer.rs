@@ -6,13 +6,18 @@
 //! cargo run --release --example workload_explorer [benchmark]
 //! ```
 
+use mtvar_core::runspace::{Executor, RunPlan};
 use mtvar_sim::config::MachineConfig;
-use mtvar_sim::machine::Machine;
 use mtvar_sim::workload::Workload;
+use mtvar_stats::describe::Summary;
 use mtvar_workloads::Benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let filter = std::env::args().nth(1);
+    // One executor across all profiles: each benchmark's small run space
+    // (4 perturbed runs) executes in parallel, and the first run supplies
+    // the detailed event counts below.
+    let executor = Executor::new();
     for b in Benchmark::ALL {
         if let Some(f) = &filter {
             if b.name() != f {
@@ -20,21 +25,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         let cfg = MachineConfig::hpca2003().with_perturbation(4, 1);
-        let mut machine = Machine::new(cfg, b.workload(16, 42))?;
         let txns = match b {
             Benchmark::Barnes | Benchmark::Ocean => 16,
             Benchmark::Ecperf => 40,
             Benchmark::Slashcode => 60,
             _ => 300,
         };
-        let run = machine.run_transactions(txns)?;
+        let plan = RunPlan::new(txns).with_runs(4);
+        let space = executor.run_space(&cfg, || b.workload(16, 42), &plan)?;
+        let run = &space.results()[0];
+        let cov = Summary::from_slice(&space.runtimes())?.coefficient_of_variation()?;
 
         println!("== {} ==", b.name());
         println!(
-            "  threads: {:>4}   measured txns: {:>6}   cycles/txn: {:>9.1}",
-            machine.workload().thread_count(),
+            "  threads: {:>4}   measured txns: {:>6}   cycles/txn: {:>9.1}   CoV over {} runs: {:.2}%",
+            b.workload(16, 42).thread_count(),
             run.transactions,
-            run.cycles_per_transaction()
+            run.cycles_per_transaction(),
+            space.len(),
+            cov
         );
         let m = &run.mem;
         let total = m.data_accesses().max(1);

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate: everything a change must pass before merging.
+# Runs fully offline (the workspace has no registry dependencies).
+#
+#   sh scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> verify OK"

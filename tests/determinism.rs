@@ -2,7 +2,16 @@
 //! rests on (§3.3): the simulator is a pure function of `(configuration,
 //! workload seed, perturbation seed)`, and only the perturbation seed may
 //! change an outcome from fixed initial conditions.
+//!
+//! The second half extends the contract to the parallel executor: a run
+//! space is a pure function of `(configuration, workload, plan)` — never of
+//! thread count, scheduling order, or cache state.
 
+use std::sync::Arc;
+
+use mtvar::core::runspace::{
+    run_space, run_space_from_checkpoint, Executor, ProgressCounters, RunPlan,
+};
 use mtvar::sim::config::MachineConfig;
 use mtvar::sim::machine::Machine;
 use mtvar::workloads::Benchmark;
@@ -111,12 +120,117 @@ fn reseeded_checkpoint_diverges_but_reproduces() {
     .expect("machine");
     m.run_transactions(40).expect("warmup");
 
-    let r1 = m.with_perturbation_seed(77).run_transactions(80).expect("run");
-    let r2 = m.with_perturbation_seed(77).run_transactions(80).expect("run");
-    let r3 = m.with_perturbation_seed(78).run_transactions(80).expect("run");
+    let r1 = m
+        .with_perturbation_seed(77)
+        .run_transactions(80)
+        .expect("run");
+    let r2 = m
+        .with_perturbation_seed(77)
+        .run_transactions(80)
+        .expect("run");
+    let r3 = m
+        .with_perturbation_seed(78)
+        .run_transactions(80)
+        .expect("run");
     assert_eq!(r1.elapsed(), r2.elapsed(), "same seed must reproduce");
     assert_ne!(
         r1.commit_cycles, r3.commit_cycles,
         "different seeds should diverge from a warm checkpoint"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// The parallel executor's determinism contract
+// ---------------------------------------------------------------------------
+
+#[test]
+fn parallel_run_space_is_bit_identical_across_thread_counts() {
+    let config = small_config().with_perturbation(4, 0);
+    let plan = RunPlan::new(60).with_runs(8).with_warmup(40);
+    let workload = || Benchmark::Oltp.workload(4, 7);
+
+    // The sequential free function is the reference.
+    let reference = run_space(&config, workload, &plan).expect("sequential space");
+    for threads in [1, 2, 4, 9] {
+        let space = Executor::with_threads(threads)
+            .run_space(&config, workload, &plan)
+            .expect("parallel space");
+        assert_eq!(
+            reference.results(),
+            space.results(),
+            "{threads}-thread executor must reproduce the sequential space bit-for-bit"
+        );
+    }
+}
+
+#[test]
+fn parallel_checkpoint_space_is_bit_identical_across_thread_counts() {
+    let mut m = Machine::new(
+        small_config().with_perturbation(4, 5),
+        Benchmark::Apache.workload(4, 3),
+    )
+    .expect("machine");
+    m.run_transactions(50).expect("warmup");
+    let plan = RunPlan::new(50).with_runs(6);
+
+    let reference = run_space_from_checkpoint(&m, &plan).expect("sequential space");
+    for threads in [2, 5] {
+        let space = Executor::with_threads(threads)
+            .run_space_from_checkpoint(&m, &plan)
+            .expect("parallel space");
+        assert_eq!(reference.results(), space.results());
+    }
+}
+
+#[test]
+fn cached_reinvocation_returns_identical_results_without_resimulating() {
+    let config = small_config().with_perturbation(4, 0);
+    let plan = RunPlan::new(50).with_runs(5);
+    let workload = || Benchmark::Oltp.workload(4, 7);
+
+    let progress = Arc::new(ProgressCounters::new());
+    let executor = Executor::with_threads(4).with_progress(progress.clone());
+    let first = executor.run_space(&config, workload, &plan).expect("first");
+    assert_eq!(
+        progress.completed(),
+        5,
+        "all runs simulate on first contact"
+    );
+
+    let second = executor
+        .run_space(&config, workload, &plan)
+        .expect("second");
+    assert_eq!(
+        first.results(),
+        second.results(),
+        "cache must return identical results"
+    );
+    assert_eq!(
+        progress.completed(),
+        5,
+        "second invocation must not re-simulate"
+    );
+    assert_eq!(
+        progress.cached(),
+        5,
+        "every run of the repeat must come from cache"
+    );
+}
+
+#[test]
+fn executor_distinguishes_workload_seeds_in_cache_and_results() {
+    let config = small_config().with_perturbation(4, 0);
+    let plan = RunPlan::new(40).with_runs(3);
+    let executor = Executor::sequential();
+    let a = executor
+        .run_space(&config, || Benchmark::Oltp.workload(4, 7), &plan)
+        .expect("a");
+    let b = executor
+        .run_space(&config, || Benchmark::Oltp.workload(4, 8), &plan)
+        .expect("b");
+    assert_ne!(
+        a.runtimes(),
+        b.runtimes(),
+        "same benchmark with different workload seeds must not share cached runs"
     );
 }

@@ -2,7 +2,7 @@
 //! harness mechanics hold (directions, logs, sweeps) without the full 20-run
 //! budgets of `cargo bench`.
 
-use mtvar::core::runspace::{run_space, RunPlan};
+use mtvar::core::runspace::{Executor, RunPlan};
 use mtvar::sim::config::MachineConfig;
 use mtvar::sim::machine::Machine;
 use mtvar::sim::proc::{OooConfig, ProcessorConfig};
@@ -40,7 +40,11 @@ fn fig4_smoke_dram_sweep_is_not_monotone() {
             .with_dram_latency_ns(latency);
         let mut m = Machine::new(cfg, Benchmark::Oltp.workload(8, 42)).expect("machine");
         m.run_transactions(150).expect("warmup");
-        results.push(m.run_transactions(150).expect("run").cycles_per_transaction());
+        results.push(
+            m.run_transactions(150)
+                .expect("run")
+                .cycles_per_transaction(),
+        );
     }
     // The paper's central observation: tiny latency changes do NOT map to a
     // clean monotone curve.
@@ -53,12 +57,14 @@ fn fig4_smoke_dram_sweep_is_not_monotone() {
 
 #[test]
 fn experiment2_smoke_bigger_rob_wins_on_average() {
+    let executor = Executor::new();
     let mean_for = |rob: u32| {
         let cfg = MachineConfig::hpca2003()
             .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(rob)))
             .with_perturbation(4, 0);
         let plan = RunPlan::new(50).with_runs(6).with_warmup(300);
-        let rt = run_space(&cfg, || Benchmark::Oltp.workload(16, 42), &plan)
+        let rt = executor
+            .run_space(&cfg, || Benchmark::Oltp.workload(16, 42), &plan)
             .expect("space")
             .runtimes();
         rt.iter().sum::<f64>() / rt.len() as f64
@@ -73,10 +79,12 @@ fn experiment2_smoke_bigger_rob_wins_on_average() {
 
 #[test]
 fn table3_smoke_commercial_workloads_more_variable_than_scientific() {
+    let executor = Executor::new();
     let cov_for = |b: Benchmark, txns: u64, warmup: u64| {
         let cfg = MachineConfig::hpca2003().with_perturbation(4, 0);
         let plan = RunPlan::new(txns).with_runs(8).with_warmup(warmup);
-        let rt = run_space(&cfg, || b.workload(16, 42), &plan)
+        let rt = executor
+            .run_space(&cfg, || b.workload(16, 42), &plan)
             .expect("space")
             .runtimes();
         let s = mtvar::stats::describe::Summary::from_slice(&rt).expect("summary");

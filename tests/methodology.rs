@@ -4,15 +4,17 @@
 
 use mtvar::core::compare::{Comparison, Verdict};
 use mtvar::core::metrics::{windowed_series, VariabilityReport};
-use mtvar::core::runspace::{run_space, run_space_from_checkpoint, RunPlan};
-use mtvar::core::timesample::sweep_checkpoints;
-use mtvar::core::wcr::wrong_conclusion_ratio;
+use mtvar::core::runspace::{run_space, run_space_from_checkpoint, Executor, RunPlan};
+use mtvar::core::timesample::sweep_checkpoints_with;
+use mtvar::core::wcr::wcr_from_spaces;
 use mtvar::sim::config::MachineConfig;
 use mtvar::sim::machine::Machine;
 use mtvar::workloads::Benchmark;
 
 fn cfg() -> MachineConfig {
-    MachineConfig::hpca2003().with_cpus(4).with_perturbation(4, 0)
+    MachineConfig::hpca2003()
+        .with_cpus(4)
+        .with_perturbation(4, 0)
 }
 
 #[test]
@@ -30,34 +32,37 @@ fn run_space_yields_analyzable_variability() {
 #[test]
 fn wcr_detects_overlap_between_close_configs() {
     // 2-way vs 4-way L2 on a small machine: close configs, overlapping
-    // ranges, WCR strictly between 0 and 100.
+    // ranges, WCR strictly between 0 and 100. Both spaces execute on one
+    // parallel executor and feed WCR directly.
+    let executor = Executor::new();
     let collect = |ways| {
         let c = cfg().with_l2_associativity(ways);
         let plan = RunPlan::new(80).with_runs(8).with_warmup(200);
-        run_space(&c, || Benchmark::Oltp.workload(4, 42), &plan)
+        executor
+            .run_space(&c, || Benchmark::Oltp.workload(4, 42), &plan)
             .expect("space")
-            .runtimes()
     };
     let a = collect(2);
     let b = collect(4);
-    let w = wrong_conclusion_ratio(&a, &b).expect("wcr");
+    let w = wcr_from_spaces(&a, &b).expect("wcr");
     assert!(w.total_pairs == 64);
     assert!((0.0..=100.0).contains(&w.wcr_percent));
 }
 
 #[test]
 fn comparison_workflow_runs_end_to_end() {
+    let executor = Executor::new();
     let collect = |seed_base: u64| {
         let mut c = cfg();
         c.perturbation_seed = seed_base;
         let plan = RunPlan::new(60).with_runs(5).with_base_seed(seed_base);
-        run_space(&c, || Benchmark::Apache.workload(4, 9), &plan)
+        executor
+            .run_space(&c, || Benchmark::Apache.workload(4, 9), &plan)
             .expect("space")
-            .runtimes()
     };
     let a = collect(0);
     let b = collect(1000);
-    let cmp = Comparison::from_runs("a", &a, "b", &b).expect("comparison");
+    let cmp = Comparison::from_spaces("a", &a, "b", &b).expect("comparison");
     let (ci_a, ci_b) = cmp.confidence_intervals(0.95).expect("cis");
     assert!(ci_a.width() > 0.0 && ci_b.width() > 0.0);
     // Same configuration sampled twice: the verdict must not be a confident
@@ -90,7 +95,7 @@ fn time_sampling_study_end_to_end() {
     let mut m = Machine::new(cfg(), Benchmark::Specjbb.workload(4, 42)).expect("machine");
     m.run_transactions(100).expect("warmup");
     let plan = RunPlan::new(60).with_runs(3);
-    let study = sweep_checkpoints(&mut m, 3, 400, &plan).expect("sweep");
+    let study = sweep_checkpoints_with(&Executor::new(), &mut m, 3, 400, &plan).expect("sweep");
     assert_eq!(study.groups().len(), 3);
     let anova = study.anova().expect("anova");
     assert!(anova.f_statistic() >= 0.0);
@@ -127,7 +132,10 @@ fn two_way_anova_over_workload_and_configuration() {
         anova.factor_a.0,
         anova.factor_b.0
     );
-    assert!(anova.factor_a.1 < 0.05, "workload effect must be significant");
+    assert!(
+        anova.factor_a.1 < 0.05,
+        "workload effect must be significant"
+    );
     assert!((0.0..=1.0).contains(&anova.interaction.1));
 }
 
@@ -165,17 +173,17 @@ fn declarative_experiment_end_to_end() {
 fn budget_planner_consumes_pilot_covs() {
     use mtvar::core::budget::{plan_budget, CovModel};
 
-    // Pilot on the real simulator at two lengths.
-    let mut pilot = Vec::new();
-    for len in [40u64, 160] {
-        let plan = RunPlan::new(len).with_runs(5).with_warmup(100);
-        let rt = run_space(&cfg(), || Benchmark::Oltp.workload(4, 42), &plan)
-            .expect("space")
-            .runtimes();
-        let s = mtvar::stats::describe::Summary::from_slice(&rt).expect("summary");
-        pilot.push((len, s.coefficient_of_variation().expect("cov")));
-    }
-    let model = CovModel::fit(&pilot).expect("fit");
+    // Pilot on the real simulator at two lengths, measured and fitted by
+    // the executor-driven helper.
+    let model = CovModel::fit_by_pilot(
+        &Executor::new(),
+        &cfg(),
+        || Benchmark::Oltp.workload(4, 42),
+        &[40, 160],
+        5,
+        100,
+    )
+    .expect("fit");
     let plan = plan_budget(&model, 2_000, 40, 0.95).expect("plan");
     assert!(plan.runs >= 2);
     assert!(plan.runs as u64 * plan.transactions_per_run <= 2_000);
