@@ -50,6 +50,7 @@
 pub mod budget;
 pub mod compare;
 pub mod experiment;
+pub mod golden;
 pub mod metrics;
 pub mod report;
 pub mod runspace;

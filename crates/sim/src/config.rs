@@ -41,6 +41,17 @@ pub struct MachineConfig {
     pub noise: Option<NoiseConfig>,
     /// Record the Figure-1 scheduling-event log.
     pub record_sched_events: bool,
+    /// Run the [`check::InvariantMonitor`](crate::check::InvariantMonitor)
+    /// inside the event loop, re-verifying coherence/inclusion/conservation
+    /// invariants after every memory operation. The monitor is read-only, so
+    /// simulation results are identical either way; expect a modest
+    /// slowdown.
+    ///
+    /// Always defaults to `false` — the `invariant-monitor` cargo feature is
+    /// ORed in at machine construction instead of changing this default, so
+    /// a configuration's `Debug` fingerprint (and every run seed derived
+    /// from it) is identical whether or not the feature is compiled in.
+    pub check_invariants: bool,
 }
 
 impl MachineConfig {
@@ -57,6 +68,7 @@ impl MachineConfig {
             perturbation_seed: 0,
             noise: None,
             record_sched_events: false,
+            check_invariants: false,
         }
     }
 
@@ -116,6 +128,13 @@ impl MachineConfig {
         self
     }
 
+    /// Enables continuous invariant checking (see
+    /// [`MachineConfig::check_invariants`]).
+    pub fn with_invariant_checks(mut self) -> Self {
+        self.check_invariants = true;
+        self
+    }
+
     /// Replaces the environmental-noise model.
     pub fn with_noise(mut self, noise: Option<NoiseConfig>) -> Self {
         self.noise = noise;
@@ -168,6 +187,14 @@ mod tests {
         assert!(cfg.validate().is_ok());
         assert!(cfg.noise.is_none());
         assert_eq!(cfg.perturbation_max_ns, 0);
+        assert!(!cfg.check_invariants);
+    }
+
+    #[test]
+    fn invariant_checks_builder() {
+        let cfg = MachineConfig::hpca2003().with_invariant_checks();
+        assert!(cfg.check_invariants);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::check::{InvariantMonitor, Violation};
 use crate::config::MachineConfig;
 use crate::ids::{CpuId, Cycle, ThreadId};
 use crate::mem::{MemorySystem, Perturbation};
@@ -84,6 +85,10 @@ pub struct Machine<W> {
     sched: Scheduler,
     locks: LockTable,
     noise: Option<NoiseState>,
+    /// Read-only invariant checker; present when
+    /// `config.check_invariants` is set or the `invariant-monitor` cargo
+    /// feature is enabled.
+    monitor: Option<InvariantMonitor>,
     workload: W,
     committed: u64,
     commit_log: Vec<Cycle>,
@@ -125,6 +130,14 @@ impl<W: Workload> Machine<W> {
                 busy_ns: 0,
             })
             .collect();
+        // The feature ORs in at construction rather than changing the config
+        // default, so the config's Debug fingerprint (and the run seeds
+        // derived from it) stays identical across feature-on/off builds.
+        let monitor = if config.check_invariants || cfg!(feature = "invariant-monitor") {
+            Some(InvariantMonitor::new(config.memory.protocol))
+        } else {
+            None
+        };
         let mut machine = Machine {
             config,
             now: 0,
@@ -135,6 +148,7 @@ impl<W: Workload> Machine<W> {
             sched,
             locks: LockTable::new(threads),
             noise,
+            monitor,
             workload,
             committed: 0,
             commit_log: Vec::new(),
@@ -177,6 +191,19 @@ impl<W: Workload> Machine<W> {
         &self.sched
     }
 
+    /// The invariant monitor, when one is enabled (via
+    /// [`MachineConfig::check_invariants`] or the `invariant-monitor`
+    /// feature).
+    pub fn invariant_monitor(&self) -> Option<&InvariantMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Invariant violations recorded so far; empty when monitoring is
+    /// disabled or nothing is wrong.
+    pub fn invariant_violations(&self) -> &[Violation] {
+        self.monitor.as_ref().map_or(&[], |m| m.violations())
+    }
+
     fn post(&mut self, time: Cycle, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
@@ -196,6 +223,9 @@ impl<W: Workload> Machine<W> {
         for cpu in &mut self.cpus {
             cpu.core.reset_stats();
             cpu.busy_ns = 0;
+        }
+        if let Some(mon) = &mut self.monitor {
+            mon.begin_interval();
         }
     }
 
@@ -222,6 +252,9 @@ impl<W: Workload> Machine<W> {
             };
             debug_assert!(ev.time >= self.now, "time must be monotonic");
             self.now = ev.time;
+            if let Some(mon) = &mut self.monitor {
+                mon.observe_event(ev.time);
+            }
             match ev.kind {
                 EventKind::CpuReady(cpu) => self.step_cpu(cpu),
                 EventKind::ThreadWake(thread) => {
@@ -260,6 +293,9 @@ impl<W: Workload> Machine<W> {
             }
             let Reverse(ev) = self.events.pop().expect("peeked");
             self.now = ev.time;
+            if let Some(mon) = &mut self.monitor {
+                mon.observe_event(ev.time);
+            }
             match ev.kind {
                 EventKind::CpuReady(cpu) => self.step_cpu(cpu),
                 EventKind::ThreadWake(thread) => {
@@ -275,6 +311,9 @@ impl<W: Workload> Machine<W> {
     }
 
     fn finish_measurement(&mut self) -> RunResult {
+        if let Some(mon) = &mut self.monitor {
+            mon.check_conservation(self.mem.stats(), self.now);
+        }
         let mut proc = ProcStats::default();
         for cpu in &self.cpus {
             let s = cpu.core.stats();
@@ -348,6 +387,19 @@ impl<W: Workload> Machine<W> {
         let op = self.workload.next_op(thread);
         if !op.is_serializing() {
             let busy = self.cpus[idx].core.execute(cpu, &op, now, &mut self.mem);
+            if let Some(mon) = &mut self.monitor {
+                match &op {
+                    Op::Compute { code_block, .. } => {
+                        mon.note_fetch_op();
+                        mon.check_block(&self.mem, *code_block, now);
+                    }
+                    Op::Memory { addr, .. } => {
+                        mon.note_data_op();
+                        mon.check_block(&self.mem, *addr, now);
+                    }
+                    _ => {}
+                }
+            }
             let extra = match &mut self.noise {
                 Some(n) => n.overhead(idx, now, busy),
                 None => 0,
@@ -371,6 +423,10 @@ impl<W: Workload> Machine<W> {
                         .mem
                         .access(cpu, LockTable::block_of(lock), AccessKind::Write, now)
                         .latency;
+                    if let Some(mon) = &mut self.monitor {
+                        mon.note_data_op();
+                        mon.check_block(&self.mem, LockTable::block_of(lock), now);
+                    }
                     let busy = drain + SYNC_OP_COST_NS + lat;
                     self.cpus[idx].busy_ns += busy;
                     self.post(now + busy, EventKind::CpuReady(cpu));
@@ -389,6 +445,10 @@ impl<W: Workload> Machine<W> {
                     .mem
                     .access(cpu, LockTable::block_of(lock), AccessKind::Write, now)
                     .latency;
+                if let Some(mon) = &mut self.monitor {
+                    mon.note_data_op();
+                    mon.check_block(&self.mem, LockTable::block_of(lock), now);
+                }
                 if let Some(next) = self.locks.release(lock, thread, t) {
                     let wake_at = t + lat + self.sched.config().wakeup_ns;
                     self.post(wake_at, EventKind::ThreadWake(next));
@@ -582,6 +642,49 @@ mod tests {
             runtimes.iter().any(|&r| r != first),
             "perturbed runs from one checkpoint should diverge: {runtimes:?}"
         );
+    }
+
+    #[test]
+    fn invariant_monitor_is_clean_and_changes_nothing() {
+        let wl = crate::workload::SharingWorkload::new(8, 11, 30, 512, 8);
+        let run = |checked: bool| {
+            let mut cfg = MachineConfig::hpca2003()
+                .with_cpus(4)
+                .with_perturbation(4, 5);
+            if checked {
+                cfg = cfg.with_invariant_checks();
+            }
+            let mut m = Machine::new(cfg, wl.clone()).unwrap();
+            let r = m.run_transactions(60).unwrap();
+            assert_eq!(
+                m.invariant_monitor().is_some(),
+                checked || cfg!(feature = "invariant-monitor")
+            );
+            assert!(
+                m.invariant_violations().is_empty(),
+                "violations: {:?}",
+                m.invariant_violations()
+            );
+            (r.elapsed(), r.commit_cycles, r.mem)
+        };
+        // The monitor is read-only: checked and unchecked runs are identical.
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn monitor_conservation_holds_across_intervals() {
+        let cfg = MachineConfig::hpca2003()
+            .with_cpus(2)
+            .with_invariant_checks();
+        let mut m = Machine::new(cfg, UniformWorkload::new(6, 20, 30)).unwrap();
+        m.run_transactions(30).unwrap(); // warmup interval
+        m.run_transactions(30).unwrap(); // measured interval
+        assert!(
+            m.invariant_violations().is_empty(),
+            "violations: {:?}",
+            m.invariant_violations()
+        );
+        assert!(m.invariant_monitor().unwrap().is_clean());
     }
 
     #[test]

@@ -205,7 +205,33 @@ impl MemStats {
         self.l1d_hits + self.l1d_misses
     }
 
-    /// L2 miss ratio over data + instruction L2 lookups.
+    /// Total instruction fetches observed.
+    pub fn instruction_fetches(&self) -> u64 {
+        self.l1i_hits + self.l1i_misses
+    }
+
+    /// L1 data-cache miss ratio; 0.0 for a run with no data accesses.
+    pub fn l1d_miss_ratio(&self) -> f64 {
+        let total = self.data_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.l1d_misses as f64 / total as f64
+        }
+    }
+
+    /// L1 instruction-cache miss ratio; 0.0 for a run with no fetches.
+    pub fn l1i_miss_ratio(&self) -> f64 {
+        let total = self.instruction_fetches();
+        if total == 0 {
+            0.0
+        } else {
+            self.l1i_misses as f64 / total as f64
+        }
+    }
+
+    /// L2 miss ratio over data + instruction L2 lookups; 0.0 for a run with
+    /// no L2 traffic.
     pub fn l2_miss_ratio(&self) -> f64 {
         let total = self.l2_hits + self.l2_misses + self.upgrades;
         if total == 0 {
@@ -255,8 +281,11 @@ impl Perturbation {
         self.max_ns
     }
 
+    /// Draws the next perturbation value: uniform in `[0, max_ns]`, exactly
+    /// zero when disabled. Public so distribution tests can sample the
+    /// stream directly; the memory system draws once per L2 miss.
     #[inline]
-    fn draw(&mut self) -> Nanos {
+    pub fn draw(&mut self) -> Nanos {
         if self.max_ns == 0 {
             0
         } else {
@@ -562,10 +591,42 @@ impl MemorySystem {
         }
     }
 
+    /// Number of processor nodes in the system.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Returns the MOSI state of `addr` in `cpu`'s L2 (for tests and
     /// invariant checks).
     pub fn l2_state(&self, cpu: CpuId, addr: BlockAddr) -> CoherenceState {
         self.nodes[cpu.index()].l2.probe(addr)
+    }
+
+    /// Returns the state of `addr` in `cpu`'s L1 data cache (for inclusion
+    /// checks; a snoop probe, no LRU update).
+    pub fn l1d_state(&self, cpu: CpuId, addr: BlockAddr) -> CoherenceState {
+        self.nodes[cpu.index()].l1d.probe(addr)
+    }
+
+    /// Returns the state of `addr` in `cpu`'s L1 instruction cache (for
+    /// inclusion checks; a snoop probe, no LRU update).
+    pub fn l1i_state(&self, cpu: CpuId, addr: BlockAddr) -> CoherenceState {
+        self.nodes[cpu.index()].l1i.probe(addr)
+    }
+
+    /// Test hook: forcibly sets `addr`'s state in `cpu`'s L2, bypassing the
+    /// protocol. Exists solely so the invariant-checking tests can plant
+    /// deliberately broken coherence states and verify the
+    /// [`check`](crate::check) machinery catches them; never call it from
+    /// simulation code.
+    #[doc(hidden)]
+    pub fn force_l2_state(&mut self, cpu: CpuId, addr: BlockAddr, state: CoherenceState) {
+        let l2 = &mut self.nodes[cpu.index()].l2;
+        if state == CoherenceState::Invalid {
+            l2.invalidate(addr);
+        } else if !l2.set_state(addr, state) {
+            l2.insert(addr, state);
+        }
     }
 
     /// Checks the protocol's single-writer invariant for `addr`: at most one
@@ -873,6 +934,55 @@ mod tests {
         let r = m.access(CpuId(1), a, AccessKind::Read, 100);
         assert_eq!(r.source, AccessSource::RemoteCache);
         assert_eq!(r.latency, m.config().cache_to_cache_ns());
+    }
+
+    #[test]
+    fn ratio_helpers_are_zero_on_empty_runs() {
+        // A zero-access run must report 0.0 ratios, not NaN.
+        let s = MemStats::default();
+        assert_eq!(s.l1d_miss_ratio(), 0.0);
+        assert_eq!(s.l1i_miss_ratio(), 0.0);
+        assert_eq!(s.l2_miss_ratio(), 0.0);
+        assert_eq!(s.data_accesses(), 0);
+        assert_eq!(s.instruction_fetches(), 0);
+    }
+
+    #[test]
+    fn ratio_helpers_match_counters() {
+        let mut m = sys(2);
+        m.access(CpuId(0), BlockAddr(1), AccessKind::Read, 0); // miss
+        m.access(CpuId(0), BlockAddr(1), AccessKind::Read, 10); // hit
+        m.fetch(CpuId(0), BlockAddr(0xC0), 20); // miss
+        let s = m.stats();
+        assert!((s.l1d_miss_ratio() - 0.5).abs() < 1e-12);
+        assert!((s.l1i_miss_ratio() - 1.0).abs() < 1e-12);
+        assert!(s.l2_miss_ratio() > 0.0);
+    }
+
+    #[test]
+    fn probe_accessors_report_l1_and_node_count() {
+        let mut m = sys(2);
+        assert_eq!(m.node_count(), 2);
+        let a = BlockAddr(21);
+        m.access(CpuId(0), a, AccessKind::Write, 0);
+        assert_eq!(m.l1d_state(CpuId(0), a), CoherenceState::Modified);
+        assert_eq!(m.l1d_state(CpuId(1), a), CoherenceState::Invalid);
+        assert_eq!(m.l1i_state(CpuId(0), a), CoherenceState::Invalid);
+        m.fetch(CpuId(1), a, 100);
+        assert_eq!(m.l1i_state(CpuId(1), a), CoherenceState::Shared);
+    }
+
+    #[test]
+    fn force_l2_state_plants_arbitrary_states() {
+        let mut m = sys(2);
+        let a = BlockAddr(30);
+        m.force_l2_state(CpuId(0), a, CoherenceState::Modified);
+        m.force_l2_state(CpuId(1), a, CoherenceState::Modified);
+        assert_eq!(m.l2_state(CpuId(0), a), CoherenceState::Modified);
+        assert_eq!(m.l2_state(CpuId(1), a), CoherenceState::Modified);
+        assert!(!m.check_coherence_invariant(a));
+        m.force_l2_state(CpuId(1), a, CoherenceState::Invalid);
+        assert!(m.check_coherence_invariant(a));
     }
 
     #[test]

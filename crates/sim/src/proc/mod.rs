@@ -56,6 +56,18 @@ pub struct ProcStats {
     pub drain_ns: u64,
 }
 
+impl ProcStats {
+    /// Conditional-branch misprediction ratio; 0.0 (not NaN) when no
+    /// branches executed, so zero-length runs stay safe to aggregate.
+    pub fn branch_misprediction_ratio(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
 /// One CPU's processor state, dispatching to the configured model.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -154,6 +166,18 @@ mod tests {
         let mut core = ProcCore::new(&ProcessorConfig::Simple);
         let mut m = mem();
         core.execute(CpuId(0), &Op::TxnEnd, 0, &mut m);
+    }
+
+    #[test]
+    fn branch_misprediction_ratio_is_zero_on_empty_runs() {
+        let stats = ProcStats::default();
+        assert_eq!(stats.branch_misprediction_ratio(), 0.0);
+        let stats = ProcStats {
+            branches: 8,
+            branch_mispredicts: 2,
+            ..ProcStats::default()
+        };
+        assert!((stats.branch_misprediction_ratio() - 0.25).abs() < 1e-12);
     }
 
     #[test]

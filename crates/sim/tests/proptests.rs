@@ -194,6 +194,231 @@ fn checkpoint_equivalence_under_random_split() {
     }
 }
 
+/// A reference LRU model for one cache: per-set recency lists, least recent
+/// first. Mirrors the documented CacheArray contract: `insert`/`touch`
+/// refresh recency, `probe` does not, eviction takes the least recent line.
+struct LruModel {
+    sets: u64,
+    ways: usize,
+    // recency[set] holds (addr, state), least recently used first.
+    recency: Vec<Vec<(u64, CoherenceState)>>,
+}
+
+impl LruModel {
+    fn new(cfg: &CacheConfig) -> Self {
+        LruModel {
+            sets: cfg.sets(),
+            ways: cfg.associativity as usize,
+            recency: vec![Vec::new(); cfg.sets() as usize],
+        }
+    }
+
+    fn set_of(&self, addr: u64) -> usize {
+        (addr % self.sets) as usize
+    }
+
+    fn insert(&mut self, addr: u64, state: CoherenceState) -> Option<(u64, CoherenceState)> {
+        let set = self.set_of(addr);
+        let lines = &mut self.recency[set];
+        if let Some(i) = lines.iter().position(|&(a, _)| a == addr) {
+            lines.remove(i);
+            lines.push((addr, state));
+            return None;
+        }
+        let evicted = if lines.len() == self.ways {
+            Some(lines.remove(0))
+        } else {
+            None
+        };
+        lines.push((addr, state));
+        evicted
+    }
+
+    fn touch(&mut self, addr: u64) -> CoherenceState {
+        let set = self.set_of(addr);
+        let lines = &mut self.recency[set];
+        match lines.iter().position(|&(a, _)| a == addr) {
+            Some(i) => {
+                let entry = lines.remove(i);
+                lines.push(entry);
+                entry.1
+            }
+            None => CoherenceState::Invalid,
+        }
+    }
+
+    fn probe(&self, addr: u64) -> CoherenceState {
+        self.recency[self.set_of(addr)]
+            .iter()
+            .find(|&&(a, _)| a == addr)
+            .map_or(CoherenceState::Invalid, |&(_, s)| s)
+    }
+
+    fn invalidate(&mut self, addr: u64) -> CoherenceState {
+        let set = self.set_of(addr);
+        let lines = &mut self.recency[set];
+        match lines.iter().position(|&(a, _)| a == addr) {
+            Some(i) => lines.remove(i).1,
+            None => CoherenceState::Invalid,
+        }
+    }
+}
+
+#[test]
+fn cache_array_matches_lru_reference_model() {
+    // Random op soup against the reference model: every probe/touch result,
+    // every eviction (victim address AND state), and residency must agree.
+    let states = [
+        CoherenceState::Modified,
+        CoherenceState::Owned,
+        CoherenceState::Exclusive,
+        CoherenceState::Shared,
+    ];
+    let mut rng = Xoshiro256StarStar::new(0x51_0009);
+    for _ in 0..48 {
+        let cfg = CacheConfig::new(1024, 4, 64).unwrap(); // 4 sets × 4 ways
+        let mut cache = CacheArray::new(cfg).unwrap();
+        let mut model = LruModel::new(&cfg);
+        for _ in 0..400 {
+            let addr = rng.next_below(64); // 16 tags per set: plenty of evictions
+            match rng.next_below(4) {
+                0 => {
+                    let state = states[rng.next_below(4) as usize];
+                    let got = cache.insert(BlockAddr(addr), state);
+                    let want = model.insert(addr, state);
+                    assert_eq!(
+                        got.map(|e| (e.addr.0, e.state)),
+                        want,
+                        "insert({addr}) evicted the wrong line"
+                    );
+                }
+                1 => assert_eq!(cache.touch(BlockAddr(addr)), model.touch(addr)),
+                2 => assert_eq!(cache.probe(BlockAddr(addr)), model.probe(addr)),
+                _ => assert_eq!(cache.invalidate(BlockAddr(addr)), model.invalidate(addr)),
+            }
+            let resident: usize = model.recency.iter().map(Vec::len).sum();
+            assert_eq!(cache.resident_blocks(), resident);
+        }
+    }
+}
+
+#[test]
+fn probe_does_not_refresh_lru_but_touch_does() {
+    // 1 set × 2 ways. A then B makes A the LRU victim; a probe of A must
+    // leave that unchanged, while a touch of A must flip the victim to B.
+    let cfg = CacheConfig::new(128, 2, 64).unwrap();
+    let (a, b, c) = (BlockAddr(0), BlockAddr(1), BlockAddr(2));
+
+    let mut cache = CacheArray::new(cfg).unwrap();
+    cache.insert(a, CoherenceState::Shared);
+    cache.insert(b, CoherenceState::Shared);
+    assert_eq!(cache.probe(a), CoherenceState::Shared); // snoop: no refresh
+    let evicted = cache
+        .insert(c, CoherenceState::Shared)
+        .expect("set is full");
+    assert_eq!(evicted.addr, a, "probe must not have refreshed A");
+
+    let mut cache = CacheArray::new(cfg).unwrap();
+    cache.insert(a, CoherenceState::Shared);
+    cache.insert(b, CoherenceState::Shared);
+    assert_eq!(cache.touch(a), CoherenceState::Shared); // access: refresh
+    let evicted = cache
+        .insert(c, CoherenceState::Shared)
+        .expect("set is full");
+    assert_eq!(evicted.addr, b, "touch must have refreshed A");
+}
+
+#[test]
+fn cache_config_rejects_bad_geometry() {
+    // Zeroes, non-powers-of-two, and size/assoc/block mismatches must all
+    // be rejected; the valid cases must build.
+    assert!(CacheConfig::new(0, 2, 64).is_err());
+    assert!(CacheConfig::new(4096, 0, 64).is_err());
+    assert!(CacheConfig::new(4096, 2, 0).is_err());
+    assert!(CacheConfig::new(4096, 3, 64).is_err()); // assoc not pow2
+    assert!(CacheConfig::new(4096, 2, 48).is_err()); // block not pow2
+    assert!(CacheConfig::new(3000, 2, 64).is_err()); // size not pow2
+    assert!(CacheConfig::new(64, 2, 64).is_err()); // smaller than one set
+
+    // Sweep valid power-of-two geometries; derived counts must be exact.
+    let mut rng = Xoshiro256StarStar::new(0x51_000A);
+    for _ in 0..64 {
+        let block = 1u32 << rng.next_range(4, 7); // 16..128 B
+        let assoc = 1u32 << rng.next_below(4); // 1..8 ways
+        let sets = 1u64 << rng.next_below(6); // 1..32 sets
+        let size = sets * u64::from(assoc) * u64::from(block);
+        let cfg = CacheConfig::new(size, assoc, block).unwrap();
+        assert_eq!(cfg.sets(), sets);
+        assert_eq!(cfg.blocks(), sets * u64::from(assoc));
+    }
+}
+
+#[test]
+fn perturbation_draws_are_bounded_and_seed_deterministic() {
+    let mut meta = Xoshiro256StarStar::new(0x51_000B);
+    for _ in 0..32 {
+        let max_ns = meta.next_range(1, 16);
+        let seed = meta.next_u64();
+        let mut a = Perturbation::new(max_ns, seed);
+        let mut b = Perturbation::new(max_ns, seed);
+        for _ in 0..200 {
+            let v = a.draw();
+            assert!(v <= max_ns, "draw {v} exceeds max {max_ns}");
+            assert_eq!(v, b.draw(), "same seed must give the same stream");
+        }
+    }
+}
+
+#[test]
+fn perturbation_is_uniform_over_its_range() {
+    // max_ns = 4 gives 5 equally likely outcomes; each bin of 20 000 draws
+    // should hold ~1/5 of them.
+    let mut p = Perturbation::new(4, 0xBEEF);
+    let mut counts = [0usize; 5];
+    const N: usize = 20_000;
+    for _ in 0..N {
+        counts[p.draw() as usize] += 1;
+    }
+    for (value, &count) in counts.iter().enumerate() {
+        let frac = count as f64 / N as f64;
+        assert!(
+            (0.18..=0.22).contains(&frac),
+            "value {value} drawn with frequency {frac}"
+        );
+    }
+}
+
+#[test]
+fn disabled_perturbation_draws_exactly_zero() {
+    let mut p = Perturbation::disabled();
+    assert_eq!(p.max_ns(), 0);
+    for _ in 0..100 {
+        assert_eq!(p.draw(), 0);
+    }
+    // max_ns = 0 via new() is the same thing, whatever the seed.
+    let mut p = Perturbation::new(0, 0xDEAD_BEEF);
+    for _ in 0..100 {
+        assert_eq!(p.draw(), 0);
+    }
+}
+
+#[test]
+fn distinct_perturbation_seeds_give_distinct_streams() {
+    let mut meta = Xoshiro256StarStar::new(0x51_000C);
+    for _ in 0..16 {
+        let s1 = meta.next_u64();
+        let s2 = meta.next_u64();
+        if s1 == s2 {
+            continue;
+        }
+        let mut a = Perturbation::new(8, s1);
+        let mut b = Perturbation::new(8, s2);
+        let va: Vec<u64> = (0..64).map(|_| a.draw()).collect();
+        let vb: Vec<u64> = (0..64).map(|_| b.draw()).collect();
+        assert_ne!(va, vb, "seeds {s1:#x} and {s2:#x} collided");
+    }
+}
+
 #[test]
 fn commit_log_is_sorted_and_complete() {
     let mut meta = Xoshiro256StarStar::new(0x51_0008);

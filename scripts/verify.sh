@@ -10,8 +10,23 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --offline
 
+echo "==> cargo build --release --features invariant-monitor"
+cargo build --release --offline --features invariant-monitor
+
 echo "==> cargo test -q"
 cargo test -q --offline
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace --offline
+
+echo "==> oracle differential suite"
+cargo test -q --offline -p mtvar-sim --test oracle_diff
+
+echo "==> golden-run digests (invariant monitor forced on)"
+cargo test -q --offline --features invariant-monitor --test golden_runs
+
+echo "==> statistical self-validation"
+cargo test -q --offline -p mtvar-stats --test selfcheck
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

@@ -1,0 +1,120 @@
+//! Golden-run regression harness: every benchmark is simulated under one
+//! pinned configuration and its [`RunResult`] digest compared against
+//! `tests/golden/benchmarks.txt`. Any unintended behaviour change anywhere
+//! in the stack — workload generation, processor timing, coherence,
+//! scheduling, perturbation — shifts at least one digest and fails here.
+//!
+//! The runs execute with invariant checking enabled, so this harness also
+//! proves the coherence/inclusion/conservation invariants hold across every
+//! benchmark's full warmup + measurement, and that enabling the (read-only)
+//! monitor does not disturb the digests.
+//!
+//! Re-blessing after an *intended* change:
+//!
+//! ```text
+//! MTVAR_BLESS=1 cargo test --test golden_runs
+//! ```
+//!
+//! then review and commit the diff of `tests/golden/benchmarks.txt` together
+//! with the change that caused it.
+//!
+//! [`RunResult`]: mtvar::sim::stats::RunResult
+
+use std::fs;
+use std::path::PathBuf;
+
+use mtvar::core::golden::{run_digest, GoldenFile};
+use mtvar::sim::config::MachineConfig;
+use mtvar::sim::machine::Machine;
+use mtvar::workloads::Benchmark;
+
+const CPUS: usize = 4;
+const WORKLOAD_SEED: u64 = 42;
+const PERTURBATION_SEED: u64 = 0x607D;
+const WARMUP_TXNS: u64 = 10;
+const MEASURE_TXNS: u64 = 40;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("benchmarks.txt")
+}
+
+fn golden_config() -> MachineConfig {
+    MachineConfig::hpca2003()
+        .with_cpus(CPUS)
+        .with_perturbation(4, PERTURBATION_SEED)
+        .with_invariant_checks()
+}
+
+/// Runs one benchmark under the pinned configuration and returns its digest,
+/// asserting along the way that the invariant monitor stayed clean.
+fn digest_benchmark(bench: Benchmark) -> u64 {
+    let mut m = Machine::new(golden_config(), bench.workload(CPUS, WORKLOAD_SEED))
+        .expect("golden config must build");
+    m.run_transactions(WARMUP_TXNS).expect("warmup");
+    let result = m.run_transactions(MEASURE_TXNS).expect("measurement");
+    assert!(
+        m.invariant_violations().is_empty(),
+        "{}: invariant violations during golden run: {:?}",
+        bench.name(),
+        m.invariant_violations(),
+    );
+    run_digest(&result)
+}
+
+#[test]
+fn all_benchmarks_match_golden_digests() {
+    let mut current = GoldenFile::new();
+    for bench in Benchmark::ALL {
+        current.set(bench.name(), digest_benchmark(bench));
+    }
+
+    let path = golden_path();
+    if std::env::var_os("MTVAR_BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        fs::write(&path, current.render()).expect("write golden file");
+        eprintln!("blessed {} digests into {}", current.len(), path.display());
+        return;
+    }
+
+    let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nrun `MTVAR_BLESS=1 cargo test --test golden_runs` to create it",
+            path.display()
+        )
+    });
+    let golden = GoldenFile::parse(&text).expect("golden file must parse");
+
+    let mut mismatches = Vec::new();
+    for (name, digest) in current.iter() {
+        match golden.get(name) {
+            Some(expected) if expected == digest => {}
+            Some(expected) => mismatches.push(format!(
+                "{name}: digest {digest:#018x} != golden {expected:#018x}"
+            )),
+            None => mismatches.push(format!("{name}: missing from golden file")),
+        }
+    }
+    for (name, _) in golden.iter() {
+        if current.get(name).is_none() {
+            mismatches.push(format!("{name}: in golden file but no such benchmark"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden digests diverged:\n  {}\n\
+         If the behaviour change is intended, re-bless with \
+         `MTVAR_BLESS=1 cargo test --test golden_runs` and commit the diff.",
+        mismatches.join("\n  "),
+    );
+}
+
+#[test]
+fn golden_digests_are_stable_across_repeat_runs() {
+    // The digest itself must be a pure function of the pinned inputs;
+    // otherwise the golden comparison would flake rather than gate.
+    let bench = Benchmark::Barnes;
+    assert_eq!(digest_benchmark(bench), digest_benchmark(bench));
+}
