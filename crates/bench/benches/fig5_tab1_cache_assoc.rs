@@ -8,9 +8,9 @@
 //! Paper reference — Table 1: DM vs 2-way 24%, DM vs 4-way 10%,
 //! 2-way vs 4-way 31% (superior configuration in parentheses each time).
 
-use mtvar_bench::{banner, fmt_sample, footer, runs, seed};
+use mtvar_bench::{banner, executor, fmt_sample, footer, report_violations, runs, seed};
 use mtvar_core::report::Table;
-use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::runspace::RunPlan;
 use mtvar_core::wcr::wrong_conclusion_ratio;
 use mtvar_sim::config::MachineConfig;
 use mtvar_workloads::Benchmark;
@@ -24,6 +24,7 @@ fn main() {
         "OLTP performance for different L2 cache associativities",
     );
 
+    let exec = executor();
     let mut samples: Vec<(String, Vec<f64>)> = Vec::new();
     for ways in [1u32, 2, 4] {
         let cfg = MachineConfig::hpca2003()
@@ -32,12 +33,14 @@ fn main() {
         let plan = RunPlan::new(TRANSACTIONS)
             .with_runs(runs())
             .with_warmup(WARMUP);
-        let space =
-            run_space(&cfg, || Benchmark::Oltp.workload(16, seed()), &plan).expect("simulation");
+        let space = exec
+            .run_space(&cfg, || Benchmark::Oltp.workload(16, seed()), &plan)
+            .expect("simulation");
         let label = match ways {
             1 => "direct-mapped".to_owned(),
             w => format!("{w}-way"),
         };
+        report_violations(&label, &space);
         println!(
             "  L2 {label:>13}: cycles/txn {}",
             fmt_sample(&space.runtimes())

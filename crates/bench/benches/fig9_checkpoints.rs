@@ -9,9 +9,9 @@
 //! within each checkpoint; ANOVA finds between-group variability significant
 //! for both, so both need time sampling.
 
-use mtvar_bench::{banner, footer, runs, seed};
+use mtvar_bench::{banner, executor, footer, runs, seed};
 use mtvar_core::runspace::RunPlan;
-use mtvar_core::timesample::sweep_checkpoints;
+use mtvar_core::timesample::sweep_checkpoints_with;
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::machine::Machine;
 use mtvar_stats::describe::Summary;
@@ -46,8 +46,14 @@ fn main() {
         let cfg = MachineConfig::hpca2003().with_perturbation(4, 0);
         let mut machine = Machine::new(cfg, benchmark.workload(16, seed())).expect("machine");
         let plan = RunPlan::new(txns).with_runs(runs());
-        let study =
-            sweep_checkpoints(&mut machine, POINTS, spacing, &plan).expect("checkpoint sweep");
+        let study = sweep_checkpoints_with(&executor(), &mut machine, POINTS, spacing, &plan)
+            .expect("checkpoint sweep");
+        if !study.is_clean() {
+            println!(
+                "  !! invariant violations per checkpoint: {:?}",
+                study.violation_counts()
+            );
+        }
 
         println!("  warmup txns   cycles/txn mean ± sd       min        max");
         let mut means = Vec::new();

@@ -11,8 +11,13 @@
 //! * `MTVAR_RUNS` — perturbed runs per configuration (default 20, the
 //!   paper's count). Lower it for a quick smoke pass.
 //! * `MTVAR_SEED` — workload seed (default 42).
+//! * `MTVAR_STRICT` — set to `1` to run every sweep under a strict
+//!   executor: any invariant violation aborts the bench with a typed
+//!   error instead of being merely reported.
 
 use std::time::Instant;
+
+use mtvar_core::runspace::{Executor, RunSpace};
 
 /// Number of perturbed runs per configuration (env `MTVAR_RUNS`, default 20).
 pub fn runs() -> usize {
@@ -29,6 +34,30 @@ pub fn seed() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(42)
+}
+
+/// The bench harness's executor: observing by default, strict when
+/// `MTVAR_STRICT=1` (any invariant violation then surfaces as
+/// [`mtvar_core::CoreError::InvariantViolation`] instead of a count).
+pub fn executor() -> Executor {
+    let exec = Executor::new();
+    if std::env::var("MTVAR_STRICT").is_ok_and(|v| v == "1") {
+        exec.with_invariant_checks()
+    } else {
+        exec
+    }
+}
+
+/// Prints a one-line invariant report for a sweep when anything fired;
+/// silent on clean spaces so the paper tables stay uncluttered.
+pub fn report_violations(label: &str, space: &RunSpace) {
+    if !space.is_clean() {
+        println!(
+            "    !! {label}: {} invariant violation(s) across {} run(s)",
+            space.total_violations(),
+            space.violations().len()
+        );
+    }
 }
 
 /// Prints the standard experiment banner and returns the start instant.
@@ -73,6 +102,16 @@ mod tests {
         }
         if std::env::var("MTVAR_SEED").is_err() {
             assert_eq!(seed(), 42);
+        }
+    }
+
+    #[test]
+    fn executor_strictness_follows_env() {
+        // The env var is process-global, so only assert in the states we can
+        // observe without mutating it.
+        match std::env::var("MTVAR_STRICT") {
+            Ok(v) if v == "1" => assert!(executor().strict_invariants()),
+            Ok(_) | Err(_) => assert!(!executor().strict_invariants()),
         }
     }
 

@@ -71,17 +71,25 @@ impl CovModel {
     /// # }
     /// ```
     pub fn fit(points: &[(u64, f64)]) -> Result<Self> {
-        let usable: Vec<(f64, f64)> = points
+        // Filter first, then count distinct lengths on what actually enters
+        // the regression: counting on the raw input would accept inputs like
+        // [(200, 3.0), (400, 0.0)] — two distinct lengths, but only one
+        // usable point — and fit a line through a single point.
+        let usable_raw: Vec<(u64, f64)> = points
             .iter()
             .filter(|(l, c)| *l > 0 && *c > 0.0 && c.is_finite())
-            .map(|(l, c)| ((*l as f64).ln(), c.ln()))
+            .copied()
             .collect();
         let distinct_lengths = {
-            let mut ls: Vec<u64> = points.iter().map(|(l, _)| *l).collect();
+            let mut ls: Vec<u64> = usable_raw.iter().map(|(l, _)| *l).collect();
             ls.sort_unstable();
             ls.dedup();
             ls.len()
         };
+        let usable: Vec<(f64, f64)> = usable_raw
+            .iter()
+            .map(|(l, c)| ((*l as f64).ln(), c.ln()))
+            .collect();
         if usable.len() < 2 || distinct_lengths < 2 {
             return Err(CoreError::InvalidExperiment {
                 what: "fitting needs at least two pilot lengths with positive CoV".into(),
@@ -262,6 +270,20 @@ mod tests {
         assert!(CovModel::fit(&[(100, 2.0), (100, 2.5)]).is_err());
         assert!(CovModel::fit(&[(100, -1.0), (200, 0.0)]).is_err());
         assert!(CovModel::new(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_single_usable_point() {
+        // Regression: two distinct raw lengths but only one usable point —
+        // the distinct-length check must run on the filtered set, not the
+        // raw input, or this "fits" a line through one point.
+        assert!(CovModel::fit(&[(200, 3.0), (400, 0.0)]).is_err());
+        assert!(CovModel::fit(&[(200, 3.0), (400, f64::NAN)]).is_err());
+        assert!(CovModel::fit(&[(0, 3.0), (400, 2.0)]).is_err());
+        // Two usable points sharing a length are just as degenerate.
+        assert!(CovModel::fit(&[(200, 3.0), (200, 2.5), (400, 0.0)]).is_err());
+        // But two usable distinct lengths amid junk still fit.
+        assert!(CovModel::fit(&[(200, 3.0), (400, 0.0), (400, 2.0)]).is_ok());
     }
 
     #[test]

@@ -132,6 +132,7 @@ impl Experiment {
                 name: arm.name.clone(),
                 runtimes,
                 variability,
+                violations: space.total_violations(),
             });
         }
 
@@ -185,6 +186,10 @@ pub struct ArmResult {
     pub runtimes: Vec<f64>,
     /// The paper's variability metrics.
     pub variability: VariabilityReport,
+    /// Total invariant violations across this arm's sweep (0 when the runs
+    /// were unmonitored — run on a strict executor, or with a monitored
+    /// configuration, for the count to be meaningful).
+    pub violations: u64,
 }
 
 /// Pairwise comparison outcome.
@@ -242,6 +247,12 @@ impl ExperimentReport {
         self.pairs.iter().all(|p| p.verdict.is_conclusive())
     }
 
+    /// Whether no arm recorded an invariant violation — as strong as the
+    /// monitoring behind the sweeps (see [`ArmResult::violations`]).
+    pub fn is_clean(&self) -> bool {
+        self.arms.iter().all(|a| a.violations == 0)
+    }
+
     /// Renders the report as two text tables (per-arm and pairwise).
     pub fn to_table(&self) -> (Table, Table) {
         let mut arms = Table::new(&format!("{} — per-configuration results", self.name));
@@ -251,6 +262,7 @@ impl ExperimentReport {
             "CoV",
             "range",
             "runs",
+            "violations",
         ]);
         for a in &self.arms {
             arms.add_row(vec![
@@ -259,6 +271,7 @@ impl ExperimentReport {
                 format!("{:.2}%", a.variability.cov_percent),
                 format!("{:.2}%", a.variability.range_percent),
                 a.variability.runs.to_string(),
+                crate::report::count_or_clean(a.violations),
             ]);
         }
         let mut pairs = Table::new(&format!(
@@ -332,6 +345,11 @@ mod tests {
         assert_eq!(best, "fast-dram", "80 ns DRAM must beat 200 ns");
         // fully_conclusive is a bool either way; just exercise it.
         let _ = report.fully_conclusive();
+        // Clean sweeps report as such, all the way into the rendered table.
+        assert!(report.is_clean());
+        assert!(report.arms().iter().all(|a| a.violations == 0));
+        assert!(t1.to_string().contains("violations"));
+        assert!(t1.to_string().contains("clean"));
     }
 
     #[test]

@@ -72,6 +72,17 @@ pub enum CoreError {
         /// Description of the violated constraint.
         what: String,
     },
+    /// A run inside an executor sweep violated simulator invariants and the
+    /// executor was in strict mode
+    /// ([`runspace::Executor::with_invariant_checks`]). The statistical
+    /// aggregate was never built: a polluted run space is not data.
+    InvariantViolation {
+        /// Run index (seed order) of the lowest-indexed violating run.
+        run: usize,
+        /// That run's stored violation reports (capped by the monitor; the
+        /// run's uncapped total can be larger).
+        report: Vec<mtvar_sim::check::Violation>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -81,6 +92,13 @@ impl fmt::Display for CoreError {
             CoreError::Stats(e) => write!(f, "statistics error: {e}"),
             CoreError::InvalidExperiment { what } => {
                 write!(f, "invalid experiment: {what}")
+            }
+            CoreError::InvariantViolation { run, report } => {
+                write!(f, "run {run} violated {} invariant(s)", report.len())?;
+                if let Some(first) = report.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -92,6 +110,7 @@ impl std::error::Error for CoreError {
             CoreError::Sim(e) => Some(e),
             CoreError::Stats(e) => Some(e),
             CoreError::InvalidExperiment { .. } => None,
+            CoreError::InvariantViolation { .. } => None,
         }
     }
 }

@@ -164,6 +164,16 @@ pub fn mean_sd_min_max(mean: f64, sd: f64, min: f64, max: f64) -> String {
     format!("{mean:.1} ± {sd:.1} [{min:.1}, {max:.1}]")
 }
 
+/// Renders an invariant-violation count for report tables: `"clean"` for
+/// zero, the count otherwise.
+pub fn count_or_clean(n: u64) -> String {
+    if n == 0 {
+        "clean".to_owned()
+    } else {
+        n.to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +208,8 @@ mod tests {
         assert_eq!(mcycles(4_512_000.0), "4.512");
         let s = mean_sd_min_max(10.0, 0.5, 9.0, 11.0);
         assert!(s.contains('±') && s.contains('['));
+        assert_eq!(count_or_clean(0), "clean");
+        assert_eq!(count_or_clean(7), "7");
     }
 
     #[test]

@@ -56,6 +56,8 @@ use mtvar_sim::stats::RunResult;
 use mtvar_sim::workload::Workload;
 use mtvar_stats::describe::Summary;
 
+pub use mtvar_sim::check::{InvariantKind, Violation};
+
 use crate::{CoreError, Result};
 
 /// Design of a multi-run experiment on one configuration.
@@ -109,8 +111,31 @@ impl RunPlan {
                 what: "a run plan needs runs >= 1 and transactions >= 1".into(),
             });
         }
+        if self
+            .warmup_transactions
+            .checked_add(self.transactions)
+            .is_none()
+        {
+            return Err(CoreError::InvalidExperiment {
+                what: "warmup_transactions + transactions overflows u64".into(),
+            });
+        }
         Ok(())
     }
+}
+
+/// Invariant violations recorded by one run of a space, as reported through
+/// the executor's violations channel.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RunViolations {
+    /// Run index (seed order) within the space.
+    pub run: usize,
+    /// Uncapped violation count from the run's monitor.
+    pub total: u64,
+    /// The stored violation reports (the monitor caps these, so
+    /// `violations.len()` can be smaller than `total`).
+    pub violations: Vec<Violation>,
 }
 
 /// The collected space of runs for one configuration.
@@ -118,6 +143,9 @@ impl RunPlan {
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RunSpace {
     results: Vec<RunResult>,
+    /// Violation records of the runs that recorded any, ascending by run
+    /// index; empty when monitoring was off or every run was clean.
+    violations: Vec<RunViolations>,
 }
 
 impl RunSpace {
@@ -132,7 +160,10 @@ impl RunSpace {
                 what: "a run space needs at least one result".into(),
             });
         }
-        Ok(RunSpace { results })
+        Ok(RunSpace {
+            results,
+            violations: Vec::new(),
+        })
     }
 
     /// The individual run results.
@@ -165,6 +196,25 @@ impl RunSpace {
     /// Whether the space holds no runs (never true for a constructed space).
     pub fn is_empty(&self) -> bool {
         self.results.is_empty()
+    }
+
+    /// Per-run invariant-violation records, ascending by run index. Empty
+    /// when monitoring was off — use an executor in strict mode, or a
+    /// monitored configuration, to make "empty" mean "verified clean".
+    pub fn violations(&self) -> &[RunViolations] {
+        &self.violations
+    }
+
+    /// Whether no run recorded an invariant violation. `true` is only as
+    /// strong as the monitoring that produced this space: an unmonitored
+    /// sweep is vacuously clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total invariant violations across all runs (uncapped counts).
+    pub fn total_violations(&self) -> u64 {
+        self.violations.iter().map(|v| v.total).sum()
     }
 }
 
@@ -287,6 +337,16 @@ pub trait RunProgress: Send + Sync {
     fn run_cached(&self, run_index: usize) {
         let _ = run_index;
     }
+
+    /// Invariant violations were recorded for a run. Called at most once per
+    /// run per sweep, only with a non-empty slice (the monitor caps stored
+    /// reports, so the slice length is a lower bound on the run's true
+    /// count). Cache hits replay the violations recorded when the run was
+    /// first simulated, so a polluted run is reported every time it is
+    /// used — never only the first time.
+    fn run_violations(&self, run_index: usize, violations: &[Violation]) {
+        let _ = (run_index, violations);
+    }
 }
 
 /// A [`RunProgress`] implementation that counts events and accumulates
@@ -297,6 +357,8 @@ pub struct ProgressCounters {
     completed: AtomicUsize,
     cached: AtomicUsize,
     wall_ns: AtomicU64,
+    violations: AtomicU64,
+    violating_runs: AtomicUsize,
 }
 
 impl ProgressCounters {
@@ -325,6 +387,18 @@ impl ProgressCounters {
     pub fn total_wall(&self) -> Duration {
         Duration::from_nanos(self.wall_ns.load(Ordering::Relaxed))
     }
+
+    /// Invariant-violation reports observed, summed over runs (counts the
+    /// stored reports delivered to [`RunProgress::run_violations`], so this
+    /// is a lower bound when a run's monitor capped its storage).
+    pub fn violations(&self) -> u64 {
+        self.violations.load(Ordering::Relaxed)
+    }
+
+    /// Runs for which at least one violation was reported.
+    pub fn violating_runs(&self) -> usize {
+        self.violating_runs.load(Ordering::Relaxed)
+    }
 }
 
 impl RunProgress for ProgressCounters {
@@ -340,6 +414,12 @@ impl RunProgress for ProgressCounters {
 
     fn run_cached(&self, _run_index: usize) {
         self.cached.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn run_violations(&self, _run_index: usize, violations: &[Violation]) {
+        self.violations
+            .fetch_add(violations.len() as u64, Ordering::Relaxed);
+        self.violating_runs.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -357,18 +437,34 @@ struct RunKey {
     transactions: u64,
 }
 
+/// What the executor remembers about one completed run: the measurement plus
+/// the invariant findings made while producing it. Caching the findings is
+/// what lets cache hits *replay* violations instead of silently dropping
+/// them (the bug this type exists to prevent).
+#[derive(Debug, Clone)]
+struct RunRecord {
+    result: RunResult,
+    /// Whether an invariant monitor observed the run at all. Strict
+    /// executors refuse to trust unmonitored cache entries and re-simulate.
+    monitored: bool,
+    /// Uncapped violation count from the run's monitor.
+    total_violations: u64,
+    /// Stored violation reports (capped by the monitor).
+    violations: Vec<Violation>,
+}
+
 #[derive(Debug, Default)]
 struct ResultCache {
-    map: Mutex<HashMap<RunKey, RunResult>>,
+    map: Mutex<HashMap<RunKey, RunRecord>>,
 }
 
 impl ResultCache {
-    fn get(&self, key: &RunKey) -> Option<RunResult> {
+    fn get(&self, key: &RunKey) -> Option<RunRecord> {
         self.map.lock().expect("cache poisoned").get(key).cloned()
     }
 
-    fn insert(&self, key: RunKey, result: RunResult) {
-        self.map.lock().expect("cache poisoned").insert(key, result);
+    fn insert(&self, key: RunKey, record: RunRecord) {
+        self.map.lock().expect("cache poisoned").insert(key, record);
     }
 
     fn len(&self) -> usize {
@@ -396,6 +492,7 @@ pub struct Executor {
     threads: usize,
     cache: Option<Arc<ResultCache>>,
     progress: Option<Arc<dyn RunProgress>>,
+    strict_invariants: bool,
 }
 
 impl fmt::Debug for Executor {
@@ -404,6 +501,7 @@ impl fmt::Debug for Executor {
             .field("threads", &self.threads)
             .field("cached_runs", &self.cache_len())
             .field("has_progress", &self.progress.is_some())
+            .field("strict_invariants", &self.strict_invariants)
             .finish()
     }
 }
@@ -434,6 +532,7 @@ impl Executor {
             threads: threads.max(1),
             cache: Some(Arc::new(ResultCache::default())),
             progress: None,
+            strict_invariants: false,
         }
     }
 
@@ -456,6 +555,29 @@ impl Executor {
         self
     }
 
+    /// Turns on strict invariant mode: every run is simulated with the
+    /// invariant monitor enabled (whatever the configuration says), and any
+    /// violation anywhere in a sweep fails the whole sweep with
+    /// [`CoreError::InvariantViolation`] instead of returning a polluted
+    /// [`RunSpace`]. Cached results from *unmonitored* runs are treated as
+    /// misses and re-simulated; monitored cache entries are trusted,
+    /// including their recorded violations.
+    ///
+    /// The monitor is enabled on the per-run clone only, after seed
+    /// derivation, so strict sweeps of a clean configuration are
+    /// bit-identical to non-strict ones (the monitor is read-only and the
+    /// configuration fingerprint — hence every derived seed — is unchanged).
+    #[must_use]
+    pub fn with_invariant_checks(mut self) -> Self {
+        self.strict_invariants = true;
+        self
+    }
+
+    /// Whether strict invariant mode is on.
+    pub fn strict_invariants(&self) -> bool {
+        self.strict_invariants
+    }
+
     /// Number of run results currently memoized.
     pub fn cache_len(&self) -> usize {
         self.cache.as_ref().map_or(0, |c| c.len())
@@ -474,8 +596,9 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// Propagates configuration and deadlock errors from the simulator; when
-    /// several runs fail, the error of the lowest run index is returned
+    /// Propagates configuration and deadlock errors from the simulator; in
+    /// strict mode, also [`CoreError::InvariantViolation`]. When several
+    /// runs fail, the error of the lowest run index is returned
     /// (deterministically, regardless of scheduling).
     pub fn run_space<W, F>(
         &self,
@@ -488,16 +611,23 @@ impl Executor {
         F: Fn() -> W + Sync,
     {
         plan.validate()?;
+        // The fingerprint (and hence every derived seed) comes from the
+        // caller's configuration; strict mode flips check_invariants on the
+        // per-run clone only, below, so it can never change the seeds.
         let config_id = config_fingerprint(config);
         let workload_id = workload_fingerprint(&mut make_workload());
         let perturbation_max = config.perturbation_max_ns;
         self.execute(plan, config_id, workload_id, |seed| {
-            let cfg = config.clone().with_perturbation(perturbation_max, seed);
+            let mut cfg = config.clone().with_perturbation(perturbation_max, seed);
+            if self.strict_invariants {
+                cfg = cfg.with_invariant_checks();
+            }
             let mut machine = Machine::new(cfg, make_workload())?;
             if plan.warmup_transactions > 0 {
                 machine.run_transactions(plan.warmup_transactions)?;
             }
-            Ok(machine.run_transactions(plan.transactions)?)
+            let result = machine.run_transactions(plan.transactions)?;
+            Ok(extract_record(result, &mut machine))
         })
     }
 
@@ -511,7 +641,10 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// Propagates simulator errors (lowest failing run index wins).
+    /// Propagates simulator errors (lowest failing run index wins); in
+    /// strict mode, also [`CoreError::InvariantViolation`]. Note that a
+    /// checkpoint taken from a machine whose monitor already holds findings
+    /// replays those findings into every run of the space.
     pub fn run_space_from_checkpoint<W>(
         &self,
         checkpoint: &Machine<W>,
@@ -521,18 +654,26 @@ impl Executor {
         W: Workload + Clone + Send + Sync + fmt::Debug,
     {
         plan.validate()?;
+        // Fingerprint the caller's checkpoint before strict mode touches the
+        // per-run clones, for the same seed-stability reason as run_space.
         let state_id = machine_fingerprint(checkpoint);
         self.execute(plan, state_id, 0, |seed| {
             let mut machine = checkpoint.with_perturbation_seed(seed);
+            if self.strict_invariants {
+                machine.enable_invariant_checks();
+            }
             if plan.warmup_transactions > 0 {
                 machine.run_transactions(plan.warmup_transactions)?;
             }
-            Ok(machine.run_transactions(plan.transactions)?)
+            let result = machine.run_transactions(plan.transactions)?;
+            Ok(extract_record(result, &mut machine))
         })
     }
 
-    /// Shared execution core: derive seeds, satisfy runs from the cache,
-    /// fan the misses out over the pool, reassemble in run-index order.
+    /// Shared execution core: derive seeds, satisfy runs from the cache
+    /// (replaying their recorded violations), fan the misses out over the
+    /// pool, reassemble in run-index order, then resolve errors and
+    /// violations with the lowest run index winning.
     fn execute<J>(
         &self,
         plan: &RunPlan,
@@ -541,7 +682,7 @@ impl Executor {
         job: J,
     ) -> Result<RunSpace>
     where
-        J: Fn(u64) -> Result<RunResult> + Sync,
+        J: Fn(u64) -> Result<RunRecord> + Sync,
     {
         let keys: Vec<RunKey> = (0..plan.runs)
             .map(|i| RunKey {
@@ -553,17 +694,22 @@ impl Executor {
             })
             .collect();
 
-        let mut slots: Vec<Option<RunResult>> = vec![None; plan.runs];
+        let mut slots: Vec<Option<Result<RunRecord>>> = (0..plan.runs).map(|_| None).collect();
         let mut misses: Vec<usize> = Vec::with_capacity(plan.runs);
         for (i, key) in keys.iter().enumerate() {
             match self.cache.as_ref().and_then(|c| c.get(key)) {
-                Some(hit) => {
+                // A strict executor cannot vouch for a run that was cached
+                // without a monitor watching it; treat it as a miss.
+                Some(hit) if !self.strict_invariants || hit.monitored => {
                     if let Some(p) = &self.progress {
                         p.run_cached(i);
+                        if !hit.violations.is_empty() {
+                            p.run_violations(i, &hit.violations);
+                        }
                     }
-                    slots[i] = Some(hit);
+                    slots[i] = Some(Ok(hit));
                 }
-                None => misses.push(i),
+                _ => misses.push(i),
             }
         }
 
@@ -573,22 +719,63 @@ impl Executor {
             }
             let t0 = Instant::now();
             let outcome = job(keys[run_index].seed);
-            if outcome.is_ok() {
-                if let Some(p) = &self.progress {
-                    p.run_completed(run_index, t0.elapsed());
+            if let (Ok(record), Some(p)) = (&outcome, &self.progress) {
+                p.run_completed(run_index, t0.elapsed());
+                if !record.violations.is_empty() {
+                    p.run_violations(run_index, &record.violations);
                 }
             }
             outcome
         });
 
         for (&i, outcome) in misses.iter().zip(outcomes) {
-            let result = outcome?;
-            if let Some(c) = &self.cache {
-                c.insert(keys[i], result.clone());
+            if let (Ok(record), Some(c)) = (&outcome, &self.cache) {
+                c.insert(keys[i], record.clone());
             }
-            slots[i] = Some(result);
+            slots[i] = Some(outcome);
         }
-        RunSpace::from_results(slots.into_iter().map(|s| s.expect("slot filled")).collect())
+
+        // Single ascending pass so the winning error — sim failure or strict
+        // violation alike — is the one of the lowest run index, no matter
+        // how the pool scheduled the work.
+        let mut results = Vec::with_capacity(plan.runs);
+        let mut violations = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            let record = slot.expect("slot filled")?;
+            if record.total_violations > 0 {
+                if self.strict_invariants {
+                    return Err(CoreError::InvariantViolation {
+                        run: i,
+                        report: record.violations,
+                    });
+                }
+                violations.push(RunViolations {
+                    run: i,
+                    total: record.total_violations,
+                    violations: record.violations,
+                });
+            }
+            results.push(record.result);
+        }
+        let mut space = RunSpace::from_results(results)?;
+        space.violations = violations;
+        Ok(space)
+    }
+}
+
+/// Pulls the invariant findings out of a finished machine and packages them
+/// with its measurement as the executor's cacheable unit.
+fn extract_record<W: Workload>(result: RunResult, machine: &mut Machine<W>) -> RunRecord {
+    let monitored = machine.invariant_monitor().is_some();
+    let total_violations = machine
+        .invariant_monitor()
+        .map_or(0, mtvar_sim::check::InvariantMonitor::total_violations);
+    let violations = machine.take_invariant_violations();
+    RunRecord {
+        result,
+        monitored,
+        total_violations,
+        violations,
     }
 }
 
@@ -866,7 +1053,183 @@ mod tests {
         assert!(run_space(&small_config(), small_workload, &bad).is_err());
         let bad2 = RunPlan::new(0);
         assert!(run_space(&small_config(), small_workload, &bad2).is_err());
+        // warmup + transactions must not wrap.
+        let bad3 = RunPlan::new(u64::MAX).with_warmup(1);
+        let err = run_space(&small_config(), small_workload, &bad3).unwrap_err();
+        assert!(err.to_string().contains("overflows"), "got {err}");
         assert!(RunSpace::from_results(vec![]).is_err());
+    }
+
+    /// A faulted configuration: the monitor is on and an illegal Exclusive
+    /// state (under MOSI) is planted after the 12th commit of every run, so
+    /// every run of a space records at least one violation.
+    fn faulted_config() -> MachineConfig {
+        use mtvar_sim::config::FaultSpec;
+        use mtvar_sim::mem::CoherenceState;
+        small_config()
+            .with_invariant_checks()
+            .with_fault(FaultSpec {
+                after_commits: 12,
+                cpu: 1,
+                block: 0xFA11,
+                state: CoherenceState::Exclusive,
+            })
+    }
+
+    #[test]
+    fn observing_mode_reports_violations_and_marks_space() {
+        let progress = Arc::new(ProgressCounters::new());
+        let exec = Executor::with_threads(2)
+            .without_cache()
+            .with_progress(progress.clone());
+        let plan = RunPlan::new(30).with_runs(3);
+        let space = exec
+            .run_space(&faulted_config(), small_workload, &plan)
+            .unwrap();
+        assert!(!space.is_clean());
+        assert!(space.total_violations() > 0);
+        assert_eq!(space.violations().len(), 3, "every run hits the fault");
+        assert!(space.violations().windows(2).all(|w| w[0].run < w[1].run));
+        assert_eq!(progress.violating_runs(), 3);
+        assert!(progress.violations() >= 3);
+    }
+
+    #[test]
+    fn cache_hits_replay_violations() {
+        let progress = Arc::new(ProgressCounters::new());
+        let exec = Executor::with_threads(2).with_progress(progress.clone());
+        let plan = RunPlan::new(30).with_runs(3);
+        let a = exec
+            .run_space(&faulted_config(), small_workload, &plan)
+            .unwrap();
+        assert_eq!(progress.violating_runs(), 3);
+        let b = exec
+            .run_space(&faulted_config(), small_workload, &plan)
+            .unwrap();
+        assert_eq!(progress.cached(), 3, "second sweep is all cache hits");
+        assert_eq!(
+            progress.violating_runs(),
+            6,
+            "cache hits must replay violations, not drop them"
+        );
+        assert_eq!(a.violations(), b.violations());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strict_mode_fails_with_lowest_violating_run() {
+        let exec = Executor::with_threads(4).with_invariant_checks();
+        assert!(exec.strict_invariants());
+        let plan = RunPlan::new(30).with_runs(5);
+        let err = exec
+            .run_space(&faulted_config(), small_workload, &plan)
+            .unwrap_err();
+        match err {
+            CoreError::InvariantViolation { run, report } => {
+                assert_eq!(run, 0, "lowest violating index wins");
+                assert!(!report.is_empty());
+            }
+            other => panic!("expected InvariantViolation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn strict_mode_forces_monitoring_without_config_flag() {
+        use mtvar_sim::config::FaultSpec;
+        use mtvar_sim::mem::CoherenceState;
+        // The config does NOT request invariant checks; strict mode must
+        // monitor anyway and catch the planted fault.
+        let cfg = small_config().with_fault(FaultSpec {
+            after_commits: 12,
+            cpu: 1,
+            block: 0xFA11,
+            state: CoherenceState::Exclusive,
+        });
+        let exec = Executor::sequential().with_invariant_checks();
+        let plan = RunPlan::new(30).with_runs(2);
+        let err = exec.run_space(&cfg, small_workload, &plan).unwrap_err();
+        assert!(matches!(err, CoreError::InvariantViolation { run: 0, .. }));
+    }
+
+    #[test]
+    fn strict_mode_refuses_unmonitored_cache_entries() {
+        let progress = Arc::new(ProgressCounters::new());
+        let observing = Executor::with_threads(2).with_progress(progress.clone());
+        let plan = RunPlan::new(25).with_runs(3);
+        let a = observing
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        assert_eq!(progress.completed(), 3);
+
+        // Same cache, strict clone. With the invariant-monitor feature
+        // compiled in, the entries were monitored and are trusted; without
+        // it they were not, and strict re-simulates every one.
+        let strict = observing.clone().with_invariant_checks();
+        let b = strict
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        assert_eq!(a.results(), b.results(), "strict must not change results");
+        assert!(b.is_clean());
+        if cfg!(feature = "invariant-monitor") {
+            assert_eq!(progress.completed(), 3, "monitored entries are trusted");
+            assert_eq!(progress.cached(), 3);
+        } else {
+            assert_eq!(progress.completed(), 6, "unmonitored entries re-simulate");
+            assert_eq!(progress.cached(), 0);
+        }
+    }
+
+    #[test]
+    fn strict_clean_sweep_is_bit_identical_to_observing() {
+        let plan = RunPlan::new(30).with_runs(4).with_warmup(5);
+        let observing = Executor::with_threads(3)
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        let strict = Executor::with_threads(3)
+            .with_invariant_checks()
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        assert_eq!(observing.results(), strict.results());
+        assert!(strict.is_clean());
+    }
+
+    #[test]
+    fn checkpoint_space_reports_violations_in_both_modes() {
+        use mtvar_sim::config::FaultSpec;
+        use mtvar_sim::mem::CoherenceState;
+        let mut m = Machine::new(faulted_config(), small_workload()).unwrap();
+        // Checkpoint before the fault's trigger commit so it fires inside
+        // each run of the space, not before it.
+        m.run_transactions(5).unwrap();
+        assert!(m.invariant_violations().is_empty());
+        let plan = RunPlan::new(30).with_runs(2);
+
+        let space = Executor::with_threads(2)
+            .without_cache()
+            .run_space_from_checkpoint(&m, &plan)
+            .unwrap();
+        assert_eq!(space.violations().len(), 2);
+
+        let err = Executor::with_threads(2)
+            .with_invariant_checks()
+            .run_space_from_checkpoint(&m, &plan)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvariantViolation { run: 0, .. }));
+
+        // Strict also monitors checkpoints built without a monitor.
+        let cfg = small_config().with_fault(FaultSpec {
+            after_commits: 12,
+            cpu: 1,
+            block: 0xFA11,
+            state: CoherenceState::Exclusive,
+        });
+        let mut unmonitored = Machine::new(cfg, small_workload()).unwrap();
+        unmonitored.run_transactions(5).unwrap();
+        let err = Executor::sequential()
+            .with_invariant_checks()
+            .run_space_from_checkpoint(&unmonitored, &plan)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvariantViolation { run: 0, .. }));
     }
 
     #[test]

@@ -100,6 +100,9 @@ pub struct TimeSampleStudy {
     /// Warmup transactions executed before each starting point, aligned with
     /// `groups`.
     checkpoints: Vec<u64>,
+    /// Total invariant violations of each checkpoint's sweep, aligned with
+    /// `groups` (all zeros for externally collected or unmonitored groups).
+    violations: Vec<u64>,
 }
 
 impl TimeSampleStudy {
@@ -120,9 +123,11 @@ impl TimeSampleStudy {
                 what: "each group needs a checkpoint label".into(),
             });
         }
+        let violations = vec![0; groups.len()];
         Ok(TimeSampleStudy {
             groups,
             checkpoints,
+            violations,
         })
     }
 
@@ -134,6 +139,20 @@ impl TimeSampleStudy {
     /// The checkpoint positions (cumulative warmup transactions).
     pub fn checkpoints(&self) -> &[u64] {
         &self.checkpoints
+    }
+
+    /// Total invariant violations per checkpoint sweep, aligned with
+    /// [`TimeSampleStudy::groups`]. All zeros when the sweeps ran
+    /// unmonitored (use a strict or monitored executor for the counts to
+    /// mean anything) or the study was built from external groups.
+    pub fn violation_counts(&self) -> &[u64] {
+        &self.violations
+    }
+
+    /// Whether no checkpoint sweep recorded an invariant violation — as
+    /// strong as the monitoring behind the sweeps.
+    pub fn is_clean(&self) -> bool {
+        self.violations.iter().all(|&v| v == 0)
     }
 
     /// One-way ANOVA of between-checkpoint vs within-checkpoint variability.
@@ -261,6 +280,7 @@ where
     }
     let mut groups = Vec::with_capacity(positions.len());
     let mut checkpoints = Vec::with_capacity(positions.len());
+    let mut violations = Vec::with_capacity(positions.len());
     let mut warmed: u64 = 0;
     for &pos in positions {
         machine.run_transactions(pos - warmed)?;
@@ -269,8 +289,11 @@ where
         let space = executor.run_space_from_checkpoint(&ckpt, plan)?;
         groups.push(space.runtimes());
         checkpoints.push(warmed);
+        violations.push(space.total_violations());
     }
-    TimeSampleStudy::from_groups(groups, checkpoints)
+    let mut study = TimeSampleStudy::from_groups(groups, checkpoints)?;
+    study.violations = violations;
+    Ok(study)
 }
 
 #[cfg(test)]
@@ -325,6 +348,38 @@ mod tests {
         assert_eq!(study.groups().len(), 2);
         assert_eq!(study.groups()[0].len(), 3);
         assert_eq!(study.checkpoints(), &[15, 30]);
+        assert_eq!(study.violation_counts(), &[0, 0]);
+        assert!(study.is_clean());
+    }
+
+    #[test]
+    fn sweep_surfaces_per_checkpoint_violations() {
+        use mtvar_sim::config::FaultSpec;
+        use mtvar_sim::mem::CoherenceState;
+        // Checkpoints sit at cumulative commits 15 and 30 and each run
+        // measures 20 transactions, so runs from the first checkpoint span
+        // commits 16-35 and runs from the second span 31-50. Commit 33 lies
+        // in both windows (and past the sweep's own warmup advances), so the
+        // fault fires inside every group's runs and nowhere else.
+        let cfg = MachineConfig::hpca2003()
+            .with_cpus(2)
+            .with_perturbation(4, 0)
+            .with_invariant_checks()
+            .with_fault(FaultSpec {
+                after_commits: 33,
+                cpu: 1,
+                block: 0xFA11,
+                state: CoherenceState::Exclusive,
+            });
+        let mut m = Machine::new(cfg, SharingWorkload::new(4, 3, 30, 2048, 8)).unwrap();
+        let plan = RunPlan::new(20).with_runs(2);
+        let study = sweep_checkpoints(&mut m, 2, 15, &plan).unwrap();
+        assert!(!study.is_clean());
+        assert!(
+            study.violation_counts().iter().all(|&v| v > 0),
+            "every checkpoint's runs cross commit 33: {:?}",
+            study.violation_counts()
+        );
     }
 
     #[test]

@@ -40,6 +40,11 @@ pub struct Wcr {
 /// [`wrong_conclusion_ratio`] over two collected [`RunSpace`]s — the form
 /// used with [`crate::runspace::Executor`] output.
 ///
+/// A WCR is only as trustworthy as the runs beneath it: check
+/// [`RunSpace::is_clean`] on both spaces (or collect them with a strict
+/// executor, [`crate::runspace::Executor::with_invariant_checks`]) before
+/// drawing conclusions from runs whose invariants may have fired.
+///
 /// # Errors
 ///
 /// Same conditions as [`wrong_conclusion_ratio`].

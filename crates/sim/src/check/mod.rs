@@ -139,6 +139,19 @@ impl InvariantMonitor {
         &self.violations
     }
 
+    /// Drains and returns the stored violation reports, leaving the monitor
+    /// in place for further checking.
+    ///
+    /// The uncapped [`InvariantMonitor::total_violations`] counter is *not*
+    /// reset — findings stay findings — so [`InvariantMonitor::is_clean`]
+    /// still reports whether anything was ever detected. This is the
+    /// extraction API the parallel run-space executor uses to pull each
+    /// run's violations out of its machine and feed them into the violations
+    /// channel.
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
     /// Total violations detected, including any dropped past the storage cap.
     pub fn total_violations(&self) -> u64 {
         self.total_violations

@@ -1,11 +1,33 @@
 //! Whole-machine configuration.
 
 use crate::ids::Nanos;
-use crate::mem::MemoryConfig;
+use crate::mem::{CoherenceState, MemoryConfig};
 use crate::noise::NoiseConfig;
 use crate::proc::ProcessorConfig;
 use crate::sched::SchedConfig;
 use crate::SimError;
+
+/// Test hook: a deterministic coherence-fault injection. When the machine's
+/// cumulative commit count reaches `after_commits`, `block` is forcibly set
+/// to `state` in `cpu`'s L2 (via the memory system's `force_l2_state` test
+/// hook), bypassing the protocol, and the invariant monitor — when one is
+/// enabled — immediately re-checks the block. Exists solely so the
+/// executor-violation tests can plant an illegal state *mid-run* and verify
+/// the violations channel reports it; never set it in real experiments.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct FaultSpec {
+    /// Cumulative commit count (across warmup and measurement intervals) at
+    /// which the fault fires, exactly once.
+    pub after_commits: u64,
+    /// Index of the CPU whose L2 is corrupted.
+    pub cpu: u32,
+    /// Block address forced.
+    pub block: u64,
+    /// Coherence state planted.
+    pub state: CoherenceState,
+}
 
 /// Complete configuration of a simulated machine.
 ///
@@ -52,6 +74,10 @@ pub struct MachineConfig {
     /// a configuration's `Debug` fingerprint (and every run seed derived
     /// from it) is identical whether or not the feature is compiled in.
     pub check_invariants: bool,
+    /// Test hook: deterministic coherence-fault injection (see [`FaultSpec`]).
+    /// Always `None` outside the invariant-channel test suites.
+    #[doc(hidden)]
+    pub fault: Option<FaultSpec>,
 }
 
 impl MachineConfig {
@@ -69,6 +95,7 @@ impl MachineConfig {
             noise: None,
             record_sched_events: false,
             check_invariants: false,
+            fault: None,
         }
     }
 
@@ -135,6 +162,15 @@ impl MachineConfig {
         self
     }
 
+    /// Test hook: installs a deterministic coherence-fault injection (see
+    /// [`FaultSpec`]). Only the executor-violation test suites should call
+    /// this.
+    #[doc(hidden)]
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Replaces the environmental-noise model.
     pub fn with_noise(mut self, noise: Option<NoiseConfig>) -> Self {
         self.noise = noise;
@@ -162,6 +198,16 @@ impl MachineConfig {
         self.sched.validate()?;
         if let Some(noise) = &self.noise {
             noise.validate()?;
+        }
+        if let Some(fault) = &self.fault {
+            if u64::from(fault.cpu) >= self.cpus as u64 {
+                return Err(SimError::InvalidConfig {
+                    what: format!(
+                        "fault injection targets CPU {} but machine has {} CPUs",
+                        fault.cpu, self.cpus
+                    ),
+                });
+            }
         }
         Ok(())
     }
@@ -226,6 +272,24 @@ mod tests {
         let cfg = MachineConfig::hpca2003().with_cpus(0);
         assert!(cfg.validate().is_err());
         let cfg = MachineConfig::hpca2003().with_l2_associativity(3);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fault_spec_validation() {
+        let fault = FaultSpec {
+            after_commits: 5,
+            cpu: 3,
+            block: 0x40,
+            state: CoherenceState::Exclusive,
+        };
+        let cfg = MachineConfig::hpca2003().with_cpus(4).with_fault(fault);
+        assert_eq!(cfg.fault, Some(fault));
+        assert!(cfg.validate().is_ok());
+
+        // A fault aimed at a CPU the machine doesn't have is rejected before
+        // it can panic inside the memory system's node indexing.
+        let cfg = MachineConfig::hpca2003().with_cpus(2).with_fault(fault);
         assert!(cfg.validate().is_err());
     }
 }

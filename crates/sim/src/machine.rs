@@ -14,7 +14,7 @@ use std::collections::BinaryHeap;
 
 use crate::check::{InvariantMonitor, Violation};
 use crate::config::MachineConfig;
-use crate::ids::{CpuId, Cycle, ThreadId};
+use crate::ids::{BlockAddr, CpuId, Cycle, ThreadId};
 use crate::mem::{MemorySystem, Perturbation};
 use crate::noise::NoiseState;
 use crate::ops::{AccessKind, Op};
@@ -202,6 +202,35 @@ impl<W: Workload> Machine<W> {
     /// disabled or nothing is wrong.
     pub fn invariant_violations(&self) -> &[Violation] {
         self.monitor.as_ref().map_or(&[], |m| m.violations())
+    }
+
+    /// Drains and returns the stored invariant-violation reports (empty when
+    /// monitoring is disabled or nothing fired). The monitor's uncapped
+    /// total-violations counter is untouched, so
+    /// [`InvariantMonitor::is_clean`] keeps reporting whether anything was
+    /// ever detected. This is how the parallel run-space executor pulls each
+    /// run's findings out of its machine and into the violations channel.
+    pub fn take_invariant_violations(&mut self) -> Vec<Violation> {
+        self.monitor
+            .as_mut()
+            .map_or_else(Vec::new, InvariantMonitor::take_violations)
+    }
+
+    /// Turns on invariant checking for the rest of this machine's life,
+    /// creating a monitor if none exists yet. Used by strict executors on
+    /// restored checkpoints, whose configuration (and hence fingerprint) must
+    /// stay untouched until after seed derivation.
+    ///
+    /// Call between measurement intervals: a monitor created mid-interval
+    /// would see only part of the interval's memory traffic and could report
+    /// a false Conservation violation. The executor satisfies this because
+    /// every measurement starts with [`Machine::run_transactions`], which
+    /// resets both memory stats and the monitor's interval counters.
+    pub fn enable_invariant_checks(&mut self) {
+        self.config.check_invariants = true;
+        if self.monitor.is_none() {
+            self.monitor = Some(InvariantMonitor::new(self.config.memory.protocol));
+        }
     }
 
     fn post(&mut self, time: Cycle, kind: EventKind) {
@@ -460,6 +489,19 @@ impl<W: Workload> Machine<W> {
             Op::TxnEnd => {
                 self.committed += 1;
                 self.commit_log.push(t);
+                // Test hook: plant the configured fault once the cumulative
+                // commit count is reached, then re-check the block so the
+                // violation is recorded even if the workload never touches
+                // the corrupted line again.
+                if let Some(f) = self.config.fault {
+                    if self.committed == f.after_commits {
+                        self.mem
+                            .force_l2_state(CpuId(f.cpu), BlockAddr(f.block), f.state);
+                        if let Some(mon) = &mut self.monitor {
+                            mon.check_block(&self.mem, BlockAddr(f.block), now);
+                        }
+                    }
+                }
                 let busy = drain + SYNC_OP_COST_NS;
                 self.cpus[idx].busy_ns += busy;
                 self.post(now + busy, EventKind::CpuReady(cpu));
@@ -669,6 +711,69 @@ mod tests {
         };
         // The monitor is read-only: checked and unchecked runs are identical.
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn fault_hook_fires_and_violations_are_extractable() {
+        use crate::config::FaultSpec;
+        use crate::mem::CoherenceState;
+        // Exclusive is illegal under the default MOSI protocol, so the
+        // monitor flags the planted state no matter what the workload does.
+        let cfg = MachineConfig::hpca2003()
+            .with_cpus(4)
+            .with_invariant_checks()
+            .with_fault(FaultSpec {
+                after_commits: 10,
+                cpu: 1,
+                block: 0xFA11,
+                state: CoherenceState::Exclusive,
+            });
+        let mut m = Machine::new(cfg, UniformWorkload::new(8, 20, 30)).unwrap();
+        m.run_transactions(30).unwrap();
+        assert!(
+            !m.invariant_violations().is_empty(),
+            "planted fault must be detected"
+        );
+        let taken = m.take_invariant_violations();
+        assert!(!taken.is_empty());
+        // Reports are drained, but the finding itself is not forgotten.
+        assert!(m.invariant_violations().is_empty());
+        assert!(!m.invariant_monitor().unwrap().is_clean());
+    }
+
+    #[test]
+    fn fault_before_trigger_commit_is_silent() {
+        use crate::config::FaultSpec;
+        use crate::mem::CoherenceState;
+        let cfg = MachineConfig::hpca2003()
+            .with_cpus(4)
+            .with_invariant_checks()
+            .with_fault(FaultSpec {
+                after_commits: 100,
+                cpu: 1,
+                block: 0xFA11,
+                state: CoherenceState::Exclusive,
+            });
+        let mut m = Machine::new(cfg, UniformWorkload::new(8, 20, 30)).unwrap();
+        m.run_transactions(30).unwrap();
+        assert!(m.invariant_violations().is_empty());
+        assert!(m.invariant_monitor().unwrap().is_clean());
+    }
+
+    #[test]
+    fn enable_invariant_checks_creates_monitor_between_intervals() {
+        let mut m = machine(2, 4);
+        m.run_transactions(10).unwrap();
+        m.enable_invariant_checks();
+        assert!(m.invariant_monitor().is_some());
+        assert!(m.config().check_invariants);
+        let r = m.run_transactions(10).unwrap();
+        assert_eq!(r.transactions, 10);
+        assert!(
+            m.invariant_violations().is_empty(),
+            "clean run stays clean: {:?}",
+            m.invariant_violations()
+        );
     }
 
     #[test]

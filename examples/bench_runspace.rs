@@ -57,6 +57,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cached_s = t2.elapsed().as_secs_f64();
     assert_eq!(reference.results(), cached.results());
 
+    // Strict invariant mode forces the (read-only) monitor onto every run;
+    // a clean workload must still produce bit-identical results.
+    let strict = Executor::new()
+        .without_cache()
+        .with_invariant_checks()
+        .run_space(&cfg, workload, &plan)?;
+    assert_eq!(
+        reference.results(),
+        strict.results(),
+        "strict monitoring must not disturb a clean run space"
+    );
+    assert!(strict.is_clean());
+
     let speedup = sequential_s / parallel_s;
     let json = format!(
         "{{\n  \"workload\": \"design_comparison: OLTP 16 threads, ROB-32, {RUNS} runs x {TXNS} txns, warmup {WARMUP}\",\n  \"host_parallelism\": {threads},\n  \"sequential_seconds\": {sequential_s:.4},\n  \"parallel_seconds\": {parallel_s:.4},\n  \"cached_seconds\": {cached_s:.6},\n  \"speedup_parallel_vs_sequential\": {speedup:.3},\n  \"bit_identical\": true\n}}\n"

@@ -21,7 +21,10 @@ const TXNS: u64 = 200;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One executor for the whole study: both configurations' run spaces fan
     // out over its thread pool, and its cache would satisfy any repeats.
-    let executor = Executor::new();
+    // Strict invariant mode makes the study self-validating — if any run
+    // violated coherence/inclusion/conservation, run_space would return
+    // CoreError::InvariantViolation instead of tainted numbers.
+    let executor = Executor::new().with_invariant_checks();
     let runs_for = |ways: u32| -> Result<Vec<f64>, mtvar_core::CoreError> {
         let cfg = MachineConfig::hpca2003()
             .with_l2_associativity(ways)

@@ -24,11 +24,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let collect = |rob: u32| -> Result<Vec<f64>, mtvar_core::CoreError> {
         let cfg = MachineConfig::hpca2003()
             .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(rob)))
-            .with_perturbation(4, 0);
+            .with_perturbation(4, 0)
+            .with_invariant_checks();
         let plan = RunPlan::new(TXNS).with_runs(MAX_RUNS).with_warmup(400);
-        Ok(executor
-            .run_space(&cfg, || Benchmark::Oltp.workload(16, 42), &plan)?
-            .runtimes())
+        let space = executor.run_space(&cfg, || Benchmark::Oltp.workload(16, 42), &plan)?;
+        // Conclusions are only as good as the runs beneath them: refuse to
+        // compare spaces whose invariants fired.
+        assert!(space.is_clean(), "ROB-{rob} runs violated invariants");
+        Ok(space.runtimes())
     };
 
     println!(

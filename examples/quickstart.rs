@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The target machine of Alameldeen & Wood (HPCA 2003), §3.2.1:
     //    16 nodes, 128 KB 4-way L1s, 4 MB 4-way L2, MOSI snooping, 1 GHz.
     //    The §3.3 perturbation adds a uniform 0-4 ns to every L2 miss.
-    let config = MachineConfig::hpca2003().with_perturbation(4, 0);
+    //    Invariant checking keeps the coherence oracle watching every run;
+    //    the executor reports anything it flags through the run space.
+    let config = MachineConfig::hpca2003()
+        .with_perturbation(4, 0)
+        .with_invariant_checks();
 
     // 2. The OLTP workload: a TPC-C-like mix, 8 users per processor.
     let workload = || Benchmark::Oltp.workload(16, 42);
@@ -38,6 +42,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         executor.threads(),
         t0.elapsed(),
         progress.total_wall()
+    );
+    assert!(
+        space.is_clean(),
+        "invariants fired: {:?}",
+        space.violations()
+    );
+    println!(
+        "invariants: clean ({} violation(s) observed across the sweep)",
+        progress.violations()
     );
 
     // 4. Summarize with the paper's metrics.

@@ -55,6 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut machine = Machine::new(cfg, Benchmark::Oltp.workload(16, 42))?;
     let run_plan = RunPlan::new(plan.transactions_per_run).with_runs(plan.runs.min(5));
     let study = sweep_checkpoints_at_with(&executor, &mut machine, &positions, &run_plan)?;
+    assert!(
+        study.is_clean(),
+        "campaign runs violated invariants: {:?}",
+        study.violation_counts()
+    );
 
     for (ck, group) in study.checkpoints().iter().zip(study.groups()) {
         let rep = VariabilityReport::from_runtimes(group)?;

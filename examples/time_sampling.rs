@@ -32,6 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let plan = RunPlan::new(400).with_runs(5);
     let study = sweep_checkpoints_with(&executor, &mut machine, 6, 1_500, &plan)?;
+    if !study.is_clean() {
+        println!(
+            "  !! invariant violations per checkpoint: {:?}",
+            study.violation_counts()
+        );
+    }
 
     println!("\n  checkpoint (txns warmed)   cycles/txn mean ± sd");
     for (ck, group) in study.checkpoints().iter().zip(study.groups()) {

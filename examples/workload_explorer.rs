@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 continue;
             }
         }
-        let cfg = MachineConfig::hpca2003().with_perturbation(4, 1);
+        let cfg = MachineConfig::hpca2003()
+            .with_perturbation(4, 1)
+            .with_invariant_checks();
         let txns = match b {
             Benchmark::Barnes | Benchmark::Ocean => 16,
             Benchmark::Ecperf => 40,
@@ -33,6 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let plan = RunPlan::new(txns).with_runs(4);
         let space = executor.run_space(&cfg, || b.workload(16, 42), &plan)?;
+        if !space.is_clean() {
+            println!(
+                "  !! {} invariant violation(s) in this profile",
+                space.total_violations()
+            );
+        }
         let run = &space.results()[0];
         let cov = Summary::from_slice(&space.runtimes())?.coefficient_of_variation()?;
 

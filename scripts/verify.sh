@@ -25,6 +25,12 @@ cargo test -q --offline -p mtvar-sim --test oracle_diff
 echo "==> golden-run digests (invariant monitor forced on)"
 cargo test -q --offline --features invariant-monitor --test golden_runs
 
+echo "==> executor violations channel (invariant monitor off)"
+cargo test -q --offline --test executor_violations
+
+echo "==> executor violations channel (invariant monitor on)"
+cargo test -q --offline --features invariant-monitor --test executor_violations
+
 echo "==> statistical self-validation"
 cargo test -q --offline -p mtvar-stats --test selfcheck
 

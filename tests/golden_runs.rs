@@ -31,6 +31,7 @@ use mtvar::workloads::Benchmark;
 const CPUS: usize = 4;
 const WORKLOAD_SEED: u64 = 42;
 const PERTURBATION_SEED: u64 = 0x607D;
+const NOISE_SEED: u64 = 0x5EED;
 const WARMUP_TXNS: u64 = 10;
 const MEASURE_TXNS: u64 = 40;
 
@@ -48,10 +49,22 @@ fn golden_config() -> MachineConfig {
         .with_invariant_checks()
 }
 
-/// Runs one benchmark under the pinned configuration and returns its digest,
-/// asserting along the way that the invariant monitor stayed clean.
-fn digest_benchmark(bench: Benchmark) -> u64 {
-    let mut m = Machine::new(golden_config(), bench.workload(CPUS, WORKLOAD_SEED))
+/// The noise-enabled variant: the paper's E5000-like "real machine" with its
+/// environmental-noise model seeded, pinned to the same CPU count and
+/// perturbation as the clean configuration. Digesting the benchmarks under
+/// it as well locks down the noise model's behaviour, which the clean
+/// configuration never exercises.
+fn e5000_config() -> MachineConfig {
+    MachineConfig::e5000_like(NOISE_SEED)
+        .with_cpus(CPUS)
+        .with_perturbation(4, PERTURBATION_SEED)
+        .with_invariant_checks()
+}
+
+/// Runs one benchmark under `config` and returns its digest, asserting along
+/// the way that the invariant monitor stayed clean.
+fn digest_benchmark_under(config: MachineConfig, bench: Benchmark) -> u64 {
+    let mut m = Machine::new(config, bench.workload(CPUS, WORKLOAD_SEED))
         .expect("golden config must build");
     m.run_transactions(WARMUP_TXNS).expect("warmup");
     let result = m.run_transactions(MEASURE_TXNS).expect("measurement");
@@ -64,11 +77,19 @@ fn digest_benchmark(bench: Benchmark) -> u64 {
     run_digest(&result)
 }
 
+fn digest_benchmark(bench: Benchmark) -> u64 {
+    digest_benchmark_under(golden_config(), bench)
+}
+
 #[test]
 fn all_benchmarks_match_golden_digests() {
     let mut current = GoldenFile::new();
     for bench in Benchmark::ALL {
         current.set(bench.name(), digest_benchmark(bench));
+        current.set(
+            &format!("{}+e5000", bench.name()),
+            digest_benchmark_under(e5000_config(), bench),
+        );
     }
 
     let path = golden_path();
