@@ -6,10 +6,10 @@
 //! inherent variability, it does not create it. This ablation sweeps the
 //! magnitude (0, 1, 2, 4, 16 ns) on 200-transaction OLTP runs.
 
-use mtvar_bench::{banner, footer, runs, seed};
+use mtvar_bench::{banner, footer, paper_plan, runs, seed};
 use mtvar_core::metrics::VariabilityReport;
 use mtvar_core::report::Table;
-use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::runspace::run_space;
 use mtvar_sim::config::MachineConfig;
 use mtvar_workloads::Benchmark;
 
@@ -31,7 +31,7 @@ fn main() {
     ]);
     for max_ns in [0u64, 1, 2, 4, 16] {
         let cfg = MachineConfig::hpca2003().with_perturbation(max_ns, 0);
-        let plan = RunPlan::new(TRANSACTIONS)
+        let plan = paper_plan(TRANSACTIONS)
             .with_runs(runs())
             .with_warmup(WARMUP);
         let space =

@@ -7,10 +7,10 @@
 //! the kind of check §5.2 suggests when "the simulated system configuration
 //! has an impact on variability".
 
-use mtvar_bench::{banner, footer, runs, seed};
+use mtvar_bench::{banner, footer, paper_plan, runs, seed};
 use mtvar_core::metrics::VariabilityReport;
 use mtvar_core::report::Table;
-use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::runspace::run_space;
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::machine::Machine;
 use mtvar_sim::mem::CoherenceProtocol;
@@ -46,7 +46,7 @@ fn main() {
         let cfg = MachineConfig::hpca2003()
             .with_protocol(protocol)
             .with_perturbation(4, 0);
-        let plan = RunPlan::new(TRANSACTIONS)
+        let plan = paper_plan(TRANSACTIONS)
             .with_runs(runs())
             .with_warmup(WARMUP);
         let space =

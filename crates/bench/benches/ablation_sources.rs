@@ -13,10 +13,10 @@
 //! * `serialized bus`  — bus occupancy ×8, strengthening the inter-CPU
 //!   timing coupler.
 
-use mtvar_bench::{banner, footer, runs, seed};
+use mtvar_bench::{banner, footer, paper_plan, runs, seed};
 use mtvar_core::metrics::VariabilityReport;
 use mtvar_core::report::Table;
-use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::runspace::run_space;
 use mtvar_sim::config::MachineConfig;
 use mtvar_workloads::Benchmark;
 
@@ -49,7 +49,7 @@ fn main() {
         ("free context switches", free_switches),
         ("serialized bus (x8)", serialized_bus),
     ] {
-        let plan = RunPlan::new(TRANSACTIONS)
+        let plan = paper_plan(TRANSACTIONS)
             .with_runs(runs())
             .with_warmup(WARMUP);
         let space =

@@ -5,11 +5,11 @@
 //! power-law decay, and asks the planner how a fixed transaction budget
 //! should be split — then validates the chosen split empirically.
 
-use mtvar_bench::{banner, footer, seed};
+use mtvar_bench::{banner, footer, paper_plan, seed};
 use mtvar_core::budget::{plan_budget, CovModel};
 use mtvar_core::metrics::VariabilityReport;
 use mtvar_core::report::Table;
-use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::runspace::run_space;
 use mtvar_sim::config::MachineConfig;
 use mtvar_workloads::Benchmark;
 
@@ -28,7 +28,7 @@ fn main() {
     println!("  pilot measurements ({PILOT_RUNS} runs each):");
     for len in PILOT_LENGTHS {
         let cfg = MachineConfig::hpca2003().with_perturbation(4, 0);
-        let plan = RunPlan::new(len).with_runs(PILOT_RUNS).with_warmup(WARMUP);
+        let plan = paper_plan(len).with_runs(PILOT_RUNS).with_warmup(WARMUP);
         let space =
             run_space(&cfg, || Benchmark::Oltp.workload(16, seed()), &plan).expect("simulation");
         let rep = VariabilityReport::from_runtimes(&space.runtimes()).expect("report");
@@ -67,7 +67,7 @@ fn main() {
     // 3. Validate the 4,000-transaction plan empirically.
     let chosen = plan_budget(&model, 4_000, 100, 0.95).expect("plan");
     let cfg = MachineConfig::hpca2003().with_perturbation(4, 777);
-    let plan = RunPlan::new(chosen.transactions_per_run)
+    let plan = paper_plan(chosen.transactions_per_run)
         .with_runs(chosen.runs)
         .with_warmup(WARMUP)
         .with_base_seed(500);

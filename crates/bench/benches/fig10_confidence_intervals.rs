@@ -6,9 +6,9 @@
 //! overlapping at 20 runs, bounding the wrong-conclusion probability below
 //! 5%; at 90% confidence, 15 runs already separate.
 
-use mtvar_bench::{banner, footer, runs, seed};
+use mtvar_bench::{banner, footer, paper_plan, runs, seed};
 use mtvar_core::compare::Comparison;
-use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::runspace::run_space;
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::proc::{OooConfig, ProcessorConfig};
 use mtvar_workloads::Benchmark;
@@ -20,7 +20,7 @@ fn rob_runs(rob: u32, n: usize) -> Vec<f64> {
     let cfg = MachineConfig::hpca2003()
         .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(rob)))
         .with_perturbation(4, 0);
-    let plan = RunPlan::new(TRANSACTIONS).with_runs(n).with_warmup(WARMUP);
+    let plan = paper_plan(TRANSACTIONS).with_runs(n).with_warmup(WARMUP);
     run_space(&cfg, || Benchmark::Oltp.workload(16, seed()), &plan)
         .expect("simulation")
         .runtimes()

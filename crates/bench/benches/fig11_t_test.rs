@@ -5,9 +5,9 @@
 //! t distribution with the computed statistic placed on the axis — the
 //! textual form of Figure 11.
 
-use mtvar_bench::{banner, footer, runs, seed};
+use mtvar_bench::{banner, footer, paper_plan, runs, seed};
 use mtvar_core::compare::Comparison;
-use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::runspace::run_space;
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::proc::{OooConfig, ProcessorConfig};
 use mtvar_stats::dist::{ContinuousDistribution, StudentT};
@@ -20,7 +20,7 @@ fn rob_runs(rob: u32) -> Vec<f64> {
     let cfg = MachineConfig::hpca2003()
         .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(rob)))
         .with_perturbation(4, 0);
-    let plan = RunPlan::new(TRANSACTIONS)
+    let plan = paper_plan(TRANSACTIONS)
         .with_runs(runs())
         .with_warmup(WARMUP);
     run_space(&cfg, || Benchmark::Oltp.workload(16, seed()), &plan)

@@ -8,9 +8,10 @@
 //! Paper reference — Table 1: DM vs 2-way 24%, DM vs 4-way 10%,
 //! 2-way vs 4-way 31% (superior configuration in parentheses each time).
 
-use mtvar_bench::{banner, executor, fmt_sample, footer, report_violations, runs, seed};
+use mtvar_bench::{
+    banner, executor, fmt_sample, footer, paper_plan, report_violations, runs, seed,
+};
 use mtvar_core::report::Table;
-use mtvar_core::runspace::RunPlan;
 use mtvar_core::wcr::wrong_conclusion_ratio;
 use mtvar_sim::config::MachineConfig;
 use mtvar_workloads::Benchmark;
@@ -30,7 +31,7 @@ fn main() {
         let cfg = MachineConfig::hpca2003()
             .with_l2_associativity(ways)
             .with_perturbation(4, 0);
-        let plan = RunPlan::new(TRANSACTIONS)
+        let plan = paper_plan(TRANSACTIONS)
             .with_runs(runs())
             .with_warmup(WARMUP);
         let space = exec

@@ -7,9 +7,9 @@
 //! Paper reference — Table 2: 16 vs 32 18%, 16 vs 64 7.5%, 32 vs 64 26%
 //! (larger ROB superior each time).
 
-use mtvar_bench::{banner, fmt_sample, footer, runs, seed};
+use mtvar_bench::{banner, fmt_sample, footer, paper_plan, runs, seed};
 use mtvar_core::report::Table;
-use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::runspace::run_space;
 use mtvar_core::wcr::wrong_conclusion_ratio;
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::proc::{OooConfig, ProcessorConfig};
@@ -29,7 +29,7 @@ fn main() {
         let cfg = MachineConfig::hpca2003()
             .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(rob)))
             .with_perturbation(4, 0);
-        let plan = RunPlan::new(TRANSACTIONS)
+        let plan = paper_plan(TRANSACTIONS)
             .with_runs(runs())
             .with_warmup(WARMUP);
         let space =

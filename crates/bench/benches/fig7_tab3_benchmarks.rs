@@ -12,10 +12,10 @@
 //! is the *ordering* of benchmarks by variability, which the paper
 //! highlights, not the absolute CoV values. See EXPERIMENTS.md.
 
-use mtvar_bench::{banner, footer, runs, seed};
+use mtvar_bench::{banner, footer, paper_plan, runs, seed};
 use mtvar_core::metrics::VariabilityReport;
 use mtvar_core::report::Table;
-use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::runspace::run_space;
 use mtvar_sim::config::MachineConfig;
 use mtvar_workloads::Benchmark;
 
@@ -50,7 +50,7 @@ fn main() {
     let mut measured_order: Vec<(String, f64)> = Vec::new();
     for (b, txns, warmup, paper_txns, paper_cov, paper_range) in ROWS {
         let cfg = MachineConfig::hpca2003().with_perturbation(4, 0);
-        let plan = RunPlan::new(txns).with_runs(runs()).with_warmup(warmup);
+        let plan = paper_plan(txns).with_runs(runs()).with_warmup(warmup);
         let space = run_space(&cfg, || b.workload(16, seed()), &plan).expect("simulation");
         let rep = VariabilityReport::from_runtimes(&space.runtimes()).expect("report");
         table.add_row(vec![

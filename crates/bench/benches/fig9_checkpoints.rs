@@ -11,9 +11,8 @@
 
 use mtvar_bench::{banner, executor, footer, runs, seed};
 use mtvar_core::runspace::RunPlan;
-use mtvar_core::timesample::sweep_checkpoints_with;
+use mtvar_core::timesample::sweep_positions_with;
 use mtvar_sim::config::MachineConfig;
-use mtvar_sim::machine::Machine;
 use mtvar_stats::describe::Summary;
 use mtvar_workloads::Benchmark;
 
@@ -44,10 +43,20 @@ fn main() {
             benchmark
         );
         let cfg = MachineConfig::hpca2003().with_perturbation(4, 0);
-        let mut machine = Machine::new(cfg, benchmark.workload(16, seed())).expect("machine");
+        let wseed = seed();
+        let positions: Vec<u64> = (1..=POINTS as u64).map(|i| i * spacing).collect();
         let plan = RunPlan::new(txns).with_runs(runs());
-        let study = sweep_checkpoints_with(&executor(), &mut machine, POINTS, spacing, &plan)
-            .expect("checkpoint sweep");
+        // Store-backed position sweep: each checkpoint extends the previous
+        // snapshot instead of re-warming from cycle zero (see the README's
+        // "Checkpoints & warmup amortization").
+        let study = sweep_positions_with(
+            &executor(),
+            &cfg,
+            move || benchmark.workload(16, wseed),
+            &positions,
+            &plan,
+        )
+        .expect("checkpoint sweep");
         if !study.is_clean() {
             println!(
                 "  !! invariant violations per checkpoint: {:?}",

@@ -8,10 +8,10 @@
 
 use std::time::Instant;
 
-use mtvar_bench::{banner, footer, runs, seed};
+use mtvar_bench::{banner, footer, paper_plan, runs, seed};
 use mtvar_core::metrics::VariabilityReport;
 use mtvar_core::report::Table;
-use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::runspace::run_space;
 use mtvar_sim::config::MachineConfig;
 use mtvar_workloads::Benchmark;
 
@@ -42,7 +42,7 @@ fn main() {
     for (txns, paper_cov, paper_range) in PAPER {
         let t_len = Instant::now();
         let cfg = MachineConfig::hpca2003().with_perturbation(4, 0);
-        let plan = RunPlan::new(txns).with_runs(runs()).with_warmup(WARMUP);
+        let plan = paper_plan(txns).with_runs(runs()).with_warmup(WARMUP);
         let space =
             run_space(&cfg, || Benchmark::Oltp.workload(16, seed()), &plan).expect("simulation");
         let rep = VariabilityReport::from_runtimes(&space.runtimes()).expect("report");

@@ -5,10 +5,10 @@
 //! prefix t-test rejects H₀ at each significance level. Paper's Table 5:
 //! 10% → 6, 5% → 9, 2.5% → 11, 1% → 13, 0.5% → 16 runs.
 
-use mtvar_bench::{banner, footer, runs, seed};
+use mtvar_bench::{banner, footer, paper_plan, runs, seed};
 use mtvar_core::compare::Comparison;
 use mtvar_core::report::Table;
-use mtvar_core::runspace::{run_space, RunPlan};
+use mtvar_core::runspace::run_space;
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::proc::{OooConfig, ProcessorConfig};
 use mtvar_stats::describe::Summary;
@@ -22,7 +22,7 @@ fn rob_runs(rob: u32) -> Vec<f64> {
     let cfg = MachineConfig::hpca2003()
         .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(rob)))
         .with_perturbation(4, 0);
-    let plan = RunPlan::new(TRANSACTIONS)
+    let plan = paper_plan(TRANSACTIONS)
         .with_runs(runs())
         .with_warmup(WARMUP);
     run_space(&cfg, || Benchmark::Oltp.workload(16, seed()), &plan)

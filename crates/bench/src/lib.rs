@@ -14,10 +14,29 @@
 //! * `MTVAR_STRICT` — set to `1` to run every sweep under a strict
 //!   executor: any invariant violation aborts the bench with a typed
 //!   error instead of being merely reported.
+//! * `MTVAR_CKPT_STORE` — set to `0` to detach the warmup checkpoint store
+//!   (every sweep then re-simulates its warmup from cycle zero). On by
+//!   default, with on-disk spill under `target/mtvar-checkpoints/` so
+//!   repeated bench invocations reuse warmed machine snapshots.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use mtvar_core::runspace::{Executor, RunSpace};
+use mtvar_core::checkpoint::CheckpointStore;
+use mtvar_core::runspace::{Executor, RunPlan, RunSpace};
+
+/// Run plan for reproducing a paper artifact: `txns` measured transactions
+/// under the **legacy perturb-from-cycle-zero semantics**
+/// (`with_shared_warmup(false)`). At the scaled-down run lengths this
+/// harness uses, divergence accumulated during a perturbed warmup carries
+/// most of the variability the paper's tables measure, so the artifacts pin
+/// that protocol explicitly instead of inheriting the shared-warmup default
+/// — which also keeps the committed `bench_output.txt` values regenerable
+/// byte-for-byte. See EXPERIMENTS.md, "Shared warmup vs legacy
+/// perturb-from-zero".
+pub fn paper_plan(txns: u64) -> RunPlan {
+    RunPlan::new(txns).with_shared_warmup(false)
+}
 
 /// Number of perturbed runs per configuration (env `MTVAR_RUNS`, default 20).
 pub fn runs() -> usize {
@@ -38,14 +57,21 @@ pub fn seed() -> u64 {
 
 /// The bench harness's executor: observing by default, strict when
 /// `MTVAR_STRICT=1` (any invariant violation then surfaces as
-/// [`mtvar_core::CoreError::InvariantViolation`] instead of a count).
+/// [`mtvar_core::CoreError::InvariantViolation`] instead of a count), and
+/// backed by a disk-spilling warmup [`CheckpointStore`] unless
+/// `MTVAR_CKPT_STORE=0`. The store never changes a statistic — run seeds
+/// derive from the configuration, not the store — it only removes repeated
+/// warmup simulation within and across bench invocations.
 pub fn executor() -> Executor {
-    let exec = Executor::new();
+    let mut exec = Executor::new();
     if std::env::var("MTVAR_STRICT").is_ok_and(|v| v == "1") {
-        exec.with_invariant_checks()
-    } else {
-        exec
+        exec = exec.with_invariant_checks();
     }
+    if !std::env::var("MTVAR_CKPT_STORE").is_ok_and(|v| v == "0") {
+        exec =
+            exec.with_checkpoint_store(Arc::new(CheckpointStore::new().with_default_disk_spill()));
+    }
+    exec
 }
 
 /// Prints a one-line invariant report for a sweep when anything fired;

@@ -11,6 +11,7 @@
 //! length L)` frontier under `n·L ≤ budget` for the split minimizing the
 //! confidence-interval half-width `t_{n−1} · CoV(L) / √n`.
 
+use mtvar_sim::checkpoint::Snap;
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::workload::Workload;
 use mtvar_stats::infer::critical_value;
@@ -144,7 +145,7 @@ impl CovModel {
         warmup: u64,
     ) -> Result<Self>
     where
-        W: Workload + Send,
+        W: Workload + Snap + Send,
         F: Fn() -> W + Sync,
     {
         let mut points = Vec::with_capacity(pilot_lengths.len());

@@ -1,0 +1,432 @@
+//! The content-addressed warmup-checkpoint store.
+//!
+//! Every data point in the paper's figures is a run launched from a
+//! checkpoint taken after warmup (§3.2.2); a 100-run × 5-checkpoint study
+//! that re-simulates warmup per run pays for it 500 times. The
+//! [`CheckpointStore`] makes warmed machine snapshots reusable: an in-memory
+//! LRU over [`Checkpoint`]s, content-addressed by
+//! `(config fingerprint, workload fingerprint, base seed, warmup length)`,
+//! with optional on-disk spill under `target/mtvar-checkpoints/` so warmed
+//! state survives the process.
+//!
+//! Two properties matter for correctness:
+//!
+//! * **Prefix extension.** [`CheckpointStore::longest_prefix`] finds the
+//!   deepest stored snapshot of the same space with a *shorter* warmup, so a
+//!   sweep at warmup 2000 restores the warmup-1600 snapshot and simulates
+//!   only the remaining 400 transactions. Extending a restored machine is
+//!   bit-identical to warming from zero ([`Machine::restore`] guarantees
+//!   it), so reuse never changes results.
+//! * **Crash-safe spill.** Disk writes go to a temporary file, `fsync`, then
+//!   an atomic rename — an interrupted write can never leave a truncated
+//!   `.ckpt` behind. Reads validate the frame fingerprint; a corrupt or
+//!   truncated file is deleted and reported as a miss, and the caller falls
+//!   back to re-simulation.
+//!
+//! [`Machine::restore`]: mtvar_sim::machine::Machine::restore
+
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use mtvar_sim::checkpoint::Checkpoint;
+
+/// Content address of one warmed snapshot: the complete identity of "this
+/// machine, warmed this far". Two sweeps that agree on all four fields may
+/// share a checkpoint; any disagreement keys them apart.
+///
+/// The config fingerprint is taken with the perturbation neutralized
+/// (magnitude 0, seed 0) because warmup runs unperturbed — one stored
+/// snapshot serves every perturbation magnitude and seed of the same
+/// machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CheckpointKey {
+    /// [`config_fingerprint`] of the warmup configuration.
+    ///
+    /// [`config_fingerprint`]: crate::runspace::config_fingerprint
+    pub config: u64,
+    /// Workload-factory fingerprint (same construction as the run cache).
+    pub workload: u64,
+    /// The plan's base perturbation seed.
+    pub base_seed: u64,
+    /// Warmup length in transactions.
+    pub warmup: u64,
+}
+
+impl CheckpointKey {
+    fn file_name(&self) -> String {
+        format!(
+            "ck-{:016x}-{:016x}-{:016x}-w{}.ckpt",
+            self.config, self.workload, self.base_seed, self.warmup
+        )
+    }
+
+    /// The filename prefix shared by every warmup length of this space.
+    fn file_prefix(&self) -> String {
+        format!(
+            "ck-{:016x}-{:016x}-{:016x}-w",
+            self.config, self.workload, self.base_seed
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    map: HashMap<CheckpointKey, (u64, Checkpoint)>,
+    tick: u64,
+}
+
+impl StoreInner {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// In-memory LRU of warmed snapshots with optional crash-safe disk spill.
+///
+/// Shared across executors via `Arc` (see
+/// [`Executor::with_checkpoint_store`]); all operations take an internal
+/// lock, so `&self` methods are safe from worker threads.
+///
+/// [`Executor::with_checkpoint_store`]: crate::runspace::Executor::with_checkpoint_store
+#[derive(Debug)]
+pub struct CheckpointStore {
+    inner: Mutex<StoreInner>,
+    capacity: usize,
+    disk: Option<PathBuf>,
+}
+
+impl Default for CheckpointStore {
+    fn default() -> Self {
+        CheckpointStore::new()
+    }
+}
+
+impl CheckpointStore {
+    /// Default in-memory capacity (snapshots, not bytes).
+    pub const DEFAULT_CAPACITY: usize = 32;
+
+    /// The conventional spill directory, `target/mtvar-checkpoints/`.
+    pub fn default_spill_dir() -> PathBuf {
+        PathBuf::from("target").join("mtvar-checkpoints")
+    }
+
+    /// An in-memory store with [`CheckpointStore::DEFAULT_CAPACITY`] entries
+    /// and no disk spill.
+    pub fn new() -> Self {
+        CheckpointStore {
+            inner: Mutex::new(StoreInner::default()),
+            capacity: Self::DEFAULT_CAPACITY,
+            disk: None,
+        }
+    }
+
+    /// Sets the in-memory capacity (clamped to >= 1); least-recently-used
+    /// snapshots are evicted beyond it. Evicted entries remain readable from
+    /// disk when spill is enabled.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Enables disk spill under `dir` (created on first write). Every insert
+    /// is written through; misses in memory fall back to disk.
+    #[must_use]
+    pub fn with_disk_spill(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.disk = Some(dir.into());
+        self
+    }
+
+    /// Enables disk spill under [`CheckpointStore::default_spill_dir`].
+    #[must_use]
+    pub fn with_default_disk_spill(self) -> Self {
+        let dir = Self::default_spill_dir();
+        self.with_disk_spill(dir)
+    }
+
+    /// Number of snapshots currently held in memory.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("store poisoned").map.len()
+    }
+
+    /// Whether the in-memory store holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every in-memory snapshot (disk files are left alone).
+    pub fn clear(&self) {
+        self.inner.lock().expect("store poisoned").map.clear();
+    }
+
+    /// Looks up the snapshot for `key`: memory first, then disk. A disk file
+    /// that fails frame validation (truncated or corrupt) is deleted and
+    /// reported as a miss — the caller re-simulates and the next insert
+    /// rewrites it whole.
+    pub fn get(&self, key: &CheckpointKey) -> Option<Checkpoint> {
+        {
+            let mut inner = self.inner.lock().expect("store poisoned");
+            let tick = inner.touch();
+            if let Some(entry) = inner.map.get_mut(key) {
+                entry.0 = tick;
+                return Some(entry.1.clone());
+            }
+        }
+        let ck = self.load_from_disk(key)?;
+        self.insert_memory(*key, ck.clone());
+        Some(ck)
+    }
+
+    /// Stores a snapshot under `key`, evicting the least-recently-used
+    /// in-memory entry beyond capacity and spilling to disk when enabled.
+    /// Disk spill is best-effort: an I/O failure degrades to memory-only
+    /// caching rather than failing the sweep.
+    pub fn insert(&self, key: CheckpointKey, checkpoint: Checkpoint) {
+        if let Some(dir) = &self.disk {
+            let _ = write_atomically(dir, &key.file_name(), &checkpoint.to_bytes());
+        }
+        self.insert_memory(key, checkpoint);
+    }
+
+    /// Finds the stored snapshot of the same `(config, workload, base_seed)`
+    /// space with the largest warmup strictly below `key.warmup`, searching
+    /// memory and disk. Returns `(warmup, checkpoint)`; the caller restores
+    /// it and simulates only the remaining `key.warmup - warmup`
+    /// transactions.
+    pub fn longest_prefix(&self, key: &CheckpointKey) -> Option<(u64, Checkpoint)> {
+        let mut best: Option<u64> = None;
+        {
+            let inner = self.inner.lock().expect("store poisoned");
+            for k in inner.map.keys() {
+                if k.config == key.config
+                    && k.workload == key.workload
+                    && k.base_seed == key.base_seed
+                    && k.warmup < key.warmup
+                    && best.is_none_or(|b| k.warmup > b)
+                {
+                    best = Some(k.warmup);
+                }
+            }
+        }
+        if let Some(dir) = &self.disk {
+            let prefix = key.file_prefix();
+            for entry in fs::read_dir(dir).into_iter().flatten().flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let Some(rest) = name.strip_prefix(&prefix) else {
+                    continue;
+                };
+                let Some(warmup) = rest
+                    .strip_suffix(".ckpt")
+                    .and_then(|w| w.parse::<u64>().ok())
+                else {
+                    continue;
+                };
+                if warmup < key.warmup && best.is_none_or(|b| warmup > b) {
+                    best = Some(warmup);
+                }
+            }
+        }
+        let warmup = best?;
+        let prefix_key = CheckpointKey { warmup, ..*key };
+        // `get` re-validates (a corrupt disk file becomes a miss); retry on
+        // the next-best prefix rather than giving up outright.
+        match self.get(&prefix_key) {
+            Some(ck) => Some((warmup, ck)),
+            None => self.longest_prefix(&prefix_key),
+        }
+    }
+
+    fn insert_memory(&self, key: CheckpointKey, checkpoint: Checkpoint) {
+        let mut inner = self.inner.lock().expect("store poisoned");
+        let tick = inner.touch();
+        inner.map.insert(key, (tick, checkpoint));
+        while inner.map.len() > self.capacity {
+            let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            inner.map.remove(&oldest);
+        }
+    }
+
+    fn load_from_disk(&self, key: &CheckpointKey) -> Option<Checkpoint> {
+        let dir = self.disk.as_ref()?;
+        let path = dir.join(key.file_name());
+        let bytes = fs::read(&path).ok()?;
+        match Checkpoint::from_bytes(&bytes) {
+            Ok(ck) => Some(ck),
+            Err(_) => {
+                // Truncated or corrupt: remove it so it cannot poison later
+                // sweeps, and report a miss so the caller re-simulates.
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+}
+
+/// Writes `bytes` to `dir/name` via temp-file + `fsync` + atomic rename, so
+/// an interrupted write never leaves a truncated file under the final name.
+fn write_atomically(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!("{name}.tmp"));
+    let mut file = fs::File::create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync_all()?;
+    drop(file);
+    match fs::rename(&tmp, dir.join(name)) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(warmup: u64) -> CheckpointKey {
+        CheckpointKey {
+            config: 0xC0FF_EE00_DEAD_BEEF,
+            workload: 0x1234_5678_9ABC_DEF0,
+            base_seed: 7,
+            warmup,
+        }
+    }
+
+    fn snapshot(tag: u8) -> Checkpoint {
+        Checkpoint::from_payload(vec![tag; 64])
+    }
+
+    fn temp_dir(label: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mtvar-ckpt-test-{label}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_round_trip_and_miss() {
+        let store = CheckpointStore::new();
+        assert!(store.get(&key(10)).is_none());
+        store.insert(key(10), snapshot(1));
+        assert_eq!(store.get(&key(10)).unwrap().payload(), &[1u8; 64][..]);
+        assert!(store.get(&key(11)).is_none(), "warmup is part of the key");
+        assert_eq!(store.len(), 1);
+        store.clear();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let store = CheckpointStore::new().with_capacity(2);
+        store.insert(key(1), snapshot(1));
+        store.insert(key(2), snapshot(2));
+        // Touch key(1) so key(2) is the LRU when key(3) arrives.
+        assert!(store.get(&key(1)).is_some());
+        store.insert(key(3), snapshot(3));
+        assert_eq!(store.len(), 2);
+        assert!(store.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(store.get(&key(1)).is_some());
+        assert!(store.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn longest_prefix_picks_deepest_shorter_warmup() {
+        let store = CheckpointStore::new();
+        store.insert(key(100), snapshot(1));
+        store.insert(key(400), snapshot(4));
+        store.insert(key(900), snapshot(9));
+        let (warmup, ck) = store.longest_prefix(&key(800)).unwrap();
+        assert_eq!(warmup, 400);
+        assert_eq!(ck.payload(), &[4u8; 64][..]);
+        // An exact-warmup entry is not a *prefix* of itself.
+        let (warmup, _) = store.longest_prefix(&key(900)).unwrap();
+        assert_eq!(warmup, 400);
+        assert!(store.longest_prefix(&key(100)).is_none());
+        // Different space: no sharing.
+        let other = CheckpointKey {
+            base_seed: 8,
+            ..key(800)
+        };
+        assert!(store.longest_prefix(&other).is_none());
+    }
+
+    #[test]
+    fn disk_spill_survives_a_fresh_store() {
+        let dir = temp_dir("spill");
+        {
+            let store = CheckpointStore::new().with_disk_spill(&dir);
+            store.insert(key(50), snapshot(5));
+        }
+        let fresh = CheckpointStore::new().with_disk_spill(&dir);
+        assert!(fresh.is_empty());
+        let ck = fresh.get(&key(50)).expect("disk hit");
+        assert_eq!(ck.payload(), &[5u8; 64][..]);
+        assert_eq!(fresh.len(), 1, "disk hits are promoted into memory");
+        // longest_prefix also sees disk-only entries.
+        let fresh2 = CheckpointStore::new().with_disk_spill(&dir);
+        let (warmup, _) = fresh2.longest_prefix(&key(60)).unwrap();
+        assert_eq!(warmup, 50);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_file_is_deleted_and_misses() {
+        let dir = temp_dir("corrupt");
+        let store = CheckpointStore::new().with_disk_spill(&dir);
+        store.insert(key(50), snapshot(5));
+        let path = dir.join(key(50).file_name());
+        assert!(path.exists());
+
+        // Truncate the file mid-frame, as an interrupted non-atomic write
+        // would have; then corrupt a byte in a full-length copy.
+        let full = fs::read(&path).unwrap();
+        for mangled in [full[..full.len() / 2].to_vec(), {
+            let mut m = full.clone();
+            let last = m.len() - 1;
+            m[last] ^= 0xFF;
+            m
+        }] {
+            fs::write(&path, &mangled).unwrap();
+            let fresh = CheckpointStore::new().with_disk_spill(&dir);
+            assert!(
+                fresh.get(&key(50)).is_none(),
+                "corrupt file must read as a miss"
+            );
+            assert!(!path.exists(), "corrupt file must be deleted");
+            assert!(
+                fresh.longest_prefix(&key(60)).is_none(),
+                "a deleted prefix must not resurface"
+            );
+            // Re-insert for the next mangling round.
+            store.insert(key(50), snapshot(5));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_behind() {
+        let dir = temp_dir("atomic");
+        let store = CheckpointStore::new().with_disk_spill(&dir);
+        store.insert(key(9), snapshot(9));
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files must be renamed away");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

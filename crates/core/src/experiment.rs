@@ -8,6 +8,7 @@
 //! methodology verdicts — everything the paper says to look at before
 //! claiming one design beats another.
 
+use mtvar_sim::checkpoint::Snap;
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::workload::Workload;
 
@@ -101,7 +102,7 @@ impl Experiment {
     /// Propagates simulator and statistics errors.
     pub fn run<W, F>(&self, make_workload: F) -> Result<ExperimentReport>
     where
-        W: Workload + Send,
+        W: Workload + Snap + Send,
         F: Fn() -> W + Sync,
     {
         self.run_with(&Executor::sequential(), make_workload)
@@ -120,7 +121,7 @@ impl Experiment {
     /// Propagates simulator and statistics errors.
     pub fn run_with<W, F>(&self, executor: &Executor, make_workload: F) -> Result<ExperimentReport>
     where
-        W: Workload + Send,
+        W: Workload + Snap + Send,
         F: Fn() -> W + Sync,
     {
         let mut arms = Vec::with_capacity(self.arms.len());

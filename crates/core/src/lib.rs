@@ -15,6 +15,13 @@
 //!   parallel via the deterministic [`runspace::Executor`]: seeds derive
 //!   from `(configuration, run index)`, so results are bit-identical for
 //!   any thread count, with run-result caching and progress observation.
+//!   By default a sweep with warmup simulates the warmup *once*, snapshots,
+//!   and forks each perturbed run from the restored snapshot (§3.2.2's
+//!   checkpoint protocol); `RunPlan::with_shared_warmup(false)` keeps the
+//!   legacy perturb-from-cycle-zero path.
+//! * [`checkpoint`] — the content-addressed [`checkpoint::CheckpointStore`]
+//!   behind shared warmup: an in-memory LRU of machine snapshots with
+//!   crash-safe disk spill and longest-prefix warmup extension.
 //! * [`metrics`] — coefficient of variation, range of variability, and
 //!   windowed time series (§4.2, §4.3).
 //! * [`wcr`] — the wrong-conclusion ratio by pairwise enumeration (§4.1).
@@ -48,6 +55,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod budget;
+pub mod checkpoint;
 pub mod compare;
 pub mod experiment;
 pub mod golden;

@@ -50,7 +50,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use mtvar_sim::checkpoint::{Checkpoint, Snap};
 use mtvar_sim::config::MachineConfig;
+use mtvar_sim::ids::Nanos;
 use mtvar_sim::machine::Machine;
 use mtvar_sim::stats::RunResult;
 use mtvar_sim::workload::Workload;
@@ -58,6 +60,7 @@ use mtvar_stats::describe::Summary;
 
 pub use mtvar_sim::check::{InvariantKind, Violation};
 
+use crate::checkpoint::{CheckpointKey, CheckpointStore};
 use crate::{CoreError, Result};
 
 /// Design of a multi-run experiment on one configuration.
@@ -74,6 +77,18 @@ pub struct RunPlan {
     /// Base perturbation seed; run `i` uses
     /// [`derive_run_seed`]`(source_id, base_seed, i)`.
     pub base_seed: u64,
+    /// Whether a sweep with warmup simulates it **once**, snapshots, and
+    /// forks every perturbed run from the restored snapshot (default), or
+    /// re-simulates warmup per run with the perturbation active from cycle
+    /// zero (the legacy path, [`RunPlan::with_shared_warmup`]`(false)`).
+    ///
+    /// Shared warmup is the paper's §3.2.2 protocol: all runs start from one
+    /// warmed checkpoint and the per-run perturbation seed takes effect at
+    /// measurement start. It also amortizes warmup — a sweep pays it once
+    /// instead of `runs` times. The two paths explore different (equally
+    /// valid) run spaces, so their results differ; seeds and cache keys are
+    /// domain-separated and the legacy path's outputs are unchanged.
+    pub shared_warmup: bool,
 }
 
 impl RunPlan {
@@ -84,6 +99,7 @@ impl RunPlan {
             transactions,
             warmup_transactions: 0,
             base_seed: 0,
+            shared_warmup: true,
         }
     }
 
@@ -102,6 +118,13 @@ impl RunPlan {
     /// Sets the base perturbation seed.
     pub fn with_base_seed(mut self, seed: u64) -> Self {
         self.base_seed = seed;
+        self
+    }
+
+    /// Selects between shared-warmup (true, the default) and legacy
+    /// per-run-warmup execution — see [`RunPlan::shared_warmup`].
+    pub fn with_shared_warmup(mut self, shared: bool) -> Self {
+        self.shared_warmup = shared;
         self
     }
 
@@ -246,6 +269,16 @@ pub fn derive_run_seed(source_id: u64, base_seed: u64, run_index: u64) -> u64 {
     let b = splitmix_mix(base_seed ^ 0xBB67_AE85_84CA_A73B);
     splitmix_mix(a ^ b.rotate_left(32) ^ run_index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
+
+/// Domain separator XORed into a configuration fingerprint to form the
+/// `source_id` of a shared-warmup sweep. Shared-warmup runs explore a
+/// different space than legacy perturb-from-zero runs of the same plan
+/// (perturbation starts at measurement, not cycle zero), so their seed
+/// streams and cache keys must not collide — and deriving from the *config*
+/// rather than the snapshot keeps seeds independent of snapshot payload
+/// details (such as whether the `invariant-monitor` feature compiled a
+/// monitor into it).
+const SHARED_WARMUP_DOMAIN: u64 = 0x5EED_C4EC_4901_4B75;
 
 /// FNV-1a over the bytes fed through `fmt::Write` — a tiny streaming hasher
 /// used to fingerprint configurations and machine states without allocating
@@ -491,6 +524,7 @@ impl ResultCache {
 pub struct Executor {
     threads: usize,
     cache: Option<Arc<ResultCache>>,
+    checkpoint_store: Option<Arc<CheckpointStore>>,
     progress: Option<Arc<dyn RunProgress>>,
     strict_invariants: bool,
 }
@@ -500,6 +534,7 @@ impl fmt::Debug for Executor {
         f.debug_struct("Executor")
             .field("threads", &self.threads)
             .field("cached_runs", &self.cache_len())
+            .field("has_checkpoint_store", &self.checkpoint_store.is_some())
             .field("has_progress", &self.progress.is_some())
             .field("strict_invariants", &self.strict_invariants)
             .finish()
@@ -531,6 +566,7 @@ impl Executor {
         Executor {
             threads: threads.max(1),
             cache: Some(Arc::new(ResultCache::default())),
+            checkpoint_store: None,
             progress: None,
             strict_invariants: false,
         }
@@ -553,6 +589,23 @@ impl Executor {
     pub fn without_cache(mut self) -> Self {
         self.cache = None;
         self
+    }
+
+    /// Attaches a [`CheckpointStore`] (shared with clones of the executor).
+    /// Shared-warmup sweeps then memoize their warmed snapshots — across
+    /// sweeps, across thread counts, and (with disk spill) across processes —
+    /// and extend the longest stored prefix instead of re-warming from cycle
+    /// zero. Without a store, each shared-warmup sweep still warms only once
+    /// but the snapshot is dropped when the sweep ends.
+    #[must_use]
+    pub fn with_checkpoint_store(mut self, store: Arc<CheckpointStore>) -> Self {
+        self.checkpoint_store = Some(store);
+        self
+    }
+
+    /// The attached checkpoint store, if any.
+    pub fn checkpoint_store(&self) -> Option<&Arc<CheckpointStore>> {
+        self.checkpoint_store.as_ref()
     }
 
     /// Turns on strict invariant mode: every run is simulated with the
@@ -590,9 +643,14 @@ impl Executor {
         }
     }
 
-    /// Runs `plan` on a fresh machine per run: build with the derived
-    /// perturbation seed, warm up, measure. Parallel, cached, and
-    /// bit-identical to [`run_space`] for any thread count.
+    /// Runs `plan` for one configuration. With the default
+    /// [`RunPlan::shared_warmup`], warmup is simulated once (unperturbed),
+    /// snapshotted, and every perturbed run forks from the restored
+    /// snapshot, its perturbation stream starting at measurement start;
+    /// with [`RunPlan::with_shared_warmup`]`(false)`, every run builds a
+    /// fresh machine and perturbs from cycle zero (the legacy path, whose
+    /// seeds and digests are unchanged). Parallel, cached, and bit-identical
+    /// to [`run_space`] for any thread count.
     ///
     /// # Errors
     ///
@@ -607,7 +665,7 @@ impl Executor {
         plan: &RunPlan,
     ) -> Result<RunSpace>
     where
-        W: Workload + Send,
+        W: Workload + Snap + Send,
         F: Fn() -> W + Sync,
     {
         plan.validate()?;
@@ -617,6 +675,30 @@ impl Executor {
         let config_id = config_fingerprint(config);
         let workload_id = workload_fingerprint(&mut make_workload());
         let perturbation_max = config.perturbation_max_ns;
+        if plan.shared_warmup && plan.warmup_transactions > 0 {
+            let snapshot = self.warm_checkpoint(
+                config,
+                &make_workload,
+                plan.base_seed,
+                plan.warmup_transactions,
+                None,
+            )?;
+            // Seeds stay a pure function of the *caller's* configuration —
+            // not of the snapshot bytes, which differ between feature
+            // builds — so shared-warmup sweeps are reproducible everywhere.
+            // The domain constant keeps them decorrelated from (and the
+            // cache disjoint with) the legacy path's seed stream.
+            let source_id = config_id ^ SHARED_WARMUP_DOMAIN;
+            return self.execute(plan, source_id, workload_id, |seed| {
+                let mut machine: Machine<W> = Machine::restore(&snapshot)?;
+                machine.set_perturbation(perturbation_max, seed);
+                if self.strict_invariants {
+                    machine.enable_invariant_checks();
+                }
+                let result = machine.run_transactions(plan.transactions)?;
+                Ok(extract_record(result, &mut machine))
+            });
+        }
         self.execute(plan, config_id, workload_id, |seed| {
             let mut cfg = config.clone().with_perturbation(perturbation_max, seed);
             if self.strict_invariants {
@@ -665,6 +747,132 @@ impl Executor {
             if plan.warmup_transactions > 0 {
                 machine.run_transactions(plan.warmup_transactions)?;
             }
+            let result = machine.run_transactions(plan.transactions)?;
+            Ok(extract_record(result, &mut machine))
+        })
+    }
+
+    /// Produces the warmed snapshot for `(config, workload, base_seed,
+    /// warmup)`, consulting the attached [`CheckpointStore`] (if any) before
+    /// simulating. Warmup always runs **unperturbed** — the §3.3 timing
+    /// perturbation belongs to the measured region, and neutralizing it here
+    /// lets one snapshot serve every perturbation magnitude and seed — and
+    /// the store key uses that neutralized configuration's fingerprint.
+    ///
+    /// On a store miss, the deepest stored shorter-warmup snapshot of the
+    /// same `(config, workload, base_seed)` is extended instead of warming
+    /// from cycle zero; extension is bit-identical to a straight warmup
+    /// because warmup-region state carries no measurement counters. The
+    /// caller may pass its own `(warmed_transactions, checkpoint)` candidate
+    /// in `from` (how [`timesample`](crate::timesample) chains sweep
+    /// positions without a store); whichever prefix is deepest wins. The
+    /// result is inserted back into the store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from warmup and
+    /// [`CoreError::Sim`]-wrapped decode failures from a `from` candidate
+    /// (store-resident snapshots are validated — and corrupt entries
+    /// evicted — by the store itself).
+    pub fn warm_checkpoint<W, F>(
+        &self,
+        config: &MachineConfig,
+        make_workload: &F,
+        base_seed: u64,
+        warmup: u64,
+        from: Option<(u64, &Checkpoint)>,
+    ) -> Result<Checkpoint>
+    where
+        W: Workload + Snap,
+        F: Fn() -> W,
+    {
+        let mut warm_cfg = config.clone().with_perturbation(0, 0);
+        if self.strict_invariants {
+            // Strict warmup still watches for violations; the monitored
+            // configuration fingerprints differently, so monitored and
+            // unmonitored snapshots never alias in the store.
+            warm_cfg = warm_cfg.with_invariant_checks();
+        }
+        let key = CheckpointKey {
+            config: config_fingerprint(&warm_cfg),
+            workload: workload_fingerprint(&mut make_workload()),
+            base_seed,
+            warmup,
+        };
+        let store = self.checkpoint_store.as_ref();
+        if let Some(hit) = store.and_then(|s| s.get(&key)) {
+            return Ok(hit);
+        }
+        // Deepest usable prefix: the store's longest shorter-warmup entry
+        // vs. the caller-supplied candidate.
+        let mut prefix: Option<(u64, Checkpoint)> = store.and_then(|s| s.longest_prefix(&key));
+        if let Some((done, ck)) = from {
+            if done <= warmup && prefix.as_ref().is_none_or(|(w, _)| done > *w) {
+                prefix = Some((done, ck.clone()));
+            }
+        }
+        // Counters are normalized before snapshotting so the bytes — and the
+        // fingerprint that seeds `run_space_from_snapshot` — depend only on
+        // the warmed architectural state, never on whether it was reached in
+        // one warmup call or by extending a stored prefix.
+        let snapshot = match prefix {
+            Some((done, ck)) if done == warmup => ck,
+            Some((done, ck)) => {
+                let mut machine: Machine<W> = Machine::restore(&ck)?;
+                machine.run_transactions(warmup - done)?;
+                machine.normalize_measurement();
+                machine.snapshot()
+            }
+            None => {
+                let mut machine = Machine::new(warm_cfg, make_workload())?;
+                machine.run_transactions(warmup)?;
+                machine.normalize_measurement();
+                machine.snapshot()
+            }
+        };
+        if let Some(s) = store {
+            s.insert(key, snapshot.clone());
+        }
+        Ok(snapshot)
+    }
+
+    /// Runs `plan` with every run forked from `snapshot`: restore, switch
+    /// the perturbation on (`perturbation_max_ns`, derived seed), then
+    /// measure. This is the fork step of the shared-warmup protocol,
+    /// exposed for callers that manage snapshots themselves (the
+    /// [`timesample`](crate::timesample) sweeps); [`Executor::run_space`]
+    /// composes it with [`Executor::warm_checkpoint`] automatically.
+    ///
+    /// Seeds derive from the snapshot's content fingerprint, so different
+    /// snapshots get decorrelated seed streams and distinct cache entries.
+    /// Any `plan.warmup_transactions` run unperturbed *after* the restore
+    /// and before measurement (extra per-run settling on top of whatever
+    /// warmup the snapshot already embodies).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode and simulator errors (lowest failing run index
+    /// wins); in strict mode, also [`CoreError::InvariantViolation`].
+    pub fn run_space_from_snapshot<W>(
+        &self,
+        snapshot: &Checkpoint,
+        perturbation_max_ns: Nanos,
+        plan: &RunPlan,
+    ) -> Result<RunSpace>
+    where
+        W: Workload + Snap + Send,
+    {
+        plan.validate()?;
+        let source_id = snapshot.fingerprint();
+        self.execute(plan, source_id, 0, |seed| {
+            let mut machine: Machine<W> = Machine::restore(snapshot)?;
+            if self.strict_invariants {
+                machine.enable_invariant_checks();
+            }
+            if plan.warmup_transactions > 0 {
+                machine.run_transactions(plan.warmup_transactions)?;
+            }
+            machine.set_perturbation(perturbation_max_ns, seed);
             let result = machine.run_transactions(plan.transactions)?;
             Ok(extract_record(result, &mut machine))
         })
@@ -852,7 +1060,7 @@ where
 /// Propagates configuration and deadlock errors from the simulator.
 pub fn run_space<W, F>(config: &MachineConfig, make_workload: F, plan: &RunPlan) -> Result<RunSpace>
 where
-    W: Workload + Send,
+    W: Workload + Snap + Send,
     F: Fn() -> W + Sync,
 {
     Executor::sequential()
@@ -1068,12 +1276,12 @@ mod tests {
         use mtvar_sim::mem::CoherenceState;
         small_config()
             .with_invariant_checks()
-            .with_fault(FaultSpec {
-                after_commits: 12,
-                cpu: 1,
-                block: 0xFA11,
-                state: CoherenceState::Exclusive,
-            })
+            .with_fault(FaultSpec::coherence(
+                12,
+                1,
+                0xFA11,
+                CoherenceState::Exclusive,
+            ))
     }
 
     #[test]
@@ -1139,12 +1347,12 @@ mod tests {
         use mtvar_sim::mem::CoherenceState;
         // The config does NOT request invariant checks; strict mode must
         // monitor anyway and catch the planted fault.
-        let cfg = small_config().with_fault(FaultSpec {
-            after_commits: 12,
-            cpu: 1,
-            block: 0xFA11,
-            state: CoherenceState::Exclusive,
-        });
+        let cfg = small_config().with_fault(FaultSpec::coherence(
+            12,
+            1,
+            0xFA11,
+            CoherenceState::Exclusive,
+        ));
         let exec = Executor::sequential().with_invariant_checks();
         let plan = RunPlan::new(30).with_runs(2);
         let err = exec.run_space(&cfg, small_workload, &plan).unwrap_err();
@@ -1217,12 +1425,12 @@ mod tests {
         assert!(matches!(err, CoreError::InvariantViolation { run: 0, .. }));
 
         // Strict also monitors checkpoints built without a monitor.
-        let cfg = small_config().with_fault(FaultSpec {
-            after_commits: 12,
-            cpu: 1,
-            block: 0xFA11,
-            state: CoherenceState::Exclusive,
-        });
+        let cfg = small_config().with_fault(FaultSpec::coherence(
+            12,
+            1,
+            0xFA11,
+            CoherenceState::Exclusive,
+        ));
         let mut unmonitored = Machine::new(cfg, small_workload()).unwrap();
         unmonitored.run_transactions(5).unwrap();
         let err = Executor::sequential()
@@ -1239,5 +1447,157 @@ mod tests {
             let out = run_on_pool(threads, &items, |i| i * 3);
             assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn shared_warmup_is_bit_identical_across_thread_counts() {
+        let plan = RunPlan::new(25).with_runs(6).with_warmup(15);
+        assert!(plan.shared_warmup, "shared warmup is the default");
+        let seq = Executor::sequential()
+            .without_cache()
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        for threads in [2, 4, 8] {
+            let par = Executor::with_threads(threads)
+                .without_cache()
+                .run_space(&small_config(), small_workload, &plan)
+                .unwrap();
+            assert_eq!(seq, par, "thread count {threads} changed results");
+        }
+    }
+
+    #[test]
+    fn shared_warmup_differs_from_legacy_but_both_reproduce() {
+        let shared = RunPlan::new(25).with_runs(5).with_warmup(15);
+        let legacy = shared.with_shared_warmup(false);
+        let exec = Executor::sequential().without_cache();
+        let a = exec
+            .run_space(&small_config(), small_workload, &shared)
+            .unwrap();
+        let b = exec
+            .run_space(&small_config(), small_workload, &legacy)
+            .unwrap();
+        // Different protocols (perturbed vs unperturbed warmup, disjoint seed
+        // domains) — but each is individually reproducible.
+        assert_ne!(a.runtimes(), b.runtimes());
+        let a2 = exec
+            .run_space(&small_config(), small_workload, &shared)
+            .unwrap();
+        let b2 = exec
+            .run_space(&small_config(), small_workload, &legacy)
+            .unwrap();
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn legacy_path_matches_manual_per_run_simulation() {
+        let plan = RunPlan::new(20)
+            .with_runs(4)
+            .with_warmup(10)
+            .with_shared_warmup(false);
+        let space = Executor::sequential()
+            .without_cache()
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        let config_id = config_fingerprint(&small_config());
+        for (i, &rt) in space.runtimes().iter().enumerate() {
+            let seed = derive_run_seed(config_id, plan.base_seed, i as u64);
+            let cfg = small_config().with_perturbation(4, seed);
+            let mut m = Machine::new(cfg, small_workload()).unwrap();
+            m.run_transactions(10).unwrap();
+            let result = m.run_transactions(20).unwrap();
+            assert_eq!(result.cycles_per_transaction(), rt, "run {i} diverged");
+        }
+    }
+
+    #[test]
+    fn checkpoint_store_does_not_change_results() {
+        let plan = RunPlan::new(25).with_runs(5).with_warmup(20);
+        let bare = Executor::sequential()
+            .without_cache()
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        let store = Arc::new(CheckpointStore::new());
+        let stored_exec = Executor::with_threads(4)
+            .without_cache()
+            .with_checkpoint_store(store.clone());
+        let stored = stored_exec
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        assert_eq!(bare, stored, "the store must be invisible to statistics");
+        assert_eq!(store.len(), 1, "one warmed snapshot memoized");
+        // Second sweep hits the stored snapshot; results stay identical.
+        let again = stored_exec
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        assert_eq!(bare, again);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn warm_checkpoint_prefix_extension_is_bit_identical() {
+        let store = Arc::new(CheckpointStore::new());
+        let exec = Executor::sequential().with_checkpoint_store(store.clone());
+        // Deep warmup computed from scratch by a storeless executor...
+        let direct = Executor::sequential()
+            .warm_checkpoint(&small_config(), &small_workload, 0, 30, None)
+            .unwrap();
+        // ...vs seeded store: warm 10 first, then extend 10 -> 30.
+        let shallow = exec
+            .warm_checkpoint(&small_config(), &small_workload, 0, 10, None)
+            .unwrap();
+        let extended = exec
+            .warm_checkpoint(&small_config(), &small_workload, 0, 30, None)
+            .unwrap();
+        assert_ne!(shallow.fingerprint(), extended.fingerprint());
+        assert_eq!(
+            direct.fingerprint(),
+            extended.fingerprint(),
+            "extending a shorter warmup must be bit-identical to a straight warmup"
+        );
+        assert_eq!(store.len(), 2);
+        // The caller-supplied `from` candidate chains without a store.
+        let chained = Executor::sequential()
+            .warm_checkpoint(
+                &small_config(),
+                &small_workload,
+                0,
+                30,
+                Some((10, &shallow)),
+            )
+            .unwrap();
+        assert_eq!(chained.fingerprint(), direct.fingerprint());
+    }
+
+    #[test]
+    fn strict_clean_shared_warmup_matches_observing() {
+        let plan = RunPlan::new(25).with_runs(4).with_warmup(15);
+        let observing = Executor::sequential()
+            .without_cache()
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        let strict = Executor::sequential()
+            .without_cache()
+            .with_invariant_checks()
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        assert_eq!(observing, strict, "the monitor must be read-only");
+    }
+
+    #[test]
+    fn shared_warmup_surfaces_warmup_faults_in_strict_mode() {
+        // The fault fires at commit 12, inside the 15-transaction shared
+        // warmup; a strict sweep must still catch it even though the
+        // violation happens before any run's measurement starts.
+        let plan = RunPlan::new(20).with_runs(3).with_warmup(15);
+        let err = Executor::sequential()
+            .with_invariant_checks()
+            .run_space(&faulted_config(), small_workload, &plan)
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::InvariantViolation { run: 0, .. }),
+            "expected a strict violation failure, got {err:?}"
+        );
     }
 }

@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use mtvar_sim::checkpoint::{Checkpoint, Snap};
+use mtvar_sim::config::MachineConfig;
 use mtvar_sim::machine::Machine;
 use mtvar_sim::rng::Xoshiro256StarStar;
 use mtvar_sim::workload::Workload;
@@ -296,6 +298,70 @@ where
     Ok(study)
 }
 
+/// The snapshot-native form of [`sweep_checkpoints_at_with`]: builds the
+/// machine itself from `(config, make_workload)`, warms each position via
+/// [`Executor::warm_checkpoint`] — so an attached
+/// [`CheckpointStore`](crate::checkpoint::CheckpointStore) memoizes the
+/// warmed states across sweeps and processes — and forks each position's
+/// perturbed run space from the restored snapshot with
+/// [`Executor::run_space_from_snapshot`].
+///
+/// Consecutive positions chain even without a store: position `p[i+1]`
+/// extends position `p[i]`'s snapshot, so one sweep simulates
+/// `max(positions)` warmup transactions in total rather than their sum.
+/// Warmup is unperturbed under this protocol (the perturbation stream starts
+/// at each run's measurement start); see `EXPERIMENTS.md` for how that
+/// differs from the legacy perturb-from-cycle-zero semantics.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidExperiment`] for fewer than two positions or
+/// non-increasing positions, and propagates simulator errors.
+pub fn sweep_positions_with<W, F>(
+    executor: &Executor,
+    config: &MachineConfig,
+    make_workload: F,
+    positions: &[u64],
+    plan: &RunPlan,
+) -> Result<TimeSampleStudy>
+where
+    W: Workload + Snap + Send,
+    F: Fn() -> W + Sync,
+{
+    if positions.len() < 2 {
+        return Err(CoreError::InvalidExperiment {
+            what: "sweep needs >= 2 starting points".into(),
+        });
+    }
+    if positions.windows(2).any(|w| w[1] <= w[0]) || positions[0] == 0 {
+        return Err(CoreError::InvalidExperiment {
+            what: "checkpoint positions must be strictly increasing and positive".into(),
+        });
+    }
+    let mut groups = Vec::with_capacity(positions.len());
+    let mut checkpoints = Vec::with_capacity(positions.len());
+    let mut violations = Vec::with_capacity(positions.len());
+    let mut prev: Option<(u64, Checkpoint)> = None;
+    for &pos in positions {
+        let snap = executor.warm_checkpoint(
+            config,
+            &make_workload,
+            plan.base_seed,
+            pos,
+            prev.as_ref().map(|(warmed, ck)| (*warmed, ck)),
+        )?;
+        let space =
+            executor.run_space_from_snapshot::<W>(&snap, config.perturbation_max_ns, plan)?;
+        groups.push(space.runtimes());
+        checkpoints.push(pos);
+        violations.push(space.total_violations());
+        prev = Some((pos, snap));
+    }
+    let mut study = TimeSampleStudy::from_groups(groups, checkpoints)?;
+    study.violations = violations;
+    Ok(study)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,12 +431,12 @@ mod tests {
             .with_cpus(2)
             .with_perturbation(4, 0)
             .with_invariant_checks()
-            .with_fault(FaultSpec {
-                after_commits: 33,
-                cpu: 1,
-                block: 0xFA11,
-                state: CoherenceState::Exclusive,
-            });
+            .with_fault(FaultSpec::coherence(
+                33,
+                1,
+                0xFA11,
+                CoherenceState::Exclusive,
+            ));
         let mut m = Machine::new(cfg, SharingWorkload::new(4, 3, 30, 2048, 8)).unwrap();
         let plan = RunPlan::new(20).with_runs(2);
         let study = sweep_checkpoints(&mut m, 2, 15, &plan).unwrap();
@@ -432,6 +498,36 @@ mod tests {
     fn positions_validation() {
         assert!(checkpoint_positions(SamplingStrategy::Systematic, 1, 100).is_err());
         assert!(checkpoint_positions(SamplingStrategy::Systematic, 10, 5).is_err());
+    }
+
+    #[test]
+    fn sweep_positions_is_store_invariant_and_validates() {
+        use crate::checkpoint::CheckpointStore;
+        use std::sync::Arc;
+        let cfg = MachineConfig::hpca2003()
+            .with_cpus(2)
+            .with_perturbation(4, 0);
+        let wl = || SharingWorkload::new(4, 3, 30, 2048, 8);
+        let plan = RunPlan::new(15).with_runs(3);
+        let bare = Executor::sequential();
+        let a = sweep_positions_with(&bare, &cfg, wl, &[10, 25], &plan).unwrap();
+        assert_eq!(a.checkpoints(), &[10, 25]);
+        assert_eq!(a.groups().len(), 2);
+        assert_eq!(a.groups()[0].len(), 3);
+
+        // A store must change the work done, never the statistics.
+        let store = Arc::new(CheckpointStore::new());
+        let stored = Executor::sequential().with_checkpoint_store(store.clone());
+        let b = sweep_positions_with(&stored, &cfg, wl, &[10, 25], &plan).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(store.len(), 2, "one snapshot memoized per position");
+        let c = sweep_positions_with(&stored, &cfg, wl, &[10, 25], &plan).unwrap();
+        assert_eq!(a, c);
+        assert_eq!(store.len(), 2);
+
+        assert!(sweep_positions_with(&bare, &cfg, wl, &[10], &plan).is_err());
+        assert!(sweep_positions_with(&bare, &cfg, wl, &[10, 10], &plan).is_err());
+        assert!(sweep_positions_with(&bare, &cfg, wl, &[0, 10], &plan).is_err());
     }
 
     #[test]

@@ -27,8 +27,9 @@ pub mod oracle;
 
 use std::fmt;
 
-use crate::ids::{BlockAddr, CpuId, Cycle};
+use crate::ids::{BlockAddr, CpuId, Cycle, ThreadId};
 use crate::mem::{CoherenceProtocol, CoherenceState, MemStats, MemorySystem};
+use crate::sched::{Scheduler, ThreadState};
 
 /// The class of invariant a [`Violation`] breaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -45,6 +46,10 @@ pub enum InvariantKind {
     TimeRegression,
     /// A stat conservation law failed (e.g. hits + misses != accesses).
     Conservation,
+    /// The scheduler invariant broke: a thread ran on more than one CPU at
+    /// once, or the scheduler's Running records disagreed with the machine's
+    /// CPU slots.
+    Scheduling,
 }
 
 /// One invariant violation, with enough context to debug it: the kind, the
@@ -332,6 +337,62 @@ impl InvariantMonitor {
         }
     }
 
+    /// Checks the scheduling invariant at cycle `now`: every thread runs on
+    /// at most one CPU, and the scheduler's Running records agree with the
+    /// machine's per-CPU thread slots in both directions. `cpu_threads[i]`
+    /// is the thread currently executing on CPU `i` (`None` when idle).
+    pub fn check_schedule(
+        &mut self,
+        sched: &Scheduler,
+        cpu_threads: &[Option<ThreadId>],
+        now: Cycle,
+    ) {
+        for (i, slot) in cpu_threads.iter().enumerate() {
+            let Some(t) = *slot else { continue };
+            let cpu = CpuId(i as u32);
+            for (j, other) in cpu_threads.iter().enumerate().skip(i + 1) {
+                if *other == Some(t) {
+                    self.report(
+                        InvariantKind::Scheduling,
+                        now,
+                        None,
+                        vec![cpu, CpuId(j as u32)],
+                        format!("thread {t} occupies two CPUs at once"),
+                    );
+                }
+            }
+            let state = sched.thread_state(t);
+            if state != ThreadState::Running(cpu) {
+                self.report(
+                    InvariantKind::Scheduling,
+                    now,
+                    None,
+                    vec![cpu],
+                    format!("{cpu} runs thread {t} but the scheduler records it as {state:?}"),
+                );
+            }
+        }
+        // A Running record pointing at a CPU whose slot holds a different
+        // thread means one CPU appears to run two threads at once.
+        for idx in 0..sched.thread_count() {
+            let t = ThreadId(idx as u32);
+            if let ThreadState::Running(cpu) = sched.thread_state(t) {
+                if cpu_threads.get(cpu.index()).copied().flatten() != Some(t) {
+                    self.report(
+                        InvariantKind::Scheduling,
+                        now,
+                        None,
+                        vec![cpu],
+                        format!(
+                            "scheduler records thread {t} Running on {cpu}, \
+                             which is running a different thread"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
     /// Checks the stat conservation laws over one measurement interval:
     ///
     /// * `l1d_hits + l1d_misses == data ops issued`
@@ -387,6 +448,50 @@ impl InvariantMonitor {
         }
     }
 }
+
+impl crate::checkpoint::Snap for InvariantKind {
+    fn encode_snap(&self, enc: &mut crate::checkpoint::Encoder) {
+        enc.put_u8(match self {
+            InvariantKind::Coherence => 0,
+            InvariantKind::Inclusion => 1,
+            InvariantKind::TimeRegression => 2,
+            InvariantKind::Conservation => 3,
+            InvariantKind::Scheduling => 4,
+        });
+    }
+    fn decode_snap(
+        dec: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        Ok(match dec.get_u8()? {
+            0 => InvariantKind::Coherence,
+            1 => InvariantKind::Inclusion,
+            2 => InvariantKind::TimeRegression,
+            3 => InvariantKind::Conservation,
+            4 => InvariantKind::Scheduling,
+            _ => {
+                return Err(crate::checkpoint::CheckpointError::Corrupt {
+                    what: "InvariantKind tag".into(),
+                })
+            }
+        })
+    }
+}
+
+crate::impl_snap!(Violation {
+    kind,
+    cycle,
+    addr,
+    cpus,
+    detail,
+});
+crate::impl_snap!(InvariantMonitor {
+    protocol,
+    violations,
+    total_violations,
+    last_event_time,
+    data_ops,
+    fetch_ops,
+});
 
 #[cfg(test)]
 mod tests {
@@ -511,6 +616,41 @@ mod tests {
         let m = mem(CoherenceProtocol::Mosi, 1);
         mon.check_conservation(m.stats(), 20); // 0 ops vs 0 stats: clean
         assert_eq!(mon.total_violations(), 1);
+    }
+
+    #[test]
+    fn schedule_double_run_is_caught() {
+        use crate::sched::SchedConfig;
+        let mut sched = Scheduler::new(SchedConfig::default(), 4, 2).unwrap();
+        let t0 = sched.dispatch(CpuId(0), 0).unwrap();
+        let t1 = sched.dispatch(CpuId(1), 0).unwrap();
+        let mut mon = InvariantMonitor::new(CoherenceProtocol::Mosi);
+        mon.check_schedule(&sched, &[Some(t0), Some(t1)], 100);
+        assert!(mon.is_clean(), "violations: {:?}", mon.violations());
+
+        // Corrupt: re-record t0 as Running on cpu1 — now cpu0's slot
+        // disagrees with the record, and t0 claims a CPU running t1.
+        sched.force_running(t0, CpuId(1));
+        mon.check_schedule(&sched, &[Some(t0), Some(t1)], 200);
+        assert!(!mon.is_clean());
+        assert!(mon
+            .violations()
+            .iter()
+            .all(|v| v.kind == InvariantKind::Scheduling));
+        assert!(mon.violations().len() >= 2);
+    }
+
+    #[test]
+    fn same_thread_on_two_slots_is_caught() {
+        use crate::sched::SchedConfig;
+        let mut sched = Scheduler::new(SchedConfig::default(), 2, 2).unwrap();
+        let t0 = sched.dispatch(CpuId(0), 0).unwrap();
+        let mut mon = InvariantMonitor::new(CoherenceProtocol::Mosi);
+        mon.check_schedule(&sched, &[Some(t0), Some(t0)], 50);
+        assert!(mon
+            .violations()
+            .iter()
+            .any(|v| v.detail.contains("two CPUs at once")));
     }
 
     #[test]

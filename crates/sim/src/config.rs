@@ -7,11 +7,44 @@ use crate::proc::ProcessorConfig;
 use crate::sched::SchedConfig;
 use crate::SimError;
 
-/// Test hook: a deterministic coherence-fault injection. When the machine's
-/// cumulative commit count reaches `after_commits`, `block` is forcibly set
-/// to `state` in `cpu`'s L2 (via the memory system's `force_l2_state` test
-/// hook), bypassing the protocol, and the invariant monitor — when one is
-/// enabled — immediately re-checks the block. Exists solely so the
+/// Test hook: which machine structure a [`FaultSpec`] corrupts.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FaultKind {
+    /// Forcibly set `block` to `state` in `cpu`'s L2 (via the memory
+    /// system's `force_l2_state` test hook), bypassing the protocol.
+    CoherenceState {
+        /// Index of the CPU whose L2 is corrupted.
+        cpu: u32,
+        /// Block address forced.
+        block: u64,
+        /// Coherence state planted.
+        state: CoherenceState,
+    },
+    /// Forcibly record the committing thread as Running on `cpu` in the
+    /// scheduler (or on the next CPU if it already runs there), so one
+    /// thread appears to run on two CPUs at once — the scheduling invariant
+    /// the monitor must catch.
+    SchedulerDoubleRun {
+        /// Index of the CPU the duplicate Running record points at.
+        cpu: u32,
+    },
+}
+
+impl FaultKind {
+    /// The CPU index the fault targets (validated against the machine size).
+    pub fn cpu(&self) -> u32 {
+        match *self {
+            FaultKind::CoherenceState { cpu, .. } | FaultKind::SchedulerDoubleRun { cpu } => cpu,
+        }
+    }
+}
+
+/// Test hook: a deterministic fault injection. When the machine's cumulative
+/// commit count reaches `after_commits`, the configured [`FaultKind`] is
+/// delivered (exactly once), and the invariant monitor — when one is enabled
+/// — immediately re-checks the corrupted structure. Exists solely so the
 /// executor-violation tests can plant an illegal state *mid-run* and verify
 /// the violations channel reports it; never set it in real experiments.
 #[doc(hidden)]
@@ -21,12 +54,26 @@ pub struct FaultSpec {
     /// Cumulative commit count (across warmup and measurement intervals) at
     /// which the fault fires, exactly once.
     pub after_commits: u64,
-    /// Index of the CPU whose L2 is corrupted.
-    pub cpu: u32,
-    /// Block address forced.
-    pub block: u64,
-    /// Coherence state planted.
-    pub state: CoherenceState,
+    /// What gets corrupted.
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    /// Shorthand for the original coherence-corruption fault.
+    pub fn coherence(after_commits: u64, cpu: u32, block: u64, state: CoherenceState) -> Self {
+        FaultSpec {
+            after_commits,
+            kind: FaultKind::CoherenceState { cpu, block, state },
+        }
+    }
+
+    /// Shorthand for the scheduler double-run fault.
+    pub fn scheduler_double_run(after_commits: u64, cpu: u32) -> Self {
+        FaultSpec {
+            after_commits,
+            kind: FaultKind::SchedulerDoubleRun { cpu },
+        }
+    }
 }
 
 /// Complete configuration of a simulated machine.
@@ -200,11 +247,12 @@ impl MachineConfig {
             noise.validate()?;
         }
         if let Some(fault) = &self.fault {
-            if u64::from(fault.cpu) >= self.cpus as u64 {
+            if u64::from(fault.kind.cpu()) >= self.cpus as u64 {
                 return Err(SimError::InvalidConfig {
                     what: format!(
                         "fault injection targets CPU {} but machine has {} CPUs",
-                        fault.cpu, self.cpus
+                        fault.kind.cpu(),
+                        self.cpus
                     ),
                 });
             }
@@ -218,6 +266,60 @@ impl Default for MachineConfig {
         MachineConfig::hpca2003()
     }
 }
+
+impl crate::checkpoint::Snap for FaultKind {
+    fn encode_snap(&self, enc: &mut crate::checkpoint::Encoder) {
+        match *self {
+            FaultKind::CoherenceState { cpu, block, state } => {
+                enc.put_u8(0);
+                cpu.encode_snap(enc);
+                block.encode_snap(enc);
+                state.encode_snap(enc);
+            }
+            FaultKind::SchedulerDoubleRun { cpu } => {
+                enc.put_u8(1);
+                cpu.encode_snap(enc);
+            }
+        }
+    }
+    fn decode_snap(
+        dec: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::Snap;
+        Ok(match dec.get_u8()? {
+            0 => FaultKind::CoherenceState {
+                cpu: Snap::decode_snap(dec)?,
+                block: Snap::decode_snap(dec)?,
+                state: Snap::decode_snap(dec)?,
+            },
+            1 => FaultKind::SchedulerDoubleRun {
+                cpu: Snap::decode_snap(dec)?,
+            },
+            _ => {
+                return Err(crate::checkpoint::CheckpointError::Corrupt {
+                    what: "FaultKind tag".into(),
+                })
+            }
+        })
+    }
+}
+
+crate::impl_snap!(FaultSpec {
+    after_commits,
+    kind
+});
+crate::impl_snap!(MachineConfig {
+    cpus,
+    memory,
+    processor,
+    sched,
+    perturbation_max_ns,
+    perturbation_seed,
+    noise,
+    record_sched_events,
+    check_invariants,
+    fault,
+});
 
 #[cfg(test)]
 mod tests {
@@ -277,18 +379,18 @@ mod tests {
 
     #[test]
     fn fault_spec_validation() {
-        let fault = FaultSpec {
-            after_commits: 5,
-            cpu: 3,
-            block: 0x40,
-            state: CoherenceState::Exclusive,
-        };
+        let fault = FaultSpec::coherence(5, 3, 0x40, CoherenceState::Exclusive);
         let cfg = MachineConfig::hpca2003().with_cpus(4).with_fault(fault);
         assert_eq!(cfg.fault, Some(fault));
         assert!(cfg.validate().is_ok());
 
         // A fault aimed at a CPU the machine doesn't have is rejected before
         // it can panic inside the memory system's node indexing.
+        let cfg = MachineConfig::hpca2003().with_cpus(2).with_fault(fault);
+        assert!(cfg.validate().is_err());
+
+        // The scheduler fault is validated the same way.
+        let fault = FaultSpec::scheduler_double_run(5, 3);
         let cfg = MachineConfig::hpca2003().with_cpus(2).with_fault(fault);
         assert!(cfg.validate().is_err());
     }

@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod check;
+pub mod checkpoint;
 pub mod config;
 pub mod ids;
 pub mod machine;
@@ -66,6 +67,12 @@ pub enum SimError {
         /// Transactions committed in the current interval before wedging.
         committed: u64,
     },
+    /// A checkpoint could not be decoded into a machine (truncated,
+    /// corrupted, or produced by an incompatible encoding version).
+    BadCheckpoint {
+        /// Description of the rejection.
+        what: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -79,6 +86,7 @@ impl fmt::Display for SimError {
                 f,
                 "simulation deadlocked at cycle {at_cycle} after {committed} transaction(s)"
             ),
+            SimError::BadCheckpoint { what } => write!(f, "bad checkpoint: {what}"),
         }
     }
 }

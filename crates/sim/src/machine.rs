@@ -13,8 +13,9 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::check::{InvariantMonitor, Violation};
-use crate::config::MachineConfig;
-use crate::ids::{BlockAddr, CpuId, Cycle, ThreadId};
+use crate::checkpoint::{Checkpoint, CheckpointError, Decoder, Encoder, Snap};
+use crate::config::{FaultKind, MachineConfig};
+use crate::ids::{BlockAddr, CpuId, Cycle, Nanos, ThreadId};
 use crate::mem::{MemorySystem, Perturbation};
 use crate::noise::NoiseState;
 use crate::ops::{AccessKind, Op};
@@ -233,6 +234,17 @@ impl<W: Workload> Machine<W> {
         }
     }
 
+    /// Reconfigures the §3.3 perturbation in place — magnitude and seed —
+    /// leaving everything else untouched. The in-place form of
+    /// [`Machine::with_perturbation`], used by the shared-warmup executor on
+    /// machines restored from a snapshot: warmup ran unperturbed, and each
+    /// run's perturbation stream starts here, at measurement start.
+    pub fn set_perturbation(&mut self, max_ns: Nanos, seed: u64) {
+        self.config.perturbation_max_ns = max_ns;
+        self.config.perturbation_seed = seed;
+        self.mem.set_perturbation(Perturbation::new(max_ns, seed));
+    }
+
     fn post(&mut self, time: Cycle, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
@@ -256,6 +268,19 @@ impl<W: Workload> Machine<W> {
         if let Some(mon) = &mut self.monitor {
             mon.begin_interval();
         }
+    }
+
+    /// Resets measurement counters and the commit log without simulating —
+    /// exactly the implicit reset at the start of
+    /// [`Machine::run_transactions`]. Warm-up producers call this before
+    /// [`Machine::snapshot`] so snapshot bytes (hence content fingerprints)
+    /// are a pure function of architectural state, not of how many
+    /// `run_transactions` calls produced it: a straight 30-transaction
+    /// warmup and a 10 + 20 split leave byte-identical machines only after
+    /// this normalization, because each call's reset stamps the counters
+    /// with its own interval.
+    pub fn normalize_measurement(&mut self) {
+        self.begin_measurement();
     }
 
     /// Runs until `n` more transactions commit and returns the measurement.
@@ -371,6 +396,43 @@ impl<W: Workload> Machine<W> {
         }
     }
 
+    /// Points the monitor at the scheduler: every CPU slot must agree with
+    /// the scheduler's Running records, and no thread may occupy two slots.
+    /// A no-op when monitoring is disabled.
+    fn check_schedule(&mut self, now: Cycle) {
+        if let Some(mon) = &mut self.monitor {
+            let slots: Vec<Option<ThreadId>> = self.cpus.iter().map(|c| c.thread).collect();
+            mon.check_schedule(&self.sched, &slots, now);
+        }
+    }
+
+    /// Test hook: delivers a planted fault (see
+    /// [`FaultSpec`](crate::config::FaultSpec)), then re-checks the corrupted
+    /// structure so the violation is recorded immediately.
+    fn deliver_fault(&mut self, kind: FaultKind, committing: ThreadId, now: Cycle) {
+        match kind {
+            FaultKind::CoherenceState { cpu, block, state } => {
+                self.mem.force_l2_state(CpuId(cpu), BlockAddr(block), state);
+                if let Some(mon) = &mut self.monitor {
+                    mon.check_block(&self.mem, BlockAddr(block), now);
+                }
+            }
+            FaultKind::SchedulerDoubleRun { cpu } => {
+                // Re-record the committing thread as Running on another CPU
+                // (the configured one, or its neighbour when the thread
+                // already runs there), so one thread claims two CPUs at once.
+                // Needs a machine with at least two CPUs to actually violate
+                // anything.
+                let mut target = CpuId(cpu);
+                if self.cpus[target.index()].thread == Some(committing) {
+                    target = CpuId((cpu + 1) % self.cpus.len() as u32);
+                }
+                self.sched.force_running(committing, target);
+                self.check_schedule(now);
+            }
+        }
+    }
+
     /// Wakes one idle CPU, if any, so a freshly readied thread gets running.
     fn kick_idle_cpu(&mut self) {
         if let Some(idx) = self.cpus.iter().position(|c| c.idle) {
@@ -390,6 +452,7 @@ impl<W: Workload> Machine<W> {
             match self.sched.dispatch(cpu, now) {
                 Some(t) => {
                     self.cpus[idx].thread = Some(t);
+                    self.check_schedule(now);
                     let ctx = self.sched.config().context_switch_ns;
                     self.post(now + ctx, EventKind::CpuReady(cpu));
                 }
@@ -490,16 +553,12 @@ impl<W: Workload> Machine<W> {
                 self.committed += 1;
                 self.commit_log.push(t);
                 // Test hook: plant the configured fault once the cumulative
-                // commit count is reached, then re-check the block so the
-                // violation is recorded even if the workload never touches
-                // the corrupted line again.
+                // commit count is reached, then re-check the corrupted
+                // structure so the violation is recorded even if the
+                // workload never touches it again.
                 if let Some(f) = self.config.fault {
                     if self.committed == f.after_commits {
-                        self.mem
-                            .force_l2_state(CpuId(f.cpu), BlockAddr(f.block), f.state);
-                        if let Some(mon) = &mut self.monitor {
-                            mon.check_block(&self.mem, BlockAddr(f.block), now);
-                        }
+                        self.deliver_fault(f.kind, thread, now);
                     }
                 }
                 let busy = drain + SYNC_OP_COST_NS;
@@ -524,6 +583,154 @@ impl<W: Workload> Machine<W> {
     }
 }
 
+impl crate::checkpoint::Snap for EventKind {
+    fn encode_snap(&self, enc: &mut Encoder) {
+        match self {
+            EventKind::CpuReady(cpu) => {
+                enc.put_u8(0);
+                cpu.encode_snap(enc);
+            }
+            EventKind::ThreadWake(thread) => {
+                enc.put_u8(1);
+                thread.encode_snap(enc);
+            }
+        }
+    }
+    fn decode_snap(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
+        Ok(match dec.get_u8()? {
+            0 => EventKind::CpuReady(Snap::decode_snap(dec)?),
+            1 => EventKind::ThreadWake(Snap::decode_snap(dec)?),
+            _ => {
+                return Err(CheckpointError::Corrupt {
+                    what: "EventKind tag".into(),
+                })
+            }
+        })
+    }
+}
+
+crate::impl_snap!(Event { time, seq, kind });
+crate::impl_snap!(Cpu {
+    core,
+    thread,
+    idle,
+    busy_ns,
+});
+
+impl<W: Workload + Snap> Machine<W> {
+    /// Serializes the complete machine state — caches and coherence state,
+    /// memory-system counters, processor cores and predictors, scheduler,
+    /// locks, noise, invariant monitor, workload generators, RNG streams,
+    /// the event queue, and all accounting — into a stable binary
+    /// [`Checkpoint`] with a content fingerprint.
+    ///
+    /// The event heap is serialized in sorted `(time, seq)` order, so two
+    /// machines in identical states always produce byte-identical payloads
+    /// (and hence equal fingerprints) regardless of heap-internal layout.
+    pub fn snapshot(&self) -> Checkpoint {
+        let mut enc = Encoder::new();
+        self.config.encode_snap(&mut enc);
+        self.now.encode_snap(&mut enc);
+        self.seq.encode_snap(&mut enc);
+        let mut events: Vec<Event> = self.events.iter().map(|Reverse(e)| *e).collect();
+        events.sort_unstable();
+        events.encode_snap(&mut enc);
+        self.cpus.encode_snap(&mut enc);
+        self.mem.encode_snap(&mut enc);
+        self.sched.encode_snap(&mut enc);
+        self.locks.encode_snap(&mut enc);
+        self.noise.encode_snap(&mut enc);
+        self.monitor.encode_snap(&mut enc);
+        self.workload.encode_snap(&mut enc);
+        self.committed.encode_snap(&mut enc);
+        self.commit_log.encode_snap(&mut enc);
+        self.measure_start.encode_snap(&mut enc);
+        self.measure_committed_base.encode_snap(&mut enc);
+        Checkpoint::from_payload(enc.into_bytes())
+    }
+
+    /// Reconstructs a machine from a [`Checkpoint`], bit-identical to the
+    /// machine that produced it: continuing a restored machine yields
+    /// exactly the execution the original would have produced.
+    ///
+    /// Like [`Machine::new`], the `invariant-monitor` cargo feature ORs a
+    /// fresh monitor in when the snapshot carried none, so a checkpoint
+    /// taken by a feature-off build stays checkable in a feature-on build.
+    /// The monitor is read-only, so simulation results are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadCheckpoint`] when the payload is truncated,
+    /// corrupt, or internally inconsistent (e.g. CPU count mismatch), and
+    /// [`SimError::InvalidConfig`] when the embedded configuration fails
+    /// validation.
+    pub fn restore(ck: &Checkpoint) -> Result<Self, SimError> {
+        let mut dec = Decoder::new(ck.payload());
+        let config = MachineConfig::decode_snap(&mut dec)?;
+        let now = Snap::decode_snap(&mut dec)?;
+        let seq = Snap::decode_snap(&mut dec)?;
+        let events: Vec<Event> = Snap::decode_snap(&mut dec)?;
+        let cpus: Vec<Cpu> = Snap::decode_snap(&mut dec)?;
+        let mem = MemorySystem::decode_snap(&mut dec)?;
+        let sched = Scheduler::decode_snap(&mut dec)?;
+        let locks = LockTable::decode_snap(&mut dec)?;
+        let noise = Snap::decode_snap(&mut dec)?;
+        let monitor: Option<InvariantMonitor> = Snap::decode_snap(&mut dec)?;
+        let workload = W::decode_snap(&mut dec)?;
+        let committed = Snap::decode_snap(&mut dec)?;
+        let commit_log = Snap::decode_snap(&mut dec)?;
+        let measure_start = Snap::decode_snap(&mut dec)?;
+        let measure_committed_base = Snap::decode_snap(&mut dec)?;
+        dec.finish()?;
+
+        config.validate()?;
+        if cpus.len() != config.cpus {
+            return Err(CheckpointError::Corrupt {
+                what: format!(
+                    "checkpoint has {} CPUs but its config declares {}",
+                    cpus.len(),
+                    config.cpus
+                ),
+            }
+            .into());
+        }
+        if sched.thread_count() != workload.thread_count() {
+            return Err(CheckpointError::Corrupt {
+                what: format!(
+                    "checkpoint scheduler manages {} threads but its workload declares {}",
+                    sched.thread_count(),
+                    workload.thread_count()
+                ),
+            }
+            .into());
+        }
+        let monitor = match monitor {
+            Some(m) => Some(m),
+            None if config.check_invariants || cfg!(feature = "invariant-monitor") => {
+                Some(InvariantMonitor::new(config.memory.protocol))
+            }
+            None => None,
+        };
+        Ok(Machine {
+            config,
+            now,
+            seq,
+            events: events.into_iter().map(Reverse).collect(),
+            cpus,
+            mem,
+            sched,
+            locks,
+            noise,
+            monitor,
+            workload,
+            committed,
+            commit_log,
+            measure_start,
+            measure_committed_base,
+        })
+    }
+}
+
 impl<W: Workload + Clone> Machine<W> {
     /// Captures a checkpoint: a full copy of machine + workload state, like
     /// Simics' checkpoint facility (§3.2.2). Restarting runs from the same
@@ -531,6 +738,19 @@ impl<W: Workload + Clone> Machine<W> {
     /// for exploring the space of executions.
     pub fn checkpoint(&self) -> Machine<W> {
         self.clone()
+    }
+
+    /// Returns a copy with the §3.3 perturbation reconfigured — both the
+    /// magnitude and the seed — everything else identical. This is how the
+    /// shared-warmup executor forks perturbed runs from one warmed snapshot:
+    /// warmup runs unperturbed, and each run's perturbation stream starts
+    /// here, at measurement start.
+    pub fn with_perturbation(&self, max_ns: Nanos, seed: u64) -> Machine<W> {
+        let mut m = self.clone();
+        m.config.perturbation_max_ns = max_ns;
+        m.config.perturbation_seed = seed;
+        m.mem.set_perturbation(Perturbation::new(max_ns, seed));
+        m
     }
 
     /// Returns a copy of this machine with a fresh perturbation stream
@@ -687,6 +907,103 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let cfg = MachineConfig::hpca2003()
+            .with_cpus(4)
+            .with_perturbation(4, 77);
+        let wl = crate::workload::SharingWorkload::new(8, 7, 40, 4096, 10);
+        let mut m = Machine::new(cfg, wl).unwrap();
+        m.run_transactions(30).unwrap();
+        let ck = m.snapshot();
+        let mut restored: Machine<crate::workload::SharingWorkload> =
+            Machine::restore(&ck).unwrap();
+        // A restored machine re-snapshots to the identical fingerprint...
+        assert_eq!(restored.snapshot().fingerprint(), ck.fingerprint());
+        // ...and continues bit-identically to the original.
+        let ra = m.run_transactions(50).unwrap();
+        let rb = restored.run_transactions(50).unwrap();
+        assert_eq!(ra, rb);
+        assert_eq!(
+            m.snapshot().fingerprint(),
+            restored.snapshot().fingerprint()
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_frame_bytes() {
+        let mut m = machine(2, 4);
+        m.run_transactions(15).unwrap();
+        let ck = m.snapshot();
+        let bytes = ck.to_bytes();
+        let back = crate::checkpoint::Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back.fingerprint(), ck.fingerprint());
+        let mut restored: Machine<UniformWorkload> = Machine::restore(&back).unwrap();
+        assert_eq!(
+            m.run_transactions(10).unwrap(),
+            restored.run_transactions(10).unwrap()
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshot_payload_is_rejected() {
+        let mut m = machine(2, 4);
+        m.run_transactions(5).unwrap();
+        let ck = m.snapshot();
+        // Truncated payload: decoding must error, not panic.
+        let short = crate::checkpoint::Checkpoint::from_payload(
+            ck.payload()[..ck.payload().len() / 2].to_vec(),
+        );
+        assert!(Machine::<UniformWorkload>::restore(&short).is_err());
+        // Wrong workload type: SharingWorkload bytes don't decode as Uniform.
+        let wl = crate::workload::SharingWorkload::new(4, 1, 10, 64, 0);
+        let mut other = Machine::new(MachineConfig::hpca2003().with_cpus(2), wl).unwrap();
+        other.run_transactions(5).unwrap();
+        assert!(Machine::<UniformWorkload>::restore(&other.snapshot()).is_err());
+    }
+
+    #[test]
+    fn with_perturbation_forks_at_measurement_start() {
+        let cfg = MachineConfig::hpca2003().with_cpus(4);
+        let wl = crate::workload::SharingWorkload::new(8, 7, 40, 4096, 10);
+        let mut m = Machine::new(cfg, wl).unwrap();
+        m.run_transactions(20).unwrap();
+        let elapsed: Vec<u64> = (0..6)
+            .map(|s| {
+                let mut run = m.with_perturbation(4, s);
+                run.run_transactions(60).unwrap().elapsed()
+            })
+            .collect();
+        // Same seed reproduces...
+        assert_eq!(elapsed[0], {
+            let mut run = m.with_perturbation(4, 0);
+            run.run_transactions(60).unwrap().elapsed()
+        });
+        // ...different seeds diverge.
+        assert!(
+            elapsed.iter().any(|&e| e != elapsed[0]),
+            "perturbed forks should diverge: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn scheduler_fault_is_caught_by_monitor() {
+        use crate::config::FaultSpec;
+        let cfg = MachineConfig::hpca2003()
+            .with_cpus(4)
+            .with_invariant_checks()
+            .with_fault(FaultSpec::scheduler_double_run(10, 2));
+        let mut m = Machine::new(cfg, UniformWorkload::new(8, 20, 30)).unwrap();
+        m.run_transactions(30).unwrap();
+        assert!(
+            m.invariant_violations()
+                .iter()
+                .any(|v| v.kind == crate::check::InvariantKind::Scheduling),
+            "planted scheduler fault must be detected: {:?}",
+            m.invariant_violations()
+        );
+    }
+
+    #[test]
     fn invariant_monitor_is_clean_and_changes_nothing() {
         let wl = crate::workload::SharingWorkload::new(8, 11, 30, 512, 8);
         let run = |checked: bool| {
@@ -722,12 +1039,12 @@ mod tests {
         let cfg = MachineConfig::hpca2003()
             .with_cpus(4)
             .with_invariant_checks()
-            .with_fault(FaultSpec {
-                after_commits: 10,
-                cpu: 1,
-                block: 0xFA11,
-                state: CoherenceState::Exclusive,
-            });
+            .with_fault(FaultSpec::coherence(
+                10,
+                1,
+                0xFA11,
+                CoherenceState::Exclusive,
+            ));
         let mut m = Machine::new(cfg, UniformWorkload::new(8, 20, 30)).unwrap();
         m.run_transactions(30).unwrap();
         assert!(
@@ -748,12 +1065,12 @@ mod tests {
         let cfg = MachineConfig::hpca2003()
             .with_cpus(4)
             .with_invariant_checks()
-            .with_fault(FaultSpec {
-                after_commits: 100,
-                cpu: 1,
-                block: 0xFA11,
-                state: CoherenceState::Exclusive,
-            });
+            .with_fault(FaultSpec::coherence(
+                100,
+                1,
+                0xFA11,
+                CoherenceState::Exclusive,
+            ));
         let mut m = Machine::new(cfg, UniformWorkload::new(8, 20, 30)).unwrap();
         m.run_transactions(30).unwrap();
         assert!(m.invariant_violations().is_empty());

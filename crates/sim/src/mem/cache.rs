@@ -347,6 +347,137 @@ impl CacheArray {
     }
 }
 
+impl crate::checkpoint::Snap for CoherenceState {
+    fn encode_snap(&self, enc: &mut crate::checkpoint::Encoder) {
+        enc.put_u8(match self {
+            CoherenceState::Modified => 0,
+            CoherenceState::Exclusive => 1,
+            CoherenceState::Owned => 2,
+            CoherenceState::Shared => 3,
+            CoherenceState::Invalid => 4,
+        });
+    }
+    fn decode_snap(
+        dec: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        match dec.get_u8()? {
+            0 => Ok(CoherenceState::Modified),
+            1 => Ok(CoherenceState::Exclusive),
+            2 => Ok(CoherenceState::Owned),
+            3 => Ok(CoherenceState::Shared),
+            4 => Ok(CoherenceState::Invalid),
+            _ => Err(crate::checkpoint::CheckpointError::Corrupt {
+                what: "CoherenceState tag".into(),
+            }),
+        }
+    }
+}
+
+crate::impl_snap!(CacheConfig {
+    size_bytes,
+    associativity,
+    block_bytes,
+});
+crate::impl_snap!(Line { tag, state, lru });
+
+/// Run-length tag byte marking a run of Invalid lines in a [`CacheArray`]
+/// encoding; the [`CoherenceState`] tags occupy 0–4.
+const SNAP_INVALID_RUN: u8 = 5;
+
+/// Hand-written [`Snap`](crate::checkpoint::Snap) for [`CacheArray`]: the
+/// line array dominates whole-machine checkpoints (a 4 MB L2 is 65,536
+/// lines), and most lines in a warmed machine are Invalid. Invalid lines are
+/// encoded as run-lengths and **canonicalized** — their residual `tag`/`lru`
+/// values are never consulted by any lookup or victim choice (every path
+/// skips Invalid lines, and eviction only runs when no Invalid way exists) —
+/// so a restored array is behaviourally identical and re-encodes to the same
+/// bytes, while a fully Invalid L2 costs 6 bytes instead of a megabyte.
+impl crate::checkpoint::Snap for CacheArray {
+    fn encode_snap(&self, enc: &mut crate::checkpoint::Encoder) {
+        self.config.encode_snap(enc);
+        enc.put_u64(self.lines.len() as u64);
+        let mut i = 0usize;
+        while i < self.lines.len() {
+            let line = &self.lines[i];
+            if line.state == CoherenceState::Invalid {
+                let run_start = i;
+                while i < self.lines.len() && self.lines[i].state == CoherenceState::Invalid {
+                    i += 1;
+                }
+                enc.put_u8(SNAP_INVALID_RUN);
+                enc.put_u64((i - run_start) as u64);
+            } else {
+                line.state.encode_snap(enc);
+                enc.put_u64(line.tag);
+                enc.put_u64(line.lru);
+                i += 1;
+            }
+        }
+        self.sets.encode_snap(enc);
+        self.ways.encode_snap(enc);
+        self.use_clock.encode_snap(enc);
+    }
+
+    fn decode_snap(
+        dec: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::{CheckpointError, Snap};
+        let config = CacheConfig::decode_snap(dec)?;
+        let len = dec.get_u64()? as usize;
+        // Largest plausible array: a 16 GB cache of 64-byte lines. Anything
+        // bigger is a corrupt length, not a machine we ever built — and
+        // rejecting it here keeps a flipped bit from requesting a huge
+        // allocation before the fingerprint check would catch it.
+        if len > 1 << 28 {
+            return Err(CheckpointError::Corrupt {
+                what: "CacheArray line count".into(),
+            });
+        }
+        let mut lines = Vec::with_capacity(len);
+        while lines.len() < len {
+            match dec.get_u8()? {
+                SNAP_INVALID_RUN => {
+                    let run = dec.get_u64()? as usize;
+                    if run == 0 || run > len - lines.len() {
+                        return Err(CheckpointError::Corrupt {
+                            what: "CacheArray invalid-run length".into(),
+                        });
+                    }
+                    lines.resize(lines.len() + run, Line::default());
+                }
+                tag_byte => {
+                    let state = match tag_byte {
+                        0 => CoherenceState::Modified,
+                        1 => CoherenceState::Exclusive,
+                        2 => CoherenceState::Owned,
+                        3 => CoherenceState::Shared,
+                        _ => {
+                            return Err(CheckpointError::Corrupt {
+                                what: "CacheArray line tag".into(),
+                            })
+                        }
+                    };
+                    lines.push(Line {
+                        tag: dec.get_u64()?,
+                        state,
+                        lru: dec.get_u64()?,
+                    });
+                }
+            }
+        }
+        let sets = Snap::decode_snap(dec)?;
+        let ways = Snap::decode_snap(dec)?;
+        let use_clock = Snap::decode_snap(dec)?;
+        Ok(CacheArray {
+            config,
+            lines,
+            sets,
+            ways,
+            use_clock,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -662,6 +662,68 @@ impl MemorySystem {
     }
 }
 
+impl crate::checkpoint::Snap for CoherenceProtocol {
+    fn encode_snap(&self, enc: &mut crate::checkpoint::Encoder) {
+        enc.put_u8(match self {
+            CoherenceProtocol::Mosi => 0,
+            CoherenceProtocol::Mesi => 1,
+            CoherenceProtocol::Moesi => 2,
+        });
+    }
+    fn decode_snap(
+        dec: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        match dec.get_u8()? {
+            0 => Ok(CoherenceProtocol::Mosi),
+            1 => Ok(CoherenceProtocol::Mesi),
+            2 => Ok(CoherenceProtocol::Moesi),
+            _ => Err(crate::checkpoint::CheckpointError::Corrupt {
+                what: "CoherenceProtocol tag".into(),
+            }),
+        }
+    }
+}
+
+crate::impl_snap!(MemoryConfig {
+    l1i,
+    l1d,
+    l2,
+    l1_hit_ns,
+    l2_hit_ns,
+    hop_ns,
+    cache_provide_ns,
+    mem_provide_ns,
+    bus_occupancy_ns,
+    upgrade_ns,
+    protocol,
+});
+crate::impl_snap!(MemStats {
+    l1i_hits,
+    l1i_misses,
+    l1d_hits,
+    l1d_misses,
+    l2_hits,
+    l2_misses,
+    upgrades,
+    silent_upgrades,
+    cache_to_cache,
+    memory_fetches,
+    writebacks,
+    invalidations,
+    bus_wait_ns,
+    perturbation_ns,
+});
+crate::impl_snap!(Node { l1i, l1d, l2 });
+crate::impl_snap!(Perturbation { max_ns, rng });
+crate::impl_snap!(MemorySystem {
+    config,
+    nodes,
+    bus_free_at,
+    perturbation,
+    stats,
+    last_access,
+});
+
 /// Downgrades a node's L1D copy of `addr` to read-only (used when its L2
 /// loses write permission).
 fn downgrade_l1(node: &mut Node, addr: BlockAddr) {

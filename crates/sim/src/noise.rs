@@ -134,6 +134,23 @@ impl NoiseState {
     }
 }
 
+crate::impl_snap!(NoiseConfig {
+    timer_interval_ns,
+    timer_cost_ns,
+    burst_interval_ns,
+    burst_duration_ns,
+    burst_slowdown_permille,
+    seed,
+});
+crate::impl_snap!(NoiseState {
+    config,
+    rng,
+    next_timer,
+    burst_start,
+    burst_end,
+    injected_ns,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -133,6 +133,71 @@ impl ProcCore {
     }
 }
 
+impl crate::checkpoint::Snap for ProcessorConfig {
+    fn encode_snap(&self, enc: &mut crate::checkpoint::Encoder) {
+        match self {
+            ProcessorConfig::Simple => enc.put_u8(0),
+            ProcessorConfig::OutOfOrder(cfg) => {
+                enc.put_u8(1);
+                cfg.encode_snap(enc);
+            }
+        }
+    }
+    fn decode_snap(
+        dec: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::Snap;
+        Ok(match dec.get_u8()? {
+            0 => ProcessorConfig::Simple,
+            1 => ProcessorConfig::OutOfOrder(Snap::decode_snap(dec)?),
+            _ => {
+                return Err(crate::checkpoint::CheckpointError::Corrupt {
+                    what: "ProcessorConfig tag".into(),
+                })
+            }
+        })
+    }
+}
+
+impl crate::checkpoint::Snap for ProcCore {
+    fn encode_snap(&self, enc: &mut crate::checkpoint::Encoder) {
+        match self {
+            ProcCore::Simple(core) => {
+                enc.put_u8(0);
+                core.encode_snap(enc);
+            }
+            ProcCore::Ooo(core) => {
+                enc.put_u8(1);
+                core.as_ref().encode_snap(enc);
+            }
+        }
+    }
+    fn decode_snap(
+        dec: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::Snap;
+        Ok(match dec.get_u8()? {
+            0 => ProcCore::Simple(Snap::decode_snap(dec)?),
+            1 => ProcCore::Ooo(Box::new(Snap::decode_snap(dec)?)),
+            _ => {
+                return Err(crate::checkpoint::CheckpointError::Corrupt {
+                    what: "ProcCore tag".into(),
+                })
+            }
+        })
+    }
+}
+
+crate::impl_snap!(ProcStats {
+    instructions,
+    branches,
+    branch_mispredicts,
+    indirect_mispredicts,
+    ras_mispredicts,
+    window_stall_ns,
+    drain_ns,
+});
+
 /// Cost in ns of the short uncontended instruction sequence around
 /// synchronization ops (shared by both models).
 pub(crate) const SYNC_OP_COST_NS: Nanos = 4;

@@ -287,6 +287,26 @@ impl OooCore {
     }
 }
 
+crate::impl_snap!(OooConfig {
+    width,
+    rob_size,
+    mispredict_penalty_ns,
+    max_outstanding,
+});
+crate::impl_snap!(Outstanding {
+    complete,
+    issued_at_instr,
+});
+crate::impl_snap!(OooCore {
+    config,
+    yags,
+    indirect,
+    ras,
+    window,
+    issued_instrs,
+    stats,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

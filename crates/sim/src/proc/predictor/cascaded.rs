@@ -132,6 +132,16 @@ impl CascadedIndirect {
     }
 }
 
+crate::impl_snap!(Stage1Entry { target, valid });
+crate::impl_snap!(Stage2Entry { tag, target, valid });
+crate::impl_snap!(CascadedIndirect {
+    stage1,
+    stage2,
+    path_history,
+    predictions,
+    mispredictions,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,6 +39,23 @@ impl Counter2 {
     }
 }
 
+impl crate::checkpoint::Snap for Counter2 {
+    fn encode_snap(&self, enc: &mut crate::checkpoint::Encoder) {
+        enc.put_u8(self.0);
+    }
+    fn decode_snap(
+        dec: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        let v = dec.get_u8()?;
+        if v > 3 {
+            return Err(crate::checkpoint::CheckpointError::Corrupt {
+                what: "Counter2 out of range".into(),
+            });
+        }
+        Ok(Counter2(v))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -84,6 +84,15 @@ impl ReturnAddressStack {
     }
 }
 
+crate::impl_snap!(ReturnAddressStack {
+    stack,
+    top,
+    depth,
+    live,
+    predictions,
+    mispredictions,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -154,6 +154,21 @@ impl Yags {
     }
 }
 
+crate::impl_snap!(DirEntry {
+    tag,
+    counter,
+    valid,
+});
+crate::impl_snap!(Yags {
+    choice,
+    taken_cache,
+    not_taken_cache,
+    history,
+    history_bits,
+    predictions,
+    mispredictions,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

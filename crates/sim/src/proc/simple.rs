@@ -75,6 +75,8 @@ impl SimpleCore {
     }
 }
 
+crate::impl_snap!(SimpleCore { stats });
+
 #[cfg(test)]
 mod tests {
     use super::*;

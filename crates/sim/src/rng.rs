@@ -155,6 +155,9 @@ impl Xoshiro256StarStar {
     }
 }
 
+crate::impl_snap!(SplitMix64 { state });
+crate::impl_snap!(Xoshiro256StarStar { s });
+
 #[cfg(test)]
 mod tests {
     use super::*;

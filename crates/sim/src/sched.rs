@@ -224,6 +224,21 @@ impl Scheduler {
         self.threads[thread.index()].state
     }
 
+    /// Number of threads the scheduler manages.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Test hook: forcibly records `thread` as Running on `cpu`, bypassing
+    /// every scheduling rule and leaving the ready queue untouched. Exists
+    /// solely so the fault-injection test suites can plant a
+    /// scheduling-invariant violation mid-run; never call it from real
+    /// scheduling paths.
+    #[doc(hidden)]
+    pub fn force_running(&mut self, thread: ThreadId, cpu: CpuId) {
+        self.threads[thread.index()].state = ThreadState::Running(cpu);
+    }
+
     /// Whether any thread is waiting to run.
     pub fn has_ready(&self) -> bool {
         !self.ready.is_empty()
@@ -350,6 +365,108 @@ impl Scheduler {
         self.record(now, cpu, thread, SchedEventKind::Wake);
     }
 }
+
+impl crate::checkpoint::Snap for ThreadState {
+    fn encode_snap(&self, enc: &mut crate::checkpoint::Encoder) {
+        match self {
+            ThreadState::Ready => enc.put_u8(0),
+            ThreadState::Running(cpu) => {
+                enc.put_u8(1);
+                cpu.encode_snap(enc);
+            }
+            ThreadState::Blocked(lock) => {
+                enc.put_u8(2);
+                lock.encode_snap(enc);
+            }
+            ThreadState::Sleeping => enc.put_u8(3),
+        }
+    }
+    fn decode_snap(
+        dec: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::Snap;
+        Ok(match dec.get_u8()? {
+            0 => ThreadState::Ready,
+            1 => ThreadState::Running(Snap::decode_snap(dec)?),
+            2 => ThreadState::Blocked(Snap::decode_snap(dec)?),
+            3 => ThreadState::Sleeping,
+            _ => {
+                return Err(crate::checkpoint::CheckpointError::Corrupt {
+                    what: "ThreadState tag".into(),
+                })
+            }
+        })
+    }
+}
+
+impl crate::checkpoint::Snap for SchedEventKind {
+    fn encode_snap(&self, enc: &mut crate::checkpoint::Encoder) {
+        match self {
+            SchedEventKind::Dispatch => enc.put_u8(0),
+            SchedEventKind::Preempt => enc.put_u8(1),
+            SchedEventKind::BlockLock(lock) => {
+                enc.put_u8(2);
+                lock.encode_snap(enc);
+            }
+            SchedEventKind::Sleep => enc.put_u8(3),
+            SchedEventKind::Wake => enc.put_u8(4),
+            SchedEventKind::Yield => enc.put_u8(5),
+        }
+    }
+    fn decode_snap(
+        dec: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::Snap;
+        Ok(match dec.get_u8()? {
+            0 => SchedEventKind::Dispatch,
+            1 => SchedEventKind::Preempt,
+            2 => SchedEventKind::BlockLock(Snap::decode_snap(dec)?),
+            3 => SchedEventKind::Sleep,
+            4 => SchedEventKind::Wake,
+            5 => SchedEventKind::Yield,
+            _ => {
+                return Err(crate::checkpoint::CheckpointError::Corrupt {
+                    what: "SchedEventKind tag".into(),
+                })
+            }
+        })
+    }
+}
+
+crate::impl_snap!(SchedConfig {
+    quantum_ns,
+    context_switch_ns,
+    lock_spin_ns,
+    wakeup_ns,
+    affinity_window,
+});
+crate::impl_snap!(SchedEvent {
+    cycle,
+    cpu,
+    thread,
+    kind,
+});
+crate::impl_snap!(SchedStats {
+    dispatches,
+    preemptions,
+    migrations,
+    yields,
+});
+crate::impl_snap!(ThreadRecord {
+    state,
+    last_cpu,
+    quantum_end,
+    affine,
+});
+crate::impl_snap!(Scheduler {
+    config,
+    threads,
+    ready,
+    last_thread,
+    log,
+    log_enabled,
+    stats,
+});
 
 #[cfg(test)]
 mod tests {

@@ -164,6 +164,23 @@ impl LockTable {
     }
 }
 
+crate::impl_snap!(LockState {
+    holder,
+    waiters,
+    acquired_at,
+});
+crate::impl_snap!(LockStats {
+    acquisitions,
+    contended,
+    wait_ns,
+    hold_ns,
+});
+crate::impl_snap!(LockTable {
+    locks,
+    wait_since,
+    stats,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

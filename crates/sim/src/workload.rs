@@ -230,6 +230,24 @@ impl Workload for SharingWorkload {
     }
 }
 
+crate::impl_snap!(UniformWorkload {
+    threads,
+    ops_per_txn,
+    burst,
+    counters,
+});
+crate::impl_snap!(SharingThreadState { rng, ops, in_cs });
+crate::impl_snap!(SharingWorkload {
+    threads,
+    ops_per_txn,
+    footprint_blocks,
+    write_ratio,
+    lock_every,
+    lock_count,
+    cs_len,
+    state,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,269 @@
+//! Differential fuzzing of the scheduler against an independent reference
+//! model, in the style of `oracle_diff`: seeded random sequences of valid
+//! dispatch/preempt/yield/block/sleep/wake operations drive both models in
+//! lockstep, comparing every dispatch decision, every thread state, the
+//! ready-queue depth and the counters after each step.
+//!
+//! The reference reimplements the documented contract — a global FIFO ready
+//! queue with round-robin dispatch, a soft-affinity scan over the first
+//! `affinity_window` ready threads (an affine thread that last ran on the
+//! idle CPU is picked early, unless it is the thread that CPU just ran),
+//! blocking/sleeping grants an affinity claim, preemption/yield clears it,
+//! and a dispatch onto a different CPU than the thread's previous one counts
+//! as a migration — from the docs, not from the implementation, so a drift
+//! in either shows up as a divergence.
+//!
+//! Every few steps the scheduler is also round-tripped through its `Snap`
+//! encoding and the restored copy must compare equal — the scheduler half of
+//! the machine checkpoint guarantee.
+
+use mtvar_sim::checkpoint::{Decoder, Encoder, Snap};
+use mtvar_sim::ids::{CpuId, LockId, ThreadId};
+use mtvar_sim::rng::Xoshiro256StarStar;
+use mtvar_sim::sched::{SchedConfig, Scheduler, ThreadState};
+
+#[derive(Clone, Copy)]
+struct RefThread {
+    state: ThreadState,
+    last_cpu: Option<CpuId>,
+    affine: bool,
+}
+
+/// The documented scheduling contract, restated as plainly as possible.
+struct RefSched {
+    window: usize,
+    threads: Vec<RefThread>,
+    ready: Vec<ThreadId>,
+    last_thread: Vec<Option<ThreadId>>,
+    dispatches: u64,
+    preemptions: u64,
+    migrations: u64,
+    yields: u64,
+}
+
+impl RefSched {
+    fn new(config: &SchedConfig, thread_count: usize, cpu_count: usize) -> Self {
+        RefSched {
+            window: config.affinity_window.max(1),
+            threads: vec![
+                RefThread {
+                    state: ThreadState::Ready,
+                    last_cpu: None,
+                    affine: false,
+                };
+                thread_count
+            ],
+            ready: (0..thread_count as u32).map(ThreadId).collect(),
+            last_thread: vec![None; cpu_count],
+            dispatches: 0,
+            preemptions: 0,
+            migrations: 0,
+            yields: 0,
+        }
+    }
+
+    fn dispatch(&mut self, cpu: CpuId) -> Option<ThreadId> {
+        // Round-robin baseline: the queue head. Affinity override: the first
+        // thread within the window holding a warm-cache claim on this CPU,
+        // unless it is the one this CPU ran last.
+        let head = *self.ready.first()?;
+        let affine_pick = self.ready.iter().take(self.window).copied().find(|&t| {
+            let rec = self.threads[t.index()];
+            rec.affine && rec.last_cpu == Some(cpu) && self.last_thread[cpu.index()] != Some(t)
+        });
+        let chosen = affine_pick.unwrap_or(head);
+        self.ready.retain(|&t| t != chosen);
+        let rec = &mut self.threads[chosen.index()];
+        if rec.last_cpu.is_some_and(|c| c != cpu) {
+            self.migrations += 1;
+        }
+        rec.state = ThreadState::Running(cpu);
+        rec.last_cpu = Some(cpu);
+        rec.affine = false;
+        self.last_thread[cpu.index()] = Some(chosen);
+        self.dispatches += 1;
+        Some(chosen)
+    }
+
+    fn requeue(&mut self, thread: ThreadId) {
+        self.threads[thread.index()].state = ThreadState::Ready;
+        self.threads[thread.index()].affine = false;
+        self.ready.push(thread);
+    }
+
+    fn preempt(&mut self, thread: ThreadId) {
+        self.requeue(thread);
+        self.preemptions += 1;
+    }
+
+    fn yield_thread(&mut self, thread: ThreadId) {
+        self.requeue(thread);
+        self.yields += 1;
+    }
+
+    fn block_on_lock(&mut self, thread: ThreadId, lock: LockId) {
+        let rec = &mut self.threads[thread.index()];
+        rec.state = ThreadState::Blocked(lock);
+        rec.affine = true;
+    }
+
+    fn sleep(&mut self, thread: ThreadId) {
+        let rec = &mut self.threads[thread.index()];
+        rec.state = ThreadState::Sleeping;
+        rec.affine = true;
+    }
+
+    fn wake(&mut self, thread: ThreadId) {
+        self.threads[thread.index()].state = ThreadState::Ready;
+        self.ready.push(thread);
+    }
+}
+
+fn snap_round_trip(sched: &Scheduler) -> Scheduler {
+    let mut enc = Encoder::new();
+    sched.encode_snap(&mut enc);
+    let bytes = enc.into_bytes();
+    let mut dec = Decoder::new(&bytes);
+    let restored = Scheduler::decode_snap(&mut dec).expect("scheduler decodes");
+    dec.finish()
+        .expect("no trailing bytes after scheduler decode");
+    restored
+}
+
+fn check_agreement(step: usize, label: &str, sched: &Scheduler, model: &RefSched) {
+    assert_eq!(
+        sched.ready_len(),
+        model.ready.len(),
+        "{label} step {step}: ready-queue depth diverged"
+    );
+    for t in 0..model.threads.len() {
+        assert_eq!(
+            sched.thread_state(ThreadId(t as u32)),
+            model.threads[t].state,
+            "{label} step {step}: thread {t} state diverged"
+        );
+    }
+    let stats = sched.stats();
+    assert_eq!(
+        (
+            stats.dispatches,
+            stats.preemptions,
+            stats.migrations,
+            stats.yields
+        ),
+        (
+            model.dispatches,
+            model.preemptions,
+            model.migrations,
+            model.yields
+        ),
+        "{label} step {step}: counters diverged"
+    );
+}
+
+/// One fuzz campaign: `steps` random valid operations against both models.
+fn fuzz_campaign(label: &str, config: SchedConfig, threads: usize, cpus: usize, seed: u64) {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut sched = Scheduler::new(config, threads, cpus).unwrap();
+    let mut model = RefSched::new(&config, threads, cpus);
+    // The driver's own view of who runs where — both models must match it.
+    let mut running: Vec<Option<ThreadId>> = vec![None; cpus];
+    let mut now = 0u64;
+    for step in 0..600 {
+        now += 1 + rng.next_below(2_000);
+        let idle: Vec<CpuId> = (0..cpus as u32)
+            .map(CpuId)
+            .filter(|c| running[c.index()].is_none())
+            .collect();
+        let busy: Vec<CpuId> = (0..cpus as u32)
+            .map(CpuId)
+            .filter(|c| running[c.index()].is_some())
+            .collect();
+        let parked: Vec<ThreadId> = (0..threads as u32)
+            .map(ThreadId)
+            .filter(|&t| {
+                matches!(
+                    sched.thread_state(t),
+                    ThreadState::Blocked(_) | ThreadState::Sleeping
+                )
+            })
+            .collect();
+        // Weighted valid-op choice: favour dispatch so CPUs stay busy and the
+        // affinity window sees a populated queue.
+        let op = rng.next_below(8);
+        match op {
+            0..=2 if !idle.is_empty() => {
+                let cpu = idle[rng.next_below(idle.len() as u64) as usize];
+                let got = sched.dispatch(cpu, now);
+                let want = model.dispatch(cpu);
+                assert_eq!(got, want, "{label} step {step}: dispatch on {cpu} diverged");
+                running[cpu.index()] = got;
+            }
+            3 if !busy.is_empty() => {
+                let cpu = busy[rng.next_below(busy.len() as u64) as usize];
+                let t = running[cpu.index()].take().unwrap();
+                sched.preempt(t, cpu, now);
+                model.preempt(t);
+            }
+            4 if !busy.is_empty() => {
+                let cpu = busy[rng.next_below(busy.len() as u64) as usize];
+                let t = running[cpu.index()].take().unwrap();
+                sched.yield_thread(t, cpu, now);
+                model.yield_thread(t);
+            }
+            5 if !busy.is_empty() => {
+                let cpu = busy[rng.next_below(busy.len() as u64) as usize];
+                let t = running[cpu.index()].take().unwrap();
+                let lock = LockId(rng.next_below(4) as u32);
+                sched.block_on_lock(t, lock, cpu, now);
+                model.block_on_lock(t, lock);
+            }
+            6 if !busy.is_empty() => {
+                let cpu = busy[rng.next_below(busy.len() as u64) as usize];
+                let t = running[cpu.index()].take().unwrap();
+                sched.sleep(t, cpu, now);
+                model.sleep(t);
+            }
+            _ if !parked.is_empty() => {
+                let t = parked[rng.next_below(parked.len() as u64) as usize];
+                sched.wake(t, now);
+                model.wake(t);
+            }
+            _ => continue, // chosen op has no valid target this step
+        }
+        check_agreement(step, label, &sched, &model);
+        if step % 37 == 0 {
+            let restored = snap_round_trip(&sched);
+            assert_eq!(
+                sched, restored,
+                "{label} step {step}: Snap round-trip changed the scheduler"
+            );
+            sched = restored;
+        }
+    }
+}
+
+#[test]
+fn default_window_matches_reference() {
+    fuzz_campaign("w4", SchedConfig::default(), 12, 4, 0x5CED_0001);
+    fuzz_campaign("w4-tight", SchedConfig::default(), 3, 2, 0x5CED_0002);
+}
+
+#[test]
+fn window_one_is_pure_round_robin() {
+    let config = SchedConfig {
+        affinity_window: 1,
+        ..SchedConfig::default()
+    };
+    fuzz_campaign("w1", config, 10, 4, 0x5CED_0003);
+}
+
+#[test]
+fn oversized_window_scans_whole_queue() {
+    let config = SchedConfig {
+        affinity_window: 64,
+        ..SchedConfig::default()
+    };
+    fuzz_campaign("w64", config, 8, 3, 0x5CED_0004);
+    fuzz_campaign("w64-many", config, 24, 6, 0x5CED_0005);
+}

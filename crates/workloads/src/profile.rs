@@ -491,6 +491,63 @@ impl Workload for ProfiledWorkload {
     }
 }
 
+mtvar_sim::impl_snap!(TxnType {
+    weight,
+    segments_mean,
+    segments_min,
+    segments_max,
+    mem_per_segment,
+    compute_mean,
+    hot_prob,
+    private_prob,
+    write_prob,
+    hot_write_factor,
+    lock_prob,
+    cs_mem_ops,
+    io_prob,
+    io_ns_mean,
+    io_fixed,
+    reuse_prob,
+    dependent_prob,
+    branches_per_segment,
+    branch_bias,
+});
+mtvar_sim::impl_snap!(PhaseModel {
+    period_txns,
+    amplitude,
+    gc_every,
+    gc_mem_ops,
+    growth_per_txn,
+    growth_cap_blocks,
+});
+mtvar_sim::impl_snap!(WorkloadProfile {
+    name,
+    threads_per_cpu,
+    txn_types,
+    hot_blocks,
+    cold_blocks,
+    private_blocks,
+    code_blocks_per_type,
+    lock_pool,
+    hot_locks,
+    hot_lock_prob,
+    phases,
+    startup_stagger_instr,
+});
+mtvar_sim::impl_snap!(ThreadGen {
+    rng,
+    txns,
+    queue,
+    recent,
+    recent_pos,
+});
+mtvar_sim::impl_snap!(ProfiledWorkload {
+    profile,
+    cum_weights,
+    threads,
+    state,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

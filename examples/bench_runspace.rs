@@ -13,8 +13,10 @@
 //! test is the determinism contract — identical results at every thread
 //! count — with speedup as a free side effect wherever cores exist.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use mtvar_core::checkpoint::CheckpointStore;
 use mtvar_core::runspace::{run_space, Executor, RunPlan, RunSpace};
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::proc::{OooConfig, ProcessorConfig};
@@ -23,6 +25,16 @@ use mtvar_workloads::Benchmark;
 const RUNS: usize = 16;
 const TXNS: u64 = 50;
 const WARMUP: u64 = 400;
+
+/// Warmup-amortization scenario: a time-sampling style sweep that launches a
+/// small run space from each of these cumulative warmup depths. Without a
+/// checkpoint store every sweep warms its position from cycle zero (18,000
+/// warmup transactions in total); with a store each position extends the
+/// previous snapshot (4000 in total), so the store should win by well over
+/// 2x on warmup-dominated work.
+const AMORT_POSITIONS: [u64; 8] = [500, 1000, 1500, 2000, 2500, 3000, 3500, 4000];
+const AMORT_RUNS: usize = 8;
+const AMORT_TXNS: u64 = 25;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = MachineConfig::hpca2003()
@@ -70,9 +82,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(strict.is_clean());
 
+    // Warmup amortization: the same position sweep with and without a
+    // checkpoint store. Sequential, uncached executors on both sides, so the
+    // only difference under measurement is warmup re-simulation vs snapshot
+    // restore — and the statistics must be bit-identical either way, because
+    // run seeds derive from the configuration, never from the store.
+    let amort_workload = || Benchmark::Oltp.workload(16, 42);
+    let sweep = |exec: &Executor| -> Result<Vec<RunSpace>, mtvar_core::CoreError> {
+        AMORT_POSITIONS
+            .iter()
+            .map(|&pos| {
+                let plan = RunPlan::new(AMORT_TXNS)
+                    .with_runs(AMORT_RUNS)
+                    .with_warmup(pos);
+                exec.run_space(&cfg, amort_workload, &plan)
+            })
+            .collect()
+    };
+    let t3 = Instant::now();
+    let no_store_spaces = sweep(&Executor::sequential().without_cache())?;
+    let amort_no_store_s = t3.elapsed().as_secs_f64();
+
+    let store = Arc::new(CheckpointStore::new());
+    let stored_exec = Executor::sequential()
+        .without_cache()
+        .with_checkpoint_store(store.clone());
+    let t4 = Instant::now();
+    let store_spaces = sweep(&stored_exec)?;
+    let amort_store_s = t4.elapsed().as_secs_f64();
+
+    assert_eq!(
+        no_store_spaces, store_spaces,
+        "the checkpoint store must be invisible to statistics"
+    );
+    assert_eq!(store.len(), AMORT_POSITIONS.len());
+    let amort_speedup = amort_no_store_s / amort_store_s;
+
     let speedup = sequential_s / parallel_s;
     let json = format!(
-        "{{\n  \"workload\": \"design_comparison: OLTP 16 threads, ROB-32, {RUNS} runs x {TXNS} txns, warmup {WARMUP}\",\n  \"host_parallelism\": {threads},\n  \"sequential_seconds\": {sequential_s:.4},\n  \"parallel_seconds\": {parallel_s:.4},\n  \"cached_seconds\": {cached_s:.6},\n  \"speedup_parallel_vs_sequential\": {speedup:.3},\n  \"bit_identical\": true\n}}\n"
+        "{{\n  \"workload\": \"design_comparison: OLTP 16 threads, ROB-32, {RUNS} runs x {TXNS} txns, warmup {WARMUP}\",\n  \"host_parallelism\": {threads},\n  \"sequential_seconds\": {sequential_s:.4},\n  \"parallel_seconds\": {parallel_s:.4},\n  \"cached_seconds\": {cached_s:.6},\n  \"speedup_parallel_vs_sequential\": {speedup:.3},\n  \"bit_identical\": true,\n  \"warmup_amortization\": {{\n    \"workload\": \"OLTP 16 threads, ROB-32, {AMORT_RUNS} runs x {AMORT_TXNS} txns from each warmup position\",\n    \"positions\": [500, 1000, 1500, 2000, 2500, 3000, 3500, 4000],\n    \"no_store_seconds\": {amort_no_store_s:.4},\n    \"store_seconds\": {amort_store_s:.4},\n    \"speedup_store_vs_no_store\": {amort_speedup:.3},\n    \"statistics_identical\": true\n  }}\n}}\n"
     );
     std::fs::write("BENCH_runspace.json", &json)?;
     println!("{json}");

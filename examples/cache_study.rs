@@ -29,7 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cfg = MachineConfig::hpca2003()
             .with_l2_associativity(ways)
             .with_perturbation(4, 0);
-        let plan = RunPlan::new(TXNS).with_runs(RUNS).with_warmup(1000);
+        let plan = RunPlan::new(TXNS)
+            .with_runs(RUNS)
+            .with_warmup(1000)
+            // Perturb from cycle zero (the paper-artifact protocol): at these
+            // scaled-down run lengths, warmup divergence carries the
+            // variability this study demonstrates. See EXPERIMENTS.md,
+            // "Shared warmup vs legacy perturb-from-zero".
+            .with_shared_warmup(false);
         Ok(executor
             .run_space(&cfg, || Benchmark::Oltp.workload(16, 42), &plan)?
             .runtimes())

@@ -26,7 +26,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_processor(ProcessorConfig::OutOfOrder(OooConfig::with_rob_size(rob)))
             .with_perturbation(4, 0)
             .with_invariant_checks();
-        let plan = RunPlan::new(TXNS).with_runs(MAX_RUNS).with_warmup(400);
+        let plan = RunPlan::new(TXNS)
+            .with_runs(MAX_RUNS)
+            .with_warmup(400)
+            // Perturb from cycle zero (the paper-artifact protocol): at these
+            // scaled-down run lengths, warmup divergence carries the
+            // variability this study demonstrates. See EXPERIMENTS.md,
+            // "Shared warmup vs legacy perturb-from-zero".
+            .with_shared_warmup(false);
         let space = executor.run_space(&cfg, || Benchmark::Oltp.workload(16, 42), &plan)?;
         // Conclusions are only as good as the runs beneath them: refuse to
         // compare spaces whose invariants fired.

@@ -31,6 +31,12 @@ cargo test -q --offline --test executor_violations
 echo "==> executor violations channel (invariant monitor on)"
 cargo test -q --offline --features invariant-monitor --test executor_violations
 
+echo "==> checkpoint bit-identity gate (invariant monitor off)"
+cargo test -q --offline --test checkpoint_identity
+
+echo "==> checkpoint bit-identity gate (invariant monitor on)"
+cargo test -q --offline --features invariant-monitor --test checkpoint_identity
+
 echo "==> statistical self-validation"
 cargo test -q --offline -p mtvar-stats --test selfcheck
 

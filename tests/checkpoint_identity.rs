@@ -1,0 +1,153 @@
+//! The checkpoint subsystem's bit-identity gate, run by `scripts/verify.sh`
+//! with the `invariant-monitor` feature both off and on:
+//!
+//! 1. **Snapshot/restore transparency** — for every benchmark, running
+//!    `WARMUP + MEASURE` transactions straight must equal snapshotting at
+//!    `WARMUP`, restoring into a fresh machine, and continuing: identical
+//!    [`RunResult`]s, identical digests, and identical follow-up snapshots.
+//! 2. **Executor-level identity** — shared-warmup sweeps are bit-identical
+//!    across thread counts, and attaching a [`CheckpointStore`] changes the
+//!    work done but never the statistics.
+//! 3. **Crash safety** — a truncated or bit-flipped spill file is detected
+//!    by content fingerprint and falls back to re-simulation with the same
+//!    results.
+//!
+//! [`RunResult`]: mtvar::sim::stats::RunResult
+
+use std::sync::Arc;
+
+use mtvar::core::checkpoint::CheckpointStore;
+use mtvar::core::golden::run_digest;
+use mtvar::core::runspace::{Executor, RunPlan};
+use mtvar::sim::config::MachineConfig;
+use mtvar::sim::machine::Machine;
+use mtvar::workloads::profile::ProfiledWorkload;
+use mtvar::workloads::Benchmark;
+
+const CPUS: usize = 4;
+const WORKLOAD_SEED: u64 = 42;
+const WARMUP: u64 = 10;
+const MEASURE: u64 = 30;
+
+fn config() -> MachineConfig {
+    MachineConfig::hpca2003()
+        .with_cpus(CPUS)
+        .with_perturbation(4, 0x1DE7)
+}
+
+#[test]
+fn snapshot_restore_is_bit_identical_for_every_benchmark() {
+    for bench in Benchmark::ALL {
+        let workload = bench.workload(CPUS, WORKLOAD_SEED);
+
+        let mut straight = Machine::new(config(), workload.clone()).unwrap();
+        straight.run_transactions(WARMUP).expect("straight warmup");
+        let want = straight
+            .run_transactions(MEASURE)
+            .expect("straight measure");
+
+        let mut warmed = Machine::new(config(), workload).unwrap();
+        warmed.run_transactions(WARMUP).expect("warmup");
+        let snapshot = warmed.snapshot();
+        let mut restored: Machine<ProfiledWorkload> = Machine::restore(&snapshot).expect("restore");
+        assert_eq!(
+            restored.snapshot().fingerprint(),
+            snapshot.fingerprint(),
+            "{}: restore must reproduce the snapshot byte-for-byte",
+            bench.name()
+        );
+        let got = restored
+            .run_transactions(MEASURE)
+            .expect("restored measure");
+
+        assert_eq!(
+            want,
+            got,
+            "{}: a run continued from a restored snapshot diverged",
+            bench.name()
+        );
+        assert_eq!(run_digest(&want), run_digest(&got), "{}", bench.name());
+        // The machines remain interchangeable after the measurement too.
+        assert_eq!(
+            straight.snapshot().fingerprint(),
+            restored.snapshot().fingerprint(),
+            "{}: post-measurement state diverged",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn shared_warmup_sweeps_are_thread_count_and_store_invariant() {
+    let plan = RunPlan::new(MEASURE).with_runs(4).with_warmup(WARMUP);
+    for bench in [Benchmark::Oltp, Benchmark::Barnes] {
+        let make = move || bench.workload(CPUS, WORKLOAD_SEED);
+        let reference = Executor::sequential()
+            .without_cache()
+            .run_space(&config(), make, &plan)
+            .unwrap();
+        for threads in [1, 4] {
+            let store = Arc::new(CheckpointStore::new());
+            let with_store = Executor::with_threads(threads)
+                .without_cache()
+                .with_checkpoint_store(store.clone())
+                .run_space(&config(), make, &plan)
+                .unwrap();
+            assert_eq!(
+                reference,
+                with_store,
+                "{}: {threads}-thread store-backed sweep diverged",
+                bench.name()
+            );
+            assert_eq!(store.len(), 1, "{}", bench.name());
+        }
+    }
+}
+
+#[test]
+fn corrupt_spill_files_fall_back_to_resimulation() {
+    let dir = std::env::temp_dir().join(format!("mtvar-ckpt-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let make = || Benchmark::Oltp.workload(CPUS, WORKLOAD_SEED);
+    let plan = RunPlan::new(MEASURE).with_runs(3).with_warmup(WARMUP);
+
+    let store = Arc::new(CheckpointStore::new().with_disk_spill(&dir));
+    let exec = Executor::sequential()
+        .without_cache()
+        .with_checkpoint_store(store.clone());
+    let want = exec.run_space(&config(), make, &plan).unwrap();
+
+    // Truncate every spilled snapshot mid-payload, as an interrupted write
+    // would have (without the fsync-and-rename protocol).
+    let mut corrupted = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        corrupted += 1;
+    }
+    assert!(corrupted > 0, "expected at least one spilled snapshot");
+
+    // A fresh store over the same directory sees only corrupt files: it must
+    // delete them, warm from scratch, and produce identical statistics.
+    let fresh = Arc::new(CheckpointStore::new().with_disk_spill(&dir));
+    let key_count_before = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(key_count_before, corrupted);
+    let got = Executor::sequential()
+        .without_cache()
+        .with_checkpoint_store(fresh.clone())
+        .run_space(&config(), make, &plan)
+        .unwrap();
+    assert_eq!(want, got, "corrupt spill changed statistics");
+
+    // And the re-simulated snapshot was re-spilled, replacing the corpse.
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert!(
+        names.iter().all(|n| n.ends_with(".ckpt")),
+        "unexpected files in spill dir: {names:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

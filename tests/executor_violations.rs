@@ -47,14 +47,9 @@ impl RunProgress for ViolationMap {
 }
 
 fn fault() -> FaultSpec {
-    FaultSpec {
-        after_commits: 12,
-        cpu: 1,
-        block: 0xFA11,
-        // Exclusive is illegal under the default MOSI protocol, so the
-        // monitor flags the planted state unconditionally.
-        state: CoherenceState::Exclusive,
-    }
+    // Exclusive is illegal under the default MOSI protocol, so the monitor
+    // flags the planted state unconditionally.
+    FaultSpec::coherence(12, 1, 0xFA11, CoherenceState::Exclusive)
 }
 
 /// Monitored configuration with the fault armed: every run of a space

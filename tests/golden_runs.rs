@@ -26,6 +26,7 @@ use std::path::PathBuf;
 use mtvar::core::golden::{run_digest, GoldenFile};
 use mtvar::sim::config::MachineConfig;
 use mtvar::sim::machine::Machine;
+use mtvar::sim::proc::{OooConfig, ProcessorConfig};
 use mtvar::workloads::Benchmark;
 
 const CPUS: usize = 4;
@@ -81,6 +82,15 @@ fn digest_benchmark(bench: Benchmark) -> u64 {
     digest_benchmark_under(golden_config(), bench)
 }
 
+/// The out-of-order processor model under the clean configuration: same
+/// CPUs, perturbation and monitoring, but TFsim-like OoO cores instead of
+/// the in-order default. Digesting every benchmark under it locks down the
+/// OoO pipeline's timing behaviour, which the other two variants never
+/// exercise.
+fn ooo_config() -> MachineConfig {
+    golden_config().with_processor(ProcessorConfig::OutOfOrder(OooConfig::tfsim_default()))
+}
+
 #[test]
 fn all_benchmarks_match_golden_digests() {
     let mut current = GoldenFile::new();
@@ -89,6 +99,10 @@ fn all_benchmarks_match_golden_digests() {
         current.set(
             &format!("{}+e5000", bench.name()),
             digest_benchmark_under(e5000_config(), bench),
+        );
+        current.set(
+            &format!("{}+ooo", bench.name()),
+            digest_benchmark_under(ooo_config(), bench),
         );
     }
 
