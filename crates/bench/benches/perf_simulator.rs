@@ -61,6 +61,20 @@ fn bench_oltp_ooo() {
     });
 }
 
+fn bench_oltp_16cpu() {
+    // The kernel overhaul's reference scenario (see `BENCH_kernel.json`):
+    // all 16 paper CPUs, so the event queue and snoop filter carry the
+    // full-width load rather than the 4-CPU microcosm above.
+    bench("machine/oltp_100txn_simple_16cpu", 10, 1, || {
+        let mut m = Machine::new(
+            MachineConfig::hpca2003().with_perturbation(4, 1),
+            Benchmark::Oltp.workload(16, 42),
+        )
+        .expect("machine");
+        m.run_transactions(100).expect("run")
+    });
+}
+
 fn bench_memory_system() {
     let mut sys =
         MemorySystem::new(MemoryConfig::hpca2003(), 4, Perturbation::new(4, 1)).expect("mem");
@@ -91,6 +105,7 @@ fn bench_predictor() {
 fn main() {
     bench_oltp_simple();
     bench_oltp_ooo();
+    bench_oltp_16cpu();
     bench_memory_system();
     bench_predictor();
 }

@@ -29,7 +29,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use mtvar_sim::checkpoint::Checkpoint;
 
@@ -74,7 +74,7 @@ impl CheckpointKey {
 
 #[derive(Debug, Default)]
 struct StoreInner {
-    map: HashMap<CheckpointKey, (u64, Checkpoint)>,
+    map: HashMap<CheckpointKey, (u64, Arc<Checkpoint>)>,
     tick: u64,
 }
 
@@ -89,7 +89,11 @@ impl StoreInner {
 ///
 /// Shared across executors via `Arc` (see
 /// [`Executor::with_checkpoint_store`]); all operations take an internal
-/// lock, so `&self` methods are safe from worker threads.
+/// lock, so `&self` methods are safe from worker threads. Snapshots are
+/// themselves held behind `Arc<Checkpoint>`: a hit hands back a shared
+/// pointer, so the lock is held only for O(1) bookkeeping — never while a
+/// multi-megabyte payload is copied — and concurrent sweeps warming from
+/// the same snapshot share one allocation.
 ///
 /// [`Executor::with_checkpoint_store`]: crate::runspace::Executor::with_checkpoint_store
 #[derive(Debug)]
@@ -163,21 +167,21 @@ impl CheckpointStore {
         self.inner.lock().expect("store poisoned").map.clear();
     }
 
-    /// Looks up the snapshot for `key`: memory first, then disk. A disk file
-    /// that fails frame validation (truncated or corrupt) is deleted and
-    /// reported as a miss — the caller re-simulates and the next insert
-    /// rewrites it whole.
-    pub fn get(&self, key: &CheckpointKey) -> Option<Checkpoint> {
+    /// Looks up the snapshot for `key`: memory first, then disk. A memory
+    /// hit clones only the `Arc`, never the payload. A disk file that fails
+    /// frame validation (truncated or corrupt) is deleted and reported as a
+    /// miss — the caller re-simulates and the next insert rewrites it whole.
+    pub fn get(&self, key: &CheckpointKey) -> Option<Arc<Checkpoint>> {
         {
             let mut inner = self.inner.lock().expect("store poisoned");
             let tick = inner.touch();
             if let Some(entry) = inner.map.get_mut(key) {
                 entry.0 = tick;
-                return Some(entry.1.clone());
+                return Some(Arc::clone(&entry.1));
             }
         }
         let ck = self.load_from_disk(key)?;
-        self.insert_memory(*key, ck.clone());
+        self.insert_memory(*key, Arc::clone(&ck));
         Some(ck)
     }
 
@@ -185,7 +189,7 @@ impl CheckpointStore {
     /// in-memory entry beyond capacity and spilling to disk when enabled.
     /// Disk spill is best-effort: an I/O failure degrades to memory-only
     /// caching rather than failing the sweep.
-    pub fn insert(&self, key: CheckpointKey, checkpoint: Checkpoint) {
+    pub fn insert(&self, key: CheckpointKey, checkpoint: Arc<Checkpoint>) {
         if let Some(dir) = &self.disk {
             let _ = write_atomically(dir, &key.file_name(), &checkpoint.to_bytes());
         }
@@ -197,7 +201,7 @@ impl CheckpointStore {
     /// memory and disk. Returns `(warmup, checkpoint)`; the caller restores
     /// it and simulates only the remaining `key.warmup - warmup`
     /// transactions.
-    pub fn longest_prefix(&self, key: &CheckpointKey) -> Option<(u64, Checkpoint)> {
+    pub fn longest_prefix(&self, key: &CheckpointKey) -> Option<(u64, Arc<Checkpoint>)> {
         let mut best: Option<u64> = None;
         {
             let inner = self.inner.lock().expect("store poisoned");
@@ -241,7 +245,7 @@ impl CheckpointStore {
         }
     }
 
-    fn insert_memory(&self, key: CheckpointKey, checkpoint: Checkpoint) {
+    fn insert_memory(&self, key: CheckpointKey, checkpoint: Arc<Checkpoint>) {
         let mut inner = self.inner.lock().expect("store poisoned");
         let tick = inner.touch();
         inner.map.insert(key, (tick, checkpoint));
@@ -258,12 +262,12 @@ impl CheckpointStore {
         }
     }
 
-    fn load_from_disk(&self, key: &CheckpointKey) -> Option<Checkpoint> {
+    fn load_from_disk(&self, key: &CheckpointKey) -> Option<Arc<Checkpoint>> {
         let dir = self.disk.as_ref()?;
         let path = dir.join(key.file_name());
         let bytes = fs::read(&path).ok()?;
         match Checkpoint::from_bytes(&bytes) {
-            Ok(ck) => Some(ck),
+            Ok(ck) => Some(Arc::new(ck)),
             Err(_) => {
                 // Truncated or corrupt: remove it so it cannot poison later
                 // sweeps, and report a miss so the caller re-simulates.
@@ -305,8 +309,8 @@ mod tests {
         }
     }
 
-    fn snapshot(tag: u8) -> Checkpoint {
-        Checkpoint::from_payload(vec![tag; 64])
+    fn snapshot(tag: u8) -> Arc<Checkpoint> {
+        Arc::new(Checkpoint::from_payload(vec![tag; 64]))
     }
 
     fn temp_dir(label: &str) -> PathBuf {

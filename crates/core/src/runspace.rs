@@ -766,7 +766,9 @@ impl Executor {
     /// caller may pass its own `(warmed_transactions, checkpoint)` candidate
     /// in `from` (how [`timesample`](crate::timesample) chains sweep
     /// positions without a store); whichever prefix is deepest wins. The
-    /// result is inserted back into the store.
+    /// result is inserted back into the store, and returned behind an `Arc`
+    /// so a store hit shares the cached allocation instead of copying the
+    /// payload.
     ///
     /// # Errors
     ///
@@ -781,7 +783,7 @@ impl Executor {
         base_seed: u64,
         warmup: u64,
         from: Option<(u64, &Checkpoint)>,
-    ) -> Result<Checkpoint>
+    ) -> Result<Arc<Checkpoint>>
     where
         W: Workload + Snap,
         F: Fn() -> W,
@@ -805,10 +807,10 @@ impl Executor {
         }
         // Deepest usable prefix: the store's longest shorter-warmup entry
         // vs. the caller-supplied candidate.
-        let mut prefix: Option<(u64, Checkpoint)> = store.and_then(|s| s.longest_prefix(&key));
+        let mut prefix: Option<(u64, Arc<Checkpoint>)> = store.and_then(|s| s.longest_prefix(&key));
         if let Some((done, ck)) = from {
             if done <= warmup && prefix.as_ref().is_none_or(|(w, _)| done > *w) {
-                prefix = Some((done, ck.clone()));
+                prefix = Some((done, Arc::new(ck.clone())));
             }
         }
         // Counters are normalized before snapshotting so the bytes — and the
@@ -821,17 +823,17 @@ impl Executor {
                 let mut machine: Machine<W> = Machine::restore(&ck)?;
                 machine.run_transactions(warmup - done)?;
                 machine.normalize_measurement();
-                machine.snapshot()
+                Arc::new(machine.snapshot())
             }
             None => {
                 let mut machine = Machine::new(warm_cfg, make_workload())?;
                 machine.run_transactions(warmup)?;
                 machine.normalize_measurement();
-                machine.snapshot()
+                Arc::new(machine.snapshot())
             }
         };
         if let Some(s) = store {
-            s.insert(key, snapshot.clone());
+            s.insert(key, Arc::clone(&snapshot));
         }
         Ok(snapshot)
     }
@@ -1564,7 +1566,7 @@ mod tests {
                 &small_workload,
                 0,
                 30,
-                Some((10, &shallow)),
+                Some((10, shallow.as_ref())),
             )
             .unwrap();
         assert_eq!(chained.fingerprint(), direct.fingerprint());

@@ -6,6 +6,7 @@
 //! starting points."
 
 use std::fmt;
+use std::sync::Arc;
 
 use mtvar_sim::checkpoint::{Checkpoint, Snap};
 use mtvar_sim::config::MachineConfig;
@@ -341,14 +342,14 @@ where
     let mut groups = Vec::with_capacity(positions.len());
     let mut checkpoints = Vec::with_capacity(positions.len());
     let mut violations = Vec::with_capacity(positions.len());
-    let mut prev: Option<(u64, Checkpoint)> = None;
+    let mut prev: Option<(u64, Arc<Checkpoint>)> = None;
     for &pos in positions {
         let snap = executor.warm_checkpoint(
             config,
             &make_workload,
             plan.base_seed,
             pos,
-            prev.as_ref().map(|(warmed, ck)| (*warmed, ck)),
+            prev.as_ref().map(|(warmed, ck)| (*warmed, ck.as_ref())),
         )?;
         let space =
             executor.run_space_from_snapshot::<W>(&snap, config.perturbation_max_ns, plan)?;

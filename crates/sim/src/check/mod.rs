@@ -118,7 +118,29 @@ pub struct InvariantMonitor {
     /// Instruction fetches issued since the interval began (one per
     /// Op::Compute burst), mirroring `MemorySystem::fetch`.
     fetch_ops: u64,
+    /// Reusable working set for [`InvariantMonitor::check_block`], which
+    /// runs after every memory operation on monitored machines and must not
+    /// allocate in the steady state.
+    scratch: Scratch,
 }
+
+/// Holder lists rebuilt on every `check_block` call. Pure working memory:
+/// always-equal under `==` and absent from snapshots, so retained capacity
+/// never leaks into machine comparisons or checkpoint fingerprints.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    modified: Vec<CpuId>,
+    exclusive: Vec<CpuId>,
+    owned: Vec<CpuId>,
+    valid: Vec<CpuId>,
+}
+
+impl PartialEq for Scratch {
+    fn eq(&self, _: &Scratch) -> bool {
+        true
+    }
+}
+impl Eq for Scratch {}
 
 impl InvariantMonitor {
     /// Creates a monitor for a machine running `protocol`.
@@ -130,6 +152,7 @@ impl InvariantMonitor {
             last_event_time: 0,
             data_ops: 0,
             fetch_ops: 0,
+            scratch: Scratch::default(),
         }
     }
 
@@ -228,10 +251,20 @@ impl InvariantMonitor {
     /// copy, protocol-subset legality, and L1/L2 inclusion on every node.
     pub fn check_block(&mut self, mem: &MemorySystem, addr: BlockAddr, now: Cycle) {
         let cpus = mem.node_count();
-        let mut modified: Vec<CpuId> = Vec::new();
-        let mut exclusive: Vec<CpuId> = Vec::new();
-        let mut owned: Vec<CpuId> = Vec::new();
-        let mut valid: Vec<CpuId> = Vec::new();
+        // Borrow the scratch out so `report` can take `&mut self`; the swap
+        // moves pointers only, and the vectors keep their capacity across
+        // calls — violation-free checks allocate nothing.
+        let mut s = std::mem::take(&mut self.scratch);
+        let Scratch {
+            modified,
+            exclusive,
+            owned,
+            valid,
+        } = &mut s;
+        modified.clear();
+        exclusive.clear();
+        owned.clear();
+        valid.clear();
         for i in 0..cpus {
             let cpu = CpuId(i as u32);
             let st = mem.l2_state(cpu, addr);
@@ -335,6 +368,7 @@ impl InvariantMonitor {
                 }
             }
         }
+        self.scratch = s;
     }
 
     /// Checks the scheduling invariant at cycle `now`: every thread runs on
@@ -484,14 +518,36 @@ crate::impl_snap!(Violation {
     cpus,
     detail,
 });
-crate::impl_snap!(InvariantMonitor {
-    protocol,
-    violations,
-    total_violations,
-    last_event_time,
-    data_ops,
-    fetch_ops,
-});
+/// Hand-written [`Snap`](crate::checkpoint::Snap): encodes exactly the six
+/// semantic fields the derived implementation always encoded, in the same
+/// order. The [`Scratch`] working set is per-call memory with no meaning
+/// across calls, so it stays out of the byte stream — checkpoint encodings
+/// are unchanged — and a restored monitor simply starts with empty scratch.
+impl crate::checkpoint::Snap for InvariantMonitor {
+    fn encode_snap(&self, enc: &mut crate::checkpoint::Encoder) {
+        self.protocol.encode_snap(enc);
+        self.violations.encode_snap(enc);
+        self.total_violations.encode_snap(enc);
+        self.last_event_time.encode_snap(enc);
+        self.data_ops.encode_snap(enc);
+        self.fetch_ops.encode_snap(enc);
+    }
+
+    fn decode_snap(
+        dec: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::Snap;
+        Ok(InvariantMonitor {
+            protocol: Snap::decode_snap(dec)?,
+            violations: Snap::decode_snap(dec)?,
+            total_violations: Snap::decode_snap(dec)?,
+            last_event_time: Snap::decode_snap(dec)?,
+            data_ops: Snap::decode_snap(dec)?,
+            fetch_ops: Snap::decode_snap(dec)?,
+            scratch: Scratch::default(),
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -100,6 +100,16 @@ impl Encoder {
         Encoder::default()
     }
 
+    /// Creates an empty encoder with `capacity` bytes pre-reserved. Machine
+    /// snapshots know their rough size up front (the L2 arrays dominate);
+    /// reserving once replaces the doubling-regrowth copies of a payload
+    /// built from zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Appends one byte.
     #[inline]
     pub fn put_u8(&mut self, v: u8) {

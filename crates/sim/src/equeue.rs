@@ -1,0 +1,425 @@
+//! Indexed two-level calendar queue for the discrete-event kernel.
+//!
+//! The machine's event population is small (one `CpuReady` per processor
+//! plus a `ThreadWake` per sleeping thread) but the pop/push pair sits on
+//! the hottest path in the simulator: every executed operation retires one
+//! event and schedules the next. A binary heap pays `O(log n)` compares and
+//! swaps on both sides; this queue exploits the structure of simulated time
+//! instead.
+//!
+//! Level one is a ring of [`WHEEL_BUCKETS`] one-nanosecond buckets covering
+//! the near future `[floor, floor + WHEEL_BUCKETS)`. Almost every event the
+//! machine posts lands here: cache hits, coherence transactions, context
+//! switches and lock wakeups are all a few thousand nanoseconds out at
+//! most. Pushes append to the target bucket in O(1); pops drain the bucket
+//! at the scan cursor and advance it through empty buckets with a 64-bit
+//! occupancy bitmap, so the scan costs amortized O(1) per nanosecond of
+//! simulated time. Level two is an overflow heap for far events (I/O delays
+//! run to a millisecond); entries migrate into the wheel as the cursor
+//! approaches, and when the wheel is empty the cursor jumps straight to the
+//! overflow minimum.
+//!
+//! # Ordering
+//!
+//! Items are popped in ascending [`Ord`] order. The intended key is
+//! `(time, sequence)` with a globally monotone sequence number — under that
+//! discipline every push into a given one-nanosecond bucket arrives in key
+//! order (same-time items are pushed in sequence order, and overflow
+//! migration drains the heap in key order before any direct push can reach
+//! the bucket), so bucket FIFO order *is* sorted order and the queue is a
+//! drop-in replacement for `BinaryHeap<Reverse<T>>` with deterministic
+//! tie-breaking. The differential fuzz test in `tests/equeue_fuzz.rs` pins
+//! this equivalence against a reference heap.
+//!
+//! # Contract
+//!
+//! Pushes must not travel into the past: `push` requires
+//! `item.time() >= self.floor()`, where the floor is the time of the most
+//! recently popped item (or the scan position, if `peek` has advanced it
+//! further). The machine satisfies this by construction — events are only
+//! posted while handling an event at the current simulated time — and the
+//! queue enforces it with a debug assertion.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Items stored in an [`EventQueue`]: totally ordered, with the ordering's
+/// major key exposed as a nanosecond timestamp.
+///
+/// `Ord` must sort primarily by [`Timed::time`]; ties are broken by the rest
+/// of the key (the machine uses a monotone sequence number, making the order
+/// total and deterministic).
+pub trait Timed: Ord + Copy {
+    /// The item's scheduled time in nanoseconds (the major sort key).
+    fn time(&self) -> u64;
+}
+
+/// Number of one-nanosecond buckets in the near wheel. Covers every latency
+/// the machine composes out of cache, coherence, scheduler and pipeline
+/// delays (≤ a few microseconds); longer waits (I/O sleeps) overflow to the
+/// far heap.
+pub const WHEEL_BUCKETS: usize = 4096;
+
+/// Words in the bucket-occupancy bitmap.
+const BITMAP_WORDS: usize = WHEEL_BUCKETS / 64;
+
+/// A bounded-horizon calendar queue with an overflow heap; see the module
+/// docs for the design and ordering contract.
+#[derive(Debug, Clone)]
+pub struct EventQueue<T: Timed> {
+    /// Ring of near-future buckets; bucket `t % WHEEL_BUCKETS` holds items
+    /// scheduled at time `t` for the unique in-window `t`.
+    wheel: Vec<Bucket<T>>,
+    /// One bit per bucket: set while the bucket holds unpopped items. Lets
+    /// the pop scan skip runs of empty buckets 64 at a time.
+    occupied: [u64; BITMAP_WORDS],
+    /// Scan position: no unpopped item is scheduled before this time.
+    cursor: u64,
+    /// Items currently in the wheel.
+    wheel_len: usize,
+    /// Far-future items, all scheduled at `>= cursor + WHEEL_BUCKETS`.
+    overflow: BinaryHeap<Reverse<T>>,
+}
+
+/// One wheel bucket: a vector drained front-to-back. `head` marks the next
+/// unpopped item; the storage is reused (capacity retained) across wheel
+/// rotations, so the steady state allocates nothing.
+#[derive(Debug, Clone)]
+struct Bucket<T> {
+    items: Vec<T>,
+    head: usize,
+}
+
+impl<T> Bucket<T> {
+    fn live(&self) -> usize {
+        self.items.len() - self.head
+    }
+}
+
+impl<T: Timed> EventQueue<T> {
+    /// Creates an empty queue with its floor at time `floor`.
+    pub fn new(floor: u64) -> Self {
+        EventQueue {
+            wheel: (0..WHEEL_BUCKETS)
+                .map(|_| Bucket {
+                    items: Vec::new(),
+                    head: 0,
+                })
+                .collect(),
+            occupied: [0; BITMAP_WORDS],
+            cursor: floor,
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+        }
+    }
+
+    /// Total items queued.
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.overflow.len()
+    }
+
+    /// Whether the queue holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The queue's time floor: every queued item is scheduled at or after
+    /// this time, and every future push must be too.
+    pub fn floor(&self) -> u64 {
+        self.cursor
+    }
+
+    #[inline]
+    fn mark(&mut self, bucket: usize) {
+        self.occupied[bucket / 64] |= 1u64 << (bucket % 64);
+    }
+
+    #[inline]
+    fn unmark(&mut self, bucket: usize) {
+        self.occupied[bucket / 64] &= !(1u64 << (bucket % 64));
+    }
+
+    /// Schedules `item`.
+    ///
+    /// Pushes must respect the floor (see the module docs); violations are
+    /// caught by a debug assertion and would corrupt pop order in release
+    /// builds.
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        let t = item.time();
+        debug_assert!(
+            t >= self.cursor,
+            "push at {t} is before the queue floor {}",
+            self.cursor
+        );
+        if t - self.cursor < WHEEL_BUCKETS as u64 {
+            let b = (t % WHEEL_BUCKETS as u64) as usize;
+            let bucket = &mut self.wheel[b];
+            if bucket.head == bucket.items.len() {
+                // Reuse the drained storage instead of shifting.
+                bucket.items.clear();
+                bucket.head = 0;
+            }
+            bucket.items.push(item);
+            self.wheel_len += 1;
+            self.mark(b);
+        } else {
+            self.overflow.push(Reverse(item));
+        }
+    }
+
+    /// Moves overflow items that now fall inside the wheel window into their
+    /// buckets. Heap pops come out in key order, so same-time items land in
+    /// a bucket in that order — ahead of any later direct push, preserving
+    /// bucket FIFO == sorted order.
+    fn migrate(&mut self) {
+        while let Some(Reverse(item)) = self.overflow.peek() {
+            let t = item.time();
+            if t - self.cursor >= WHEEL_BUCKETS as u64 {
+                break;
+            }
+            let Some(Reverse(item)) = self.overflow.pop() else {
+                unreachable!("peeked")
+            };
+            let b = (t % WHEEL_BUCKETS as u64) as usize;
+            let bucket = &mut self.wheel[b];
+            if bucket.head == bucket.items.len() {
+                bucket.items.clear();
+                bucket.head = 0;
+            }
+            bucket.items.push(item);
+            self.wheel_len += 1;
+            self.mark(b);
+        }
+    }
+
+    /// Advances the cursor to the next non-empty bucket and returns its
+    /// index, or `None` if the queue is empty. Amortized O(1): the cursor
+    /// never revisits a time, and the bitmap skips empty buckets 64 at a
+    /// step.
+    fn seek(&mut self) -> Option<usize> {
+        if self.is_empty() {
+            return None;
+        }
+        loop {
+            if self.wheel_len == 0 {
+                // Wheel drained: jump straight to the earliest far event.
+                let Reverse(min) = self.overflow.peek().expect("len() > 0");
+                self.cursor = min.time();
+                self.migrate();
+                continue;
+            }
+            let b = (self.cursor % WHEEL_BUCKETS as u64) as usize;
+            if self.wheel[b].live() > 0 {
+                return Some(b);
+            }
+            // Skip empty buckets with the bitmap: find the next set bit at
+            // or after `b + 1`, in ring order from the cursor.
+            let next = self.next_occupied(b).expect("wheel_len > 0");
+            let delta = ((next + WHEEL_BUCKETS - b) % WHEEL_BUCKETS).max(1) as u64;
+            self.cursor += delta;
+            self.migrate();
+        }
+    }
+
+    /// Index of the next occupied bucket strictly after `from` in ring
+    /// order (wrapping), or `None` when the bitmap is empty.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        let start = (from + 1) % WHEEL_BUCKETS;
+        let mut word = start / 64;
+        // Mask off bits below `start` in its word.
+        let mut bits = self.occupied[word] & !((1u64 << (start % 64)) - 1);
+        for _ in 0..=BITMAP_WORDS {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word = (word + 1) % BITMAP_WORDS;
+            bits = self.occupied[word];
+        }
+        None
+    }
+
+    /// The earliest item, without removing it. Advances the internal scan
+    /// cursor (never past the earliest item's time), which is harmless under
+    /// the push contract.
+    #[inline]
+    pub fn peek(&mut self) -> Option<T> {
+        let b = self.seek()?;
+        let bucket = &self.wheel[b];
+        Some(bucket.items[bucket.head])
+    }
+
+    /// Removes and returns the earliest item (ties broken by `Ord`, i.e. by
+    /// sequence for the machine's events).
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        let b = self.seek()?;
+        let bucket = &mut self.wheel[b];
+        let item = bucket.items[bucket.head];
+        bucket.head += 1;
+        self.wheel_len -= 1;
+        if bucket.head == bucket.items.len() {
+            bucket.items.clear();
+            bucket.head = 0;
+            self.unmark(b);
+        }
+        debug_assert!(item.time() == self.cursor);
+        Some(item)
+    }
+
+    /// Copies every queued item out, in no particular order (snapshotting
+    /// sorts; see `Machine::snapshot`).
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        for bucket in &self.wheel {
+            out.extend_from_slice(&bucket.items[bucket.head..]);
+        }
+        out.extend(self.overflow.iter().map(|Reverse(e)| *e));
+        out
+    }
+
+    /// Rebuilds a queue from restored items with the floor at `floor`
+    /// (the machine's current time). Items must all be scheduled at or
+    /// after `floor`; order of `items` is irrelevant for correctness but
+    /// sorted input reproduces bucket FIFO order directly.
+    pub fn from_items(floor: u64, items: impl IntoIterator<Item = T>) -> Self {
+        let mut q = EventQueue::new(floor);
+        let mut sorted: Vec<T> = items.into_iter().collect();
+        sorted.sort_unstable();
+        for item in sorted {
+            q.push(item);
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A `(time, seq)` pair, the machine's key shape.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    struct Item(u64, u64);
+    impl Timed for Item {
+        fn time(&self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = EventQueue::new(0);
+        q.push(Item(5, 0));
+        q.push(Item(3, 1));
+        q.push(Item(5, 2));
+        q.push(Item(3, 3));
+        let order: Vec<Item> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![Item(3, 1), Item(3, 3), Item(5, 0), Item(5, 2)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_events_overflow_and_come_back() {
+        let mut q = EventQueue::new(0);
+        q.push(Item(1_000_000, 0));
+        q.push(Item(10, 1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(Item(10, 1)));
+        // Wheel now empty; the cursor jumps to the overflow minimum.
+        assert_eq!(q.peek(), Some(Item(1_000_000, 0)));
+        assert_eq!(q.floor(), 1_000_000);
+        assert_eq!(q.pop(), Some(Item(1_000_000, 0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_migration_preserves_seq_order() {
+        let mut q = EventQueue::new(0);
+        // Two same-time far events pushed out of seq order, plus a near one.
+        q.push(Item(10_000, 7));
+        q.push(Item(10_000, 3));
+        q.push(Item(0, 1));
+        assert_eq!(q.pop(), Some(Item(0, 1)));
+        // Migration must deliver seq 3 before seq 7.
+        assert_eq!(q.pop(), Some(Item(10_000, 3)));
+        // A same-time push after migration keeps FIFO==sorted (higher seq).
+        q.push(Item(10_000, 9));
+        assert_eq!(q.pop(), Some(Item(10_000, 7)));
+        assert_eq!(q.pop(), Some(Item(10_000, 9)));
+    }
+
+    #[test]
+    fn wheel_wraps_across_many_rotations() {
+        let mut q = EventQueue::new(0);
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        let mut popped = Vec::new();
+        for _ in 0..4 {
+            q.push(Item(now + 1, seq));
+            seq += 1;
+        }
+        for _ in 0..50_000 {
+            let it = q.pop().expect("queue stays populated");
+            assert!(it.0 >= now, "time must be monotone");
+            now = it.0;
+            popped.push(it);
+            q.push(Item(now + 1 + (seq % 700), seq));
+            seq += 1;
+        }
+        // Fully ordered.
+        let mut sorted = popped.clone();
+        sorted.sort_unstable();
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn to_vec_and_from_items_round_trip() {
+        let mut q = EventQueue::new(0);
+        for (i, &t) in [40u64, 2, 9000, 2, 40, 77].iter().enumerate() {
+            q.push(Item(t, i as u64));
+        }
+        q.pop();
+        let mut items = q.to_vec();
+        items.sort_unstable();
+        let mut rebuilt = EventQueue::from_items(2, items.clone());
+        let a: Vec<Item> = std::iter::from_fn(|| q.pop()).collect();
+        let b: Vec<Item> = std::iter::from_fn(|| rebuilt.pop()).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn peek_does_not_remove_and_matches_pop() {
+        let mut q = EventQueue::new(0);
+        q.push(Item(100, 0));
+        q.push(Item(50, 1));
+        assert_eq!(q.peek(), Some(Item(50, 1)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(Item(50, 1)));
+        assert_eq!(q.peek(), Some(Item(100, 0)));
+        assert_eq!(q.pop(), Some(Item(100, 0)));
+        assert_eq!(q.peek(), None);
+    }
+
+    #[test]
+    fn push_at_floor_after_peek_is_legal() {
+        let mut q = EventQueue::new(0);
+        q.push(Item(500, 0));
+        assert_eq!(q.peek(), Some(Item(500, 0)));
+        assert_eq!(q.floor(), 500);
+        // The machine posts at the popped event's time; pushing exactly at
+        // the advanced floor must work.
+        q.push(Item(500, 1));
+        assert_eq!(q.pop(), Some(Item(500, 0)));
+        assert_eq!(q.pop(), Some(Item(500, 1)));
+    }
+
+    #[test]
+    fn exactly_horizon_boundary_goes_to_overflow() {
+        let mut q = EventQueue::new(10);
+        q.push(Item(10 + WHEEL_BUCKETS as u64 - 1, 0)); // last wheel slot
+        q.push(Item(10 + WHEEL_BUCKETS as u64, 1)); // first overflow slot
+        assert_eq!(q.pop(), Some(Item(10 + WHEEL_BUCKETS as u64 - 1, 0)));
+        assert_eq!(q.pop(), Some(Item(10 + WHEEL_BUCKETS as u64, 1)));
+    }
+}

@@ -9,12 +9,10 @@
 //! workload/system configuration every time"). Variability enters only
 //! through the configured perturbation or noise seeds.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::check::{InvariantMonitor, Violation};
 use crate::checkpoint::{Checkpoint, CheckpointError, Decoder, Encoder, Snap};
 use crate::config::{FaultKind, MachineConfig};
+use crate::equeue::EventQueue;
 use crate::ids::{BlockAddr, CpuId, Cycle, Nanos, ThreadId};
 use crate::mem::{MemorySystem, Perturbation};
 use crate::noise::NoiseState;
@@ -42,6 +40,12 @@ enum EventKind {
     CpuReady(CpuId),
     /// A sleeping/blocked thread becomes runnable.
     ThreadWake(ThreadId),
+}
+
+impl crate::equeue::Timed for Event {
+    fn time(&self) -> u64 {
+        self.time
+    }
 }
 
 /// Per-CPU execution state.
@@ -80,7 +84,7 @@ pub struct Machine<W> {
     config: MachineConfig,
     now: Cycle,
     seq: u64,
-    events: BinaryHeap<Reverse<Event>>,
+    events: EventQueue<Event>,
     cpus: Vec<Cpu>,
     mem: MemorySystem,
     sched: Scheduler,
@@ -95,6 +99,13 @@ pub struct Machine<W> {
     commit_log: Vec<Cycle>,
     measure_start: Cycle,
     measure_committed_base: u64,
+    /// CPUs currently parked idle; lets `kick_idle_cpu` skip its slot scan
+    /// in the common all-busy case. Derived (never serialized).
+    idle_cpus: usize,
+    /// Reusable buffer for `check_schedule`'s CPU-slot snapshot — working
+    /// memory only, never serialized, so monitored machines stay
+    /// allocation-free between violations.
+    slot_scratch: Vec<Option<ThreadId>>,
 }
 
 impl<W: Workload> Machine<W> {
@@ -143,7 +154,7 @@ impl<W: Workload> Machine<W> {
             config,
             now: 0,
             seq: 0,
-            events: BinaryHeap::new(),
+            events: EventQueue::new(0),
             cpus,
             mem,
             sched,
@@ -155,6 +166,8 @@ impl<W: Workload> Machine<W> {
             commit_log: Vec::new(),
             measure_start: 0,
             measure_committed_base: 0,
+            idle_cpus: 0,
+            slot_scratch: Vec::new(),
         };
         for i in 0..machine.config.cpus {
             machine.post(0, EventKind::CpuReady(CpuId(i as u32)));
@@ -175,6 +188,14 @@ impl<W: Workload> Machine<W> {
     /// Transactions committed since construction.
     pub fn committed(&self) -> u64 {
         self.committed
+    }
+
+    /// Total events posted since construction (the kernel's sequence
+    /// counter). The delta across an interval divided by wall time is the
+    /// simulator's events/second — the scaling currency for how many
+    /// perturbed runs a methodology user can afford.
+    pub fn events_posted(&self) -> u64 {
+        self.seq
     }
 
     /// Immutable access to the workload (e.g. to inspect generator state).
@@ -248,7 +269,7 @@ impl<W: Workload> Machine<W> {
     fn post(&mut self, time: Cycle, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(Event { time, seq, kind }));
+        self.events.push(Event { time, seq, kind });
     }
 
     /// Resets all counters and the commit log; the next
@@ -298,7 +319,7 @@ impl<W: Workload> Machine<W> {
         self.begin_measurement();
         let target = self.committed + n;
         while self.committed < target {
-            let Some(Reverse(ev)) = self.events.pop() else {
+            let Some(ev) = self.events.pop() else {
                 return Err(SimError::Deadlock {
                     at_cycle: self.now,
                     committed: self.committed - self.measure_committed_base,
@@ -340,12 +361,12 @@ impl<W: Workload> Machine<W> {
     /// Returns [`SimError::Deadlock`] if the machine wedges first.
     pub fn run_cycles(&mut self, cycles: Cycle) -> Result<(), SimError> {
         let deadline = self.now + cycles;
-        while let Some(&Reverse(ev)) = self.events.peek() {
+        while let Some(ev) = self.events.peek() {
             if ev.time > deadline {
                 self.now = deadline;
                 return Ok(());
             }
-            let Reverse(ev) = self.events.pop().expect("peeked");
+            let ev = self.events.pop().expect("peeked");
             self.now = ev.time;
             if let Some(mon) = &mut self.monitor {
                 mon.observe_event(ev.time);
@@ -401,8 +422,9 @@ impl<W: Workload> Machine<W> {
     /// A no-op when monitoring is disabled.
     fn check_schedule(&mut self, now: Cycle) {
         if let Some(mon) = &mut self.monitor {
-            let slots: Vec<Option<ThreadId>> = self.cpus.iter().map(|c| c.thread).collect();
-            mon.check_schedule(&self.sched, &slots, now);
+            self.slot_scratch.clear();
+            self.slot_scratch.extend(self.cpus.iter().map(|c| c.thread));
+            mon.check_schedule(&self.sched, &self.slot_scratch, now);
         }
     }
 
@@ -435,8 +457,12 @@ impl<W: Workload> Machine<W> {
 
     /// Wakes one idle CPU, if any, so a freshly readied thread gets running.
     fn kick_idle_cpu(&mut self) {
+        if self.idle_cpus == 0 {
+            return;
+        }
         if let Some(idx) = self.cpus.iter().position(|c| c.idle) {
             self.cpus[idx].idle = false;
+            self.idle_cpus -= 1;
             self.post(self.now, EventKind::CpuReady(CpuId(idx as u32)));
         }
     }
@@ -458,6 +484,7 @@ impl<W: Workload> Machine<W> {
                 }
                 None => {
                     self.cpus[idx].idle = true;
+                    self.idle_cpus += 1;
                 }
             }
             return;
@@ -624,15 +651,24 @@ impl<W: Workload + Snap> Machine<W> {
     /// the event queue, and all accounting — into a stable binary
     /// [`Checkpoint`] with a content fingerprint.
     ///
-    /// The event heap is serialized in sorted `(time, seq)` order, so two
+    /// The event queue is serialized in sorted `(time, seq)` order, so two
     /// machines in identical states always produce byte-identical payloads
-    /// (and hence equal fingerprints) regardless of heap-internal layout.
+    /// (and hence equal fingerprints) regardless of queue-internal layout.
     pub fn snapshot(&self) -> Checkpoint {
-        let mut enc = Encoder::new();
+        // Resident cache lines dominate the payload (17 bytes each as tag +
+        // lru + state); everything else is noise. Reserving the estimate up
+        // front saves the ~10 doubling copies of growing a multi-megabyte
+        // payload from empty.
+        let resident: usize = self
+            .mem
+            .resident_blocks_total()
+            .saturating_mul(17)
+            .saturating_add(4096);
+        let mut enc = Encoder::with_capacity(resident);
         self.config.encode_snap(&mut enc);
         self.now.encode_snap(&mut enc);
         self.seq.encode_snap(&mut enc);
-        let mut events: Vec<Event> = self.events.iter().map(|Reverse(e)| *e).collect();
+        let mut events: Vec<Event> = self.events.to_vec();
         events.sort_unstable();
         events.encode_snap(&mut enc);
         self.cpus.encode_snap(&mut enc);
@@ -711,11 +747,12 @@ impl<W: Workload + Snap> Machine<W> {
             }
             None => None,
         };
+        let idle_cpus = cpus.iter().filter(|c| c.idle).count();
         Ok(Machine {
             config,
             now,
             seq,
-            events: events.into_iter().map(Reverse).collect(),
+            events: EventQueue::from_items(now, events),
             cpus,
             mem,
             sched,
@@ -727,6 +764,8 @@ impl<W: Workload + Snap> Machine<W> {
             commit_log,
             measure_start,
             measure_committed_base,
+            idle_cpus,
+            slot_scratch: Vec::new(),
         })
     }
 }

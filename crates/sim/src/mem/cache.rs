@@ -156,6 +156,13 @@ pub struct CacheArray {
     sets: u64,
     ways: usize,
     use_clock: u64,
+    /// `sets - 1`; valid because the geometry forces `sets` to a power of
+    /// two. Derived (never serialized): set/tag extraction sits on the
+    /// hottest simulator path, and masking beats the hardware divide the
+    /// modulo form compiles to.
+    set_mask: u64,
+    /// `log2(sets)`, the shift pairing with `set_mask`.
+    set_shift: u32,
 }
 
 /// Result of inserting a block: what had to leave to make room.
@@ -183,6 +190,8 @@ impl CacheArray {
             sets,
             ways,
             use_clock: 0,
+            set_mask: sets - 1,
+            set_shift: sets.trailing_zeros(),
         })
     }
 
@@ -193,17 +202,17 @@ impl CacheArray {
 
     #[inline]
     fn set_of(&self, addr: BlockAddr) -> usize {
-        (addr.0 % self.sets) as usize
+        (addr.0 & self.set_mask) as usize
     }
 
     #[inline]
     fn tag_of(&self, addr: BlockAddr) -> u64 {
-        addr.0 / self.sets
+        addr.0 >> self.set_shift
     }
 
     #[inline]
     fn addr_of(&self, set: usize, tag: u64) -> BlockAddr {
-        BlockAddr(tag * self.sets + set as u64)
+        BlockAddr((tag << self.set_shift) | set as u64)
     }
 
     #[inline]
@@ -345,6 +354,18 @@ impl CacheArray {
             .filter(|l| l.state != CoherenceState::Invalid)
             .count()
     }
+
+    /// Calls `f` with the address and state of every resident block. Used to
+    /// rebuild residency summaries (the snoop filter) after a checkpoint
+    /// restore, where only the cache contents are serialized.
+    pub fn for_each_resident(&self, mut f: impl FnMut(BlockAddr, CoherenceState)) {
+        for (i, line) in self.lines.iter().enumerate() {
+            if line.state != CoherenceState::Invalid {
+                let set = i / self.ways;
+                f(self.addr_of(set, line.tag), line.state);
+            }
+        }
+    }
 }
 
 impl crate::checkpoint::Snap for CoherenceState {
@@ -465,15 +486,22 @@ impl crate::checkpoint::Snap for CacheArray {
                 }
             }
         }
-        let sets = Snap::decode_snap(dec)?;
+        let sets: u64 = Snap::decode_snap(dec)?;
         let ways = Snap::decode_snap(dec)?;
         let use_clock = Snap::decode_snap(dec)?;
+        if !sets.is_power_of_two() {
+            return Err(CheckpointError::Corrupt {
+                what: "CacheArray set count must be a power of two".into(),
+            });
+        }
         Ok(CacheArray {
             config,
             lines,
             sets,
             ways,
             use_clock,
+            set_mask: sets - 1,
+            set_shift: sets.trailing_zeros(),
         })
     }
 }

@@ -1,0 +1,195 @@
+//! Sharer-presence filter for the snooping coherence protocol.
+//!
+//! Every L2 miss in the baseline system broadcasts a snoop to all other
+//! nodes, probing each remote L2 even though most blocks — thread-private
+//! data above all — live in at most one or two caches. On the paper's
+//! 16-processor OLTP workload roughly half of all misses find *no* remote
+//! copy, yet still pay fifteen tag probes.
+//!
+//! [`SnoopFilter`] keeps a conservative residency summary: block addresses
+//! hash into [`REGIONS`] regions, and for every region the filter maintains
+//! a per-node count of resident L2 blocks plus a 16-bit presence vector
+//! (bit *i* set while node *i* holds at least one block in the region). A
+//! miss then consults only the nodes whose presence bit is set.
+//!
+//! The summary is **conservative and exact in the direction that matters**:
+//! a set bit may be stale coverage from a different block in the same
+//! region (hash collision), but a clear bit *proves* the node holds no copy
+//! of the address. Skipped nodes would have answered `Invalid` — a probe
+//! with no side effects and an invalidate that is a no-op — so filtered
+//! snoops produce bit-identical protocol state, statistics, and timing to
+//! the full broadcast. Debug builds verify exactly that: every filtered
+//! miss is differentially checked against the full scan.
+//!
+//! The counts are maintained at every L2 residency transition (fill,
+//! eviction, invalidation) and rebuilt from cache contents when a machine
+//! is restored from a checkpoint, so the filter itself never appears in
+//! snapshot bytes — checkpoint encodings and fingerprints are unchanged
+//! from the broadcast implementation.
+//!
+//! The presence vector is a `u16`, so filtering engages only on machines
+//! with at most 16 nodes (the paper's target size); larger configurations
+//! fall back to the full broadcast scan transparently.
+
+use crate::ids::BlockAddr;
+
+/// Number of residency regions block addresses hash into. With the paper's
+/// 4 MB L2s (65,536 blocks per node) a smaller table would saturate — every
+/// bit set — and filter nothing; 65,536 regions keep private-data regions
+/// mapped to their single user with high probability.
+pub const REGIONS: usize = 65_536;
+
+/// Largest node count the `u16` presence vector can summarize; bigger
+/// machines use the unfiltered broadcast path.
+pub const MAX_FILTERED_CPUS: usize = 16;
+
+/// Maps a block address to its region. Block addresses are structured (the
+/// workloads carve them from a handful of widely spaced bases), so a plain
+/// low-bit mask would alias heavily; a Fibonacci multiplicative hash mixes
+/// the whole word before the top 16 bits pick the region.
+#[inline]
+pub fn region_of(addr: BlockAddr) -> usize {
+    (addr.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize
+}
+
+/// Conservative per-region summary of which nodes' L2 caches may hold a
+/// block; see the module docs for the contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnoopFilter {
+    /// Presence vector per region: bit `i` set iff `counts` for node `i` in
+    /// the region is nonzero. Empty when the filter is disabled.
+    masks: Vec<u16>,
+    /// Resident-block counts, `REGIONS × cpus`, row-major by region. A
+    /// count needs 32 bits: one region can in principle absorb an entire
+    /// 65,536-block L2.
+    counts: Vec<u32>,
+    /// Node count; 0 marks the filter disabled (> [`MAX_FILTERED_CPUS`]).
+    cpus: usize,
+}
+
+impl SnoopFilter {
+    /// Creates the filter for a machine with `cpus` nodes (all caches
+    /// empty). Machines with more than [`MAX_FILTERED_CPUS`] nodes get a
+    /// disabled filter that records nothing.
+    pub fn new(cpus: usize) -> Self {
+        if cpus > MAX_FILTERED_CPUS {
+            return SnoopFilter {
+                masks: Vec::new(),
+                counts: Vec::new(),
+                cpus: 0,
+            };
+        }
+        SnoopFilter {
+            masks: vec![0; REGIONS],
+            counts: vec![0; REGIONS * cpus],
+            cpus,
+        }
+    }
+
+    /// Whether the filter is tracking residency (node count within the
+    /// presence vector's reach).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.cpus != 0
+    }
+
+    /// The presence vector for `addr`'s region: only nodes with their bit
+    /// set can hold the block. Meaningless (always call [`Self::enabled`]
+    /// first) on a disabled filter.
+    #[inline]
+    pub fn candidates(&self, addr: BlockAddr) -> u16 {
+        debug_assert!(self.enabled());
+        self.masks[region_of(addr)]
+    }
+
+    /// Records that node `cpu`'s L2 gained a block it did not hold before.
+    #[inline]
+    pub fn note_fill(&mut self, cpu: usize, addr: BlockAddr) {
+        if !self.enabled() {
+            return;
+        }
+        let r = region_of(addr);
+        let c = &mut self.counts[r * self.cpus + cpu];
+        *c += 1;
+        if *c == 1 {
+            self.masks[r] |= 1u16 << cpu;
+        }
+    }
+
+    /// Records that node `cpu`'s L2 lost a block it held (eviction or
+    /// invalidation of a resident copy).
+    #[inline]
+    pub fn note_evict(&mut self, cpu: usize, addr: BlockAddr) {
+        if !self.enabled() {
+            return;
+        }
+        let r = region_of(addr);
+        let c = &mut self.counts[r * self.cpus + cpu];
+        debug_assert!(*c > 0, "evicting from an empty region summary");
+        *c -= 1;
+        if *c == 0 {
+            self.masks[r] &= !(1u16 << cpu);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_sets_and_evict_clears_presence() {
+        let mut f = SnoopFilter::new(4);
+        let a = BlockAddr(0x1234);
+        assert_eq!(f.candidates(a), 0);
+        f.note_fill(2, a);
+        assert_eq!(f.candidates(a), 0b0100);
+        f.note_fill(0, a);
+        assert_eq!(f.candidates(a), 0b0101);
+        f.note_evict(2, a);
+        assert_eq!(f.candidates(a), 0b0001);
+        f.note_evict(0, a);
+        assert_eq!(f.candidates(a), 0);
+    }
+
+    #[test]
+    fn colliding_blocks_keep_the_bit_until_both_leave() {
+        let mut f = SnoopFilter::new(2);
+        // Two distinct blocks in the same region (same address → same
+        // region trivially; different addresses may or may not collide, so
+        // use the same address twice as the canonical collision).
+        let a = BlockAddr(0xAB);
+        f.note_fill(1, a);
+        f.note_fill(1, a);
+        f.note_evict(1, a);
+        assert_eq!(f.candidates(a), 0b10, "one resident block remains");
+        f.note_evict(1, a);
+        assert_eq!(f.candidates(a), 0);
+    }
+
+    #[test]
+    fn disabled_beyond_sixteen_cpus() {
+        let f = SnoopFilter::new(17);
+        assert!(!f.enabled());
+        let mut f = f;
+        f.note_fill(3, BlockAddr(1)); // must not panic or record
+        assert!(!f.enabled());
+        assert!(SnoopFilter::new(16).enabled());
+    }
+
+    #[test]
+    fn region_hash_spreads_structured_addresses() {
+        // The workload generators use widely spaced bases with small
+        // offsets; the hash must not funnel them into a few regions.
+        let mut regions: Vec<usize> = (0..4096u64)
+            .map(|i| region_of(BlockAddr(0x10_0000_0000 + i)))
+            .collect();
+        regions.sort_unstable();
+        regions.dedup();
+        assert!(
+            regions.len() > 3500,
+            "4096 consecutive blocks landed in only {} regions",
+            regions.len()
+        );
+    }
+}

@@ -2,9 +2,11 @@
 //! and DRAM timing, plus the §3.3 perturbation hook.
 
 mod cache;
+pub mod filter;
 mod system;
 
 pub use cache::{CacheArray, CacheConfig, CoherenceState, Eviction};
+pub use filter::SnoopFilter;
 pub use system::{
     AccessOutcome, AccessSource, CoherenceProtocol, MemStats, MemoryConfig, MemorySystem,
     Perturbation,

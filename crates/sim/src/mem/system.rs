@@ -7,6 +7,7 @@
 //! 125 ns (two traversals plus the 80 ns/25 ns provider times).
 
 use super::cache::{CacheArray, CacheConfig, CoherenceState};
+use super::filter::SnoopFilter;
 use crate::ids::{BlockAddr, CpuId, Cycle, Nanos};
 use crate::ops::AccessKind;
 use crate::rng::Xoshiro256StarStar;
@@ -306,6 +307,11 @@ pub struct MemorySystem {
     /// Timestamp of the most recent access; the bus model requires callers
     /// to present non-decreasing timestamps (checked in debug builds).
     last_access: Cycle,
+    /// Conservative L2-residency summary narrowing snoop scans; derived
+    /// state, maintained at every residency transition and rebuilt on
+    /// checkpoint restore (never serialized, so snapshot bytes are those of
+    /// the broadcast implementation).
+    filter: SnoopFilter,
 }
 
 impl MemorySystem {
@@ -341,6 +347,7 @@ impl MemorySystem {
             perturbation,
             stats: MemStats::default(),
             last_access: 0,
+            filter: SnoopFilter::new(cpus),
         })
     }
 
@@ -478,19 +485,35 @@ impl MemorySystem {
         self.stats.perturbation_ns += pert;
 
         // Locate a remote owner (M/O/E copy) and whether any copy exists.
-        let mut owner: Option<usize> = None;
-        let mut any_remote_copy = false;
-        for (i, node) in self.nodes.iter().enumerate() {
-            if i == n {
-                continue;
-            }
-            let st = node.l2.probe(addr);
-            if st != CoherenceState::Invalid {
-                any_remote_copy = true;
-                if st.is_owner() && owner.is_none() {
-                    owner = Some(i);
+        // The snoop filter narrows the scan to nodes that can hold the
+        // block; a clear presence bit proves the node's copy is Invalid, so
+        // the filtered scan is exact (differentially checked against the
+        // full broadcast in debug builds).
+        let (owner, any_remote_copy);
+        if self.filter.enabled() {
+            let mut o: Option<usize> = None;
+            let mut any = false;
+            let mut mask = self.filter.candidates(addr) & !(1u16 << n);
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let st = self.nodes[i].l2.probe(addr);
+                if st != CoherenceState::Invalid {
+                    any = true;
+                    if st.is_owner() && o.is_none() {
+                        o = Some(i);
+                    }
                 }
             }
+            debug_assert_eq!(
+                (o, any),
+                self.broadcast_scan(n, addr),
+                "snoop filter diverged from the full broadcast"
+            );
+            owner = o;
+            any_remote_copy = any;
+        } else {
+            (owner, any_remote_copy) = self.broadcast_scan(n, addr);
         }
 
         let (provide, source) = match owner {
@@ -547,10 +570,14 @@ impl MemorySystem {
             if ev.state.is_dirty() {
                 self.stats.writebacks += 1;
             }
+            self.filter.note_evict(n, ev.addr);
             // Inclusion: the victim leaves our L1s too.
             self.nodes[n].l1d.invalidate(ev.addr);
             self.nodes[n].l1i.invalidate(ev.addr);
         }
+        // A full miss only runs when our own L2 held no copy, so the insert
+        // is always a fresh fill.
+        self.filter.note_fill(n, addr);
 
         AccessOutcome { latency, source }
     }
@@ -575,25 +602,82 @@ impl MemorySystem {
         wait
     }
 
-    /// Invalidates every remote copy of `addr` (L2 + both L1s), counting
-    /// invalidations.
-    fn invalidate_others(&mut self, n: usize, addr: BlockAddr) {
-        for i in 0..self.nodes.len() {
+    /// Owner/sharer scan probing every remote node — the reference the
+    /// filtered path must agree with, and the fallback for machines too
+    /// large for the presence vector.
+    fn broadcast_scan(&self, n: usize, addr: BlockAddr) -> (Option<usize>, bool) {
+        let mut owner: Option<usize> = None;
+        let mut any_remote_copy = false;
+        for (i, node) in self.nodes.iter().enumerate() {
             if i == n {
                 continue;
             }
-            let old = self.nodes[i].l2.invalidate(addr);
-            if old != CoherenceState::Invalid {
-                self.stats.invalidations += 1;
-                self.nodes[i].l1d.invalidate(addr);
-                self.nodes[i].l1i.invalidate(addr);
+            let st = node.l2.probe(addr);
+            if st != CoherenceState::Invalid {
+                any_remote_copy = true;
+                if st.is_owner() && owner.is_none() {
+                    owner = Some(i);
+                }
             }
+        }
+        (owner, any_remote_copy)
+    }
+
+    /// Invalidates every remote copy of `addr` (L2 + both L1s), counting
+    /// invalidations. Only the filter's candidate nodes are visited; an
+    /// invalidate on a non-resident node is a no-op, so skipping proven
+    /// non-holders changes nothing (checked in debug builds).
+    fn invalidate_others(&mut self, n: usize, addr: BlockAddr) {
+        if self.filter.enabled() {
+            #[cfg(debug_assertions)]
+            for (i, node) in self.nodes.iter().enumerate() {
+                if i != n && self.filter.candidates(addr) & (1u16 << i) == 0 {
+                    debug_assert_eq!(
+                        node.l2.probe(addr),
+                        CoherenceState::Invalid,
+                        "node {i} skipped by the snoop filter holds a copy"
+                    );
+                }
+            }
+            let mut mask = self.filter.candidates(addr) & !(1u16 << n);
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.invalidate_node(i, addr);
+            }
+        } else {
+            for i in 0..self.nodes.len() {
+                if i != n {
+                    self.invalidate_node(i, addr);
+                }
+            }
+        }
+    }
+
+    /// Invalidates node `i`'s copy of `addr` across its cache stack,
+    /// keeping the stats and the filter in step.
+    fn invalidate_node(&mut self, i: usize, addr: BlockAddr) {
+        let old = self.nodes[i].l2.invalidate(addr);
+        if old != CoherenceState::Invalid {
+            self.stats.invalidations += 1;
+            self.filter.note_evict(i, addr);
+            self.nodes[i].l1d.invalidate(addr);
+            self.nodes[i].l1i.invalidate(addr);
         }
     }
 
     /// Number of processor nodes in the system.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Total resident blocks across every cache array — the dominant term
+    /// of a machine snapshot's size, used to pre-reserve encoder capacity.
+    pub fn resident_blocks_total(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.l1i.resident_blocks() + n.l1d.resident_blocks() + n.l2.resident_blocks())
+            .sum()
     }
 
     /// Returns the MOSI state of `addr` in `cpu`'s L2 (for tests and
@@ -621,12 +705,24 @@ impl MemorySystem {
     /// simulation code.
     #[doc(hidden)]
     pub fn force_l2_state(&mut self, cpu: CpuId, addr: BlockAddr, state: CoherenceState) {
-        let l2 = &mut self.nodes[cpu.index()].l2;
+        let n = cpu.index();
+        let l2 = &mut self.nodes[n].l2;
         if state == CoherenceState::Invalid {
-            l2.invalidate(addr);
+            if l2.invalidate(addr) != CoherenceState::Invalid {
+                self.filter.note_evict(n, addr);
+            }
         } else if !l2.set_state(addr, state) {
-            l2.insert(addr, state);
+            if let Some(ev) = l2.insert(addr, state) {
+                self.filter.note_evict(n, ev.addr);
+            }
+            self.filter.note_fill(n, addr);
         }
+    }
+
+    /// The snoop filter's residency summary (for tests asserting that a
+    /// restored machine rebuilds the identical filter).
+    pub fn snoop_filter(&self) -> &SnoopFilter {
+        &self.filter
     }
 
     /// Checks the protocol's single-writer invariant for `addr`: at most one
@@ -715,14 +811,48 @@ crate::impl_snap!(MemStats {
 });
 crate::impl_snap!(Node { l1i, l1d, l2 });
 crate::impl_snap!(Perturbation { max_ns, rng });
-crate::impl_snap!(MemorySystem {
-    config,
-    nodes,
-    bus_free_at,
-    perturbation,
-    stats,
-    last_access,
-});
+
+/// Hand-written [`Snap`](crate::checkpoint::Snap): encodes exactly the six
+/// architectural fields the derived implementation always encoded, in the
+/// same order — the snoop filter is derived state and is rebuilt from the
+/// restored cache contents, keeping checkpoint bytes (and fingerprints)
+/// identical to the pre-filter encoding.
+impl crate::checkpoint::Snap for MemorySystem {
+    fn encode_snap(&self, enc: &mut crate::checkpoint::Encoder) {
+        self.config.encode_snap(enc);
+        self.nodes.encode_snap(enc);
+        self.bus_free_at.encode_snap(enc);
+        self.perturbation.encode_snap(enc);
+        self.stats.encode_snap(enc);
+        self.last_access.encode_snap(enc);
+    }
+
+    fn decode_snap(
+        dec: &mut crate::checkpoint::Decoder<'_>,
+    ) -> Result<Self, crate::checkpoint::CheckpointError> {
+        use crate::checkpoint::Snap;
+        let config = MemoryConfig::decode_snap(dec)?;
+        let nodes: Vec<Node> = Snap::decode_snap(dec)?;
+        let bus_free_at = Snap::decode_snap(dec)?;
+        let perturbation = Snap::decode_snap(dec)?;
+        let stats = Snap::decode_snap(dec)?;
+        let last_access = Snap::decode_snap(dec)?;
+        let mut filter = SnoopFilter::new(nodes.len());
+        for (i, node) in nodes.iter().enumerate() {
+            node.l2
+                .for_each_resident(|addr, _| filter.note_fill(i, addr));
+        }
+        Ok(MemorySystem {
+            config,
+            nodes,
+            bus_free_at,
+            perturbation,
+            stats,
+            last_access,
+            filter,
+        })
+    }
+}
 
 /// Downgrades a node's L1D copy of `addr` to read-only (used when its L2
 /// loses write permission).

@@ -1,0 +1,147 @@
+//! Differential fuzz of the calendar [`EventQueue`] against a reference
+//! `BinaryHeap<Reverse<T>>` — the exact structure the queue replaced.
+//!
+//! The machine's determinism contract hangs on the queue delivering events
+//! in strict `(time, seq)` order and on snapshots reproducing the same
+//! sorted serialization the heap produced. Random interleavings of push,
+//! pop, peek, and snapshot/rebuild are driven from seeded streams so a
+//! failure replays exactly; the push contract (`time >= floor()`) mirrors
+//! how the machine only posts from the event being handled *now*.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use mtvar_sim::equeue::{EventQueue, Timed};
+use mtvar_sim::rng::Xoshiro256StarStar;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Item {
+    time: u64,
+    seq: u64,
+}
+
+impl Timed for Item {
+    fn time(&self) -> u64 {
+        self.time
+    }
+}
+
+/// Reference model: the pre-overhaul binary min-heap.
+#[derive(Default)]
+struct RefHeap {
+    heap: BinaryHeap<Reverse<Item>>,
+}
+
+impl RefHeap {
+    fn push(&mut self, item: Item) {
+        self.heap.push(Reverse(item));
+    }
+    fn pop(&mut self) -> Option<Item> {
+        self.heap.pop().map(|Reverse(i)| i)
+    }
+    fn peek(&self) -> Option<Item> {
+        self.heap.peek().map(|&Reverse(i)| i)
+    }
+    fn sorted(&self) -> Vec<Item> {
+        let mut v: Vec<Item> = self.heap.iter().map(|&Reverse(i)| i).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// One fuzz episode: `ops` random operations from `seed`, then a full drain.
+/// Time deltas span 0..=6000 so pushes land both inside the 4096-slot wheel
+/// window and in the overflow heap, and repeat deltas force equal-timestamp
+/// tie-breaks that only the `seq` field can order.
+fn episode(seed: u64, ops: usize) {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut q: EventQueue<Item> = EventQueue::new(0);
+    let mut reference = RefHeap::default();
+    let mut seq = 0u64;
+
+    for step in 0..ops {
+        match rng.next_u64() % 10 {
+            // Push: biased toward bursts at the exact same timestamp.
+            0..=4 => {
+                let base = q.floor();
+                let delta = match rng.next_u64() % 4 {
+                    0 => 0,                            // now: ties with earlier pushes
+                    1 => rng.next_u64() % 16,          // near future, dense buckets
+                    2 => rng.next_u64() % 4096,        // anywhere in the wheel window
+                    _ => 4096 + rng.next_u64() % 2000, // overflow territory
+                };
+                let item = Item {
+                    time: base + delta,
+                    seq,
+                };
+                seq += 1;
+                q.push(item);
+                reference.push(item);
+            }
+            5..=7 => {
+                assert_eq!(
+                    q.pop(),
+                    reference.pop(),
+                    "pop diverged (seed {seed}, step {step})"
+                );
+            }
+            8 => {
+                assert_eq!(
+                    q.peek(),
+                    reference.peek(),
+                    "peek diverged (seed {seed}, step {step})"
+                );
+            }
+            _ => {
+                // Snapshot: the queue serializes as a sorted event list; the
+                // rebuilt queue must behave identically to the original.
+                let mut items = q.to_vec();
+                items.sort_unstable();
+                assert_eq!(
+                    items,
+                    reference.sorted(),
+                    "snapshot contents diverged (seed {seed}, step {step})"
+                );
+                q = EventQueue::from_items(q.floor(), items);
+            }
+        }
+        assert_eq!(
+            q.len(),
+            reference.heap.len(),
+            "length diverged (seed {seed}, step {step})"
+        );
+    }
+
+    // Full drain: every remaining event must come out in (time, seq) order.
+    while let Some(expect) = reference.pop() {
+        assert_eq!(q.pop(), Some(expect), "drain diverged (seed {seed})");
+    }
+    assert!(q.is_empty());
+    assert_eq!(q.pop(), None);
+}
+
+#[test]
+fn differential_fuzz_against_binary_heap() {
+    for seed in 0..8u64 {
+        episode(0x5EED_0000 + seed, 4000);
+    }
+}
+
+#[test]
+fn equal_timestamp_bursts_break_ties_by_seq() {
+    // A pure tie-break stress: many events at few distinct timestamps, so
+    // almost every ordering decision falls to the sequence number.
+    let mut rng = Xoshiro256StarStar::new(0x71E5);
+    let mut q: EventQueue<Item> = EventQueue::new(100);
+    let mut reference = RefHeap::default();
+    for seq in 0..2000u64 {
+        let time = 100 + (rng.next_u64() % 3) * 4096; // 3 timestamps: wheel + overflow
+        let item = Item { time, seq };
+        q.push(item);
+        reference.push(item);
+    }
+    while let Some(expect) = reference.pop() {
+        assert_eq!(q.pop(), Some(expect), "tie-break order diverged");
+    }
+    assert!(q.is_empty());
+}

@@ -10,7 +10,10 @@
 
 use mtvar_stats::describe::Summary;
 use mtvar_stats::dist::{ContinuousDistribution, Normal};
-use mtvar_stats::infer::{anova_one_way, mean_confidence_interval, two_sample_t_test, TTestKind};
+use mtvar_stats::infer::{
+    anova_one_way, mean_confidence_interval, sample_size_for_relative_error, two_sample_t_test,
+    TTestKind,
+};
 
 const TOL: f64 = 1e-9;
 
@@ -199,6 +202,59 @@ fn anova_type_i_error_rate_is_nominal() {
     assert!(
         (0.025..=0.085).contains(&rate),
         "ANOVA rejected a true null in {rate:.4} of {REPS} replications",
+    );
+}
+
+#[test]
+fn sample_size_estimate_achieves_its_promised_power() {
+    // Type-II calibration of the §5.1.1 minimum-run estimator, end to end.
+    // The paper's worked example: a 9% CoV workload measured to 4% relative
+    // error at 95% confidence needs n = (2·0.09/0.04)² ≈ 20 runs. The
+    // type-II error of running an experiment is missing the target — the
+    // sample mean landing further than r·μ from the truth — so with the
+    // estimated n the miss rate must be ~5%, and with a fraction of n it
+    // must be visibly worse (the error the estimator exists to prevent).
+    const REPS: usize = 1500;
+    const MEAN: f64 = 100.0;
+    const SD: f64 = 9.0; // CoV = 9% of MEAN, the paper's OLTP figure
+    const REL_ERR: f64 = 0.04;
+
+    let n = sample_size_for_relative_error(SD / MEAN, REL_ERR, 0.95).unwrap() as usize;
+    assert_eq!(n, 20, "the paper's worked example");
+
+    let z = Normal::standard();
+    let mut rng = SplitMix64(0x5E1F_C0DE_0000_0005);
+    let hits = |runs: usize, rng: &mut SplitMix64| -> f64 {
+        let mut within = 0usize;
+        for _ in 0..REPS {
+            let mean: f64 = (0..runs)
+                .map(|_| rng.next_normal(&z, MEAN, SD))
+                .sum::<f64>()
+                / runs as f64;
+            if (mean - MEAN).abs() <= REL_ERR * MEAN {
+                within += 1;
+            }
+        }
+        within as f64 / REPS as f64
+    };
+
+    // With the estimated n: achieved probability ≈ the requested confidence.
+    // Closed form: P(|Z| <= 0.04·100·√20/9) = P(|Z| <= 1.988) ≈ 0.953;
+    // binomial sd of the estimate ≈ 0.0056, so ±2% is comfortable.
+    let achieved = hits(n, &mut rng);
+    assert!(
+        (0.93..=0.97).contains(&achieved),
+        "n = {n} runs hit the 4% target in {achieved:.4} of {REPS} experiments",
+    );
+
+    // With a quarter of the estimated budget the experiment is underpowered:
+    // P(|Z| <= 4·√5/9) ≈ 0.68, nowhere near the promised 95%.
+    let underpowered = hits(n / 4, &mut rng);
+    assert!(
+        (0.60..=0.76).contains(&underpowered),
+        "n/4 = {} runs hit the target in {underpowered:.4} — the estimator \
+         would be vacuous if this were still ~0.95",
+        n / 4,
     );
 }
 

@@ -40,6 +40,26 @@ cargo test -q --offline --features invariant-monitor --test checkpoint_identity
 echo "==> statistical self-validation"
 cargo test -q --offline -p mtvar-stats --test selfcheck
 
+# Kernel-parity gate: the optimized event queue and snoop filter must
+# reproduce every golden digest and checkpoint fingerprint in release mode,
+# where the filter's debug differential against full broadcast is compiled
+# out and the filtered path runs alone. Debug builds covered the same suites
+# above with the differential asserts active.
+echo "==> kernel parity: golden digests, release (pure filtered snoop path)"
+cargo test -q --offline --release --test golden_runs
+
+echo "==> kernel parity: checkpoint bit-identity, release"
+cargo test -q --offline --release --test checkpoint_identity
+
+echo "==> kernel parity: event-queue differential fuzz"
+cargo test -q --offline -p mtvar-sim --test equeue_fuzz
+
+echo "==> kernel parity: snoop-filter checkpoint round-trip"
+cargo test -q --offline --test snoop_filter_checkpoint
+
+echo "==> kernel parity: steady-state allocation budget"
+cargo test -q --offline --test alloc_steady_state
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -1,0 +1,74 @@
+//! Steady-state allocation regression test.
+//!
+//! The kernel overhaul's zero-alloc claim: once a machine is warmed — event
+//! wheel buckets sized, workload op queues filled, scheduler scratch grown —
+//! the hot loop (event dispatch, cache access, snoop filtering, scheduling,
+//! invariant checking on clean runs) performs no heap allocation. A counting
+//! `#[global_allocator]` measures a >= 10k-event window on the 16-CPU OLTP
+//! reference machine; the budget tolerates only the rare amortized regrowth
+//! of long-lived containers (a workload op queue crossing its previous
+//! capacity, a cold wheel bucket's first use), not per-event or per-decision
+//! churn, which would cost thousands of allocations in a window this size.
+//!
+//! This test lives in its own integration-test binary because a global
+//! allocator is per-binary and concurrent tests would pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mtvar_sim::config::MachineConfig;
+use mtvar_sim::machine::Machine;
+use mtvar_workloads::Benchmark;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Regrowth is exactly what this test hunts; count it like an alloc.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn warmed_machine_runs_ten_thousand_events_without_allocating() {
+    // The bench's reference machine, with the invariant monitor on so the
+    // coherence-check path is included in the zero-alloc claim.
+    let cfg = MachineConfig::hpca2003().with_perturbation(4, 1);
+    let mut machine = Machine::new(cfg, Benchmark::Oltp.workload(16, 42)).expect("machine");
+    machine.enable_invariant_checks();
+
+    // Warm until every long-lived container has seen its working-set size.
+    machine.run_transactions(300).expect("warmup");
+
+    let events_before = machine.events_posted();
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    machine.run_transactions(60).expect("measured window");
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let events = machine.events_posted() - events_before;
+
+    assert!(
+        events >= 10_000,
+        "window too small to be meaningful: {events} events"
+    );
+    assert!(
+        allocs <= 64,
+        "steady state allocated {allocs} times over {events} events; \
+         the hot path has regressed to per-event allocation"
+    );
+}

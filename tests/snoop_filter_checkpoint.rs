@@ -1,0 +1,103 @@
+//! Snoop-filter checkpoint coverage: the sharer-presence filter is derived
+//! state, rebuilt from cache contents on restore rather than serialized. A
+//! machine checkpointed mid-run with a warm filter must therefore restore to
+//! a filter identical to one that was never checkpointed — for every
+//! coherence protocol — and the continued run must stay digest-identical.
+
+use mtvar::core::golden::run_digest;
+use mtvar::sim::config::MachineConfig;
+use mtvar::sim::machine::Machine;
+use mtvar::sim::mem::{CoherenceProtocol, SnoopFilter};
+use mtvar::workloads::profile::ProfiledWorkload;
+use mtvar::workloads::Benchmark;
+
+const CPUS: usize = 8;
+const WORKLOAD_SEED: u64 = 42;
+const WARMUP: u64 = 40;
+const MEASURE: u64 = 40;
+
+fn config(protocol: CoherenceProtocol) -> MachineConfig {
+    MachineConfig::hpca2003()
+        .with_cpus(CPUS)
+        .with_protocol(protocol)
+        .with_perturbation(4, 0x1DE7)
+}
+
+#[test]
+fn restored_filter_matches_a_never_checkpointed_run_for_every_protocol() {
+    for protocol in [
+        CoherenceProtocol::Mosi,
+        CoherenceProtocol::Mesi,
+        CoherenceProtocol::Moesi,
+    ] {
+        let workload = Benchmark::Oltp.workload(CPUS, WORKLOAD_SEED);
+
+        // Reference: never checkpointed.
+        let mut straight = Machine::new(config(protocol), workload.clone()).unwrap();
+        straight.run_transactions(WARMUP).expect("straight warmup");
+        let want = straight
+            .run_transactions(MEASURE)
+            .expect("straight measure");
+
+        // Checkpointed mid-run, with the filter warm from the warmup misses.
+        let mut warmed = Machine::new(config(protocol), workload).unwrap();
+        warmed.run_transactions(WARMUP).expect("warmup");
+        assert_ne!(
+            *warmed.memory().snoop_filter(),
+            SnoopFilter::new(CPUS),
+            "{protocol:?}: warmup must leave presence bits in the filter, \
+             or this test proves nothing"
+        );
+        let snapshot = warmed.snapshot();
+        let mut restored: Machine<ProfiledWorkload> = Machine::restore(&snapshot).expect("restore");
+
+        // The rebuilt filter must equal the live one bit-for-bit...
+        assert_eq!(
+            restored.memory().snoop_filter(),
+            warmed.memory().snoop_filter(),
+            "{protocol:?}: filter rebuilt on restore diverged from the live filter"
+        );
+        // ...and the continued run must be indistinguishable from never
+        // having checkpointed: same statistics, same digest, same final
+        // filter, same follow-up snapshot bytes.
+        let got = restored
+            .run_transactions(MEASURE)
+            .expect("restored measure");
+        assert_eq!(want, got, "{protocol:?}: continued run diverged");
+        assert_eq!(run_digest(&want), run_digest(&got), "{protocol:?}");
+        assert_eq!(
+            restored.memory().snoop_filter(),
+            straight.memory().snoop_filter(),
+            "{protocol:?}: post-measurement filter diverged"
+        );
+        assert_eq!(
+            restored.snapshot().fingerprint(),
+            straight.snapshot().fingerprint(),
+            "{protocol:?}: post-measurement state diverged"
+        );
+    }
+}
+
+#[test]
+fn filter_disables_above_sixteen_cpus_and_checkpoints_still_round_trip() {
+    // 17+ CPUs exceed the u16 presence vector; the memory system must fall
+    // back to full broadcast with a disabled filter, and snapshot/restore
+    // must keep working (the rebuild is a no-op on a disabled filter).
+    let cfg = MachineConfig::hpca2003()
+        .with_cpus(24)
+        .with_perturbation(4, 0x1DE7);
+    let workload = Benchmark::Oltp.workload(24, WORKLOAD_SEED);
+
+    let mut machine = Machine::new(cfg, workload).unwrap();
+    machine.run_transactions(WARMUP).expect("warmup");
+    assert!(
+        !machine.memory().snoop_filter().enabled(),
+        "filter must disable itself beyond 16 CPUs"
+    );
+    let snapshot = machine.snapshot();
+    let mut restored: Machine<ProfiledWorkload> = Machine::restore(&snapshot).expect("restore");
+    assert!(!restored.memory().snoop_filter().enabled());
+    let want = machine.run_transactions(MEASURE).expect("straight");
+    let got = restored.run_transactions(MEASURE).expect("restored");
+    assert_eq!(want, got, "broadcast fallback diverged across a checkpoint");
+}
