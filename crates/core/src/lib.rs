@@ -29,6 +29,9 @@
 //!   estimation and verdicts for comparison experiments (§5.1).
 //! * [`timesample`] — checkpoint sweeps and one-way ANOVA to decide whether
 //!   time sampling is required (§5.2).
+//! * [`sampling`] — 2024-era sampling methodologies (stratified, ranked-set,
+//!   live) driven over the checkpoint substrate, with an evaluation harness
+//!   scoring them by WCR and CI coverage against full-run ground truth.
 //! * [`budget`] — the paper's stated future work: splitting a fixed
 //!   simulation budget between run count and run length.
 //! * [`experiment`] — the one-call declarative form of the whole workflow:
@@ -62,6 +65,7 @@ pub mod golden;
 pub mod metrics;
 pub mod report;
 pub mod runspace;
+pub mod sampling;
 pub mod timesample;
 pub mod wcr;
 

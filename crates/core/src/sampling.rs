@@ -1,0 +1,842 @@
+//! Sampling methodologies as first-class estimators: drive the checkpoint
+//! substrate to measure only *sampled* warmup positions, and score each
+//! methodology with the paper's own yardsticks.
+//!
+//! The source paper estimates cycles-per-transaction from full multi-run
+//! experiments; modern practice samples instead. This module wires the
+//! estimator layer of [`mtvar_stats::sampling`] — simple-random/stratified
+//! position sampling, ranked-set sampling, and live (adaptive) sampling —
+//! onto the [`Executor`] + [`CheckpointStore`](crate::checkpoint) substrate
+//! from PR 4/5:
+//!
+//! * A [`SamplingStudy`] defines a **position frame**: `positions` starting
+//!   points spaced `spacing` warmup transactions apart through the
+//!   workload's lifetime. Measuring position `p` means warming to depth
+//!   `(p+1)·spacing` (memoized and prefix-extended by the store), forking
+//!   the plan's perturbed runs from the snapshot, and averaging their
+//!   cycles-per-transaction. The estimand is the frame's population mean —
+//!   the same quantity a §5.2 full sweep averages.
+//! * A [`StudyOracle`] adapts the study to the
+//!   [`PositionOracle`] interface, charging each measurement the simulated
+//!   cycles it would have cost standalone (incremental warmup plus measured
+//!   run cycles) while the store memoizes the actual work.
+//! * [`evaluate`] scores a set of [`Method`]s against full-run ground truth
+//!   (a census of the frame) by empirical CI coverage, wrong-conclusion
+//!   ratio versus the true direction (reusing [`crate::wcr`]), absolute
+//!   error, and simulated-cycle cost — emitting a comparison
+//!   [`Table`].
+//!
+//! See the *Sampling methodologies* chapter of `EXPERIMENTS.md` for the
+//! handbook treatment: assumptions, knobs, and when each estimator misleads.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use mtvar_sim::checkpoint::{Checkpoint, Snap};
+use mtvar_sim::config::MachineConfig;
+use mtvar_sim::workload::Workload;
+use mtvar_stats::sampling::live::{live_sample, LiveDesign};
+use mtvar_stats::sampling::ranked_set::{ranked_set_sample, RankedSetDesign};
+use mtvar_stats::sampling::srs::{position_sample, PositionDesign};
+use mtvar_stats::sampling::{Estimate, Measurement, PositionOracle, SamplingError};
+
+use crate::checkpoint::CheckpointStore;
+use crate::report::Table;
+use crate::runspace::{Executor, RunPlan};
+use crate::wcr::{wrong_conclusion_ratio, Superior};
+use crate::{CoreError, Result};
+
+/// Domain separator for proxy-probe perturbation seeds, so a ranked-set
+/// proxy run never shares a perturbation stream with a full measurement of
+/// the same position.
+const PROXY_SEED_SALT: u64 = 0x70D0_5EED_0000_A11B;
+
+/// The position frame a study samples from: `positions` starting points at
+/// warmup depths `spacing, 2·spacing, …, positions·spacing` transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SamplingFrame {
+    /// Number of sampling positions (the population size `N`).
+    pub positions: u64,
+    /// Warmup transactions between consecutive positions.
+    pub spacing: u64,
+}
+
+impl SamplingFrame {
+    /// A frame of `positions` starting points spaced `spacing` transactions.
+    pub fn new(positions: u64, spacing: u64) -> Self {
+        SamplingFrame { positions, spacing }
+    }
+
+    /// Warmup depth (cumulative transactions) of position `p`.
+    pub fn warmup_of(&self, position: u64) -> u64 {
+        (position + 1) * self.spacing
+    }
+
+    /// Total warmup span of the frame (depth of the deepest position).
+    pub fn span(&self) -> u64 {
+        self.positions * self.spacing
+    }
+}
+
+/// A sampling experiment on one machine configuration: the frame, the
+/// per-position measurement plan, and the executor that runs it.
+///
+/// Sits alongside [`TimeSampleStudy`](crate::timesample::TimeSampleStudy):
+/// where a §5.2 sweep measures *every* starting point, a `SamplingStudy`
+/// lets an estimator choose which positions to pay for. Construction
+/// attaches an in-memory [`CheckpointStore`] if the executor has none, so
+/// repeated estimates memoize warmed states across trials.
+pub struct SamplingStudy<W, F> {
+    executor: Executor,
+    config: MachineConfig,
+    make_workload: F,
+    frame: SamplingFrame,
+    measure_plan: RunPlan,
+    proxy_plan: RunPlan,
+    _workload: PhantomData<fn() -> W>,
+}
+
+impl<W, F> fmt::Debug for SamplingStudy<W, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SamplingStudy")
+            .field("frame", &self.frame)
+            .field("measure_plan", &self.measure_plan)
+            .field("proxy_plan", &self.proxy_plan)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W, F> SamplingStudy<W, F>
+where
+    W: Workload + Snap + Send,
+    F: Fn() -> W,
+{
+    /// Builds a study over `frame` on `config`, measuring each sampled
+    /// position with `plan.runs` perturbed runs of `plan.transactions`
+    /// transactions forked from the position's warmed snapshot.
+    ///
+    /// `plan.warmup_transactions` is ignored — warmup is the frame's job.
+    /// The ranked-set proxy defaults to a single run of
+    /// `max(1, plan.transactions / 8)` transactions; tune it with
+    /// [`SamplingStudy::with_proxy_transactions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidExperiment`] for an empty frame, zero
+    /// spacing, or a degenerate plan.
+    pub fn new(
+        executor: &Executor,
+        config: MachineConfig,
+        make_workload: F,
+        frame: SamplingFrame,
+        plan: &RunPlan,
+    ) -> Result<Self> {
+        if frame.positions < 2 {
+            return Err(CoreError::InvalidExperiment {
+                what: "a sampling frame needs at least two positions".into(),
+            });
+        }
+        if frame.spacing == 0 {
+            return Err(CoreError::InvalidExperiment {
+                what: "a sampling frame needs positive spacing".into(),
+            });
+        }
+        if plan.runs == 0 || plan.transactions == 0 {
+            return Err(CoreError::InvalidExperiment {
+                what: "a sampling plan needs runs >= 1 and transactions >= 1".into(),
+            });
+        }
+        let executor = if executor.checkpoint_store().is_some() {
+            executor.clone()
+        } else {
+            executor
+                .clone()
+                .with_checkpoint_store(Arc::new(CheckpointStore::new()))
+        };
+        let measure_plan = RunPlan::new(plan.transactions)
+            .with_runs(plan.runs)
+            .with_base_seed(plan.base_seed);
+        let proxy_plan = RunPlan::new((plan.transactions / 8).max(1))
+            .with_runs(1)
+            .with_base_seed(plan.base_seed ^ PROXY_SEED_SALT);
+        Ok(SamplingStudy {
+            executor,
+            config,
+            make_workload,
+            frame,
+            measure_plan,
+            proxy_plan,
+            _workload: PhantomData,
+        })
+    }
+
+    /// Sets the ranked-set proxy probe length (transactions of its single
+    /// run). Shorter probes make ranking cheaper and noisier.
+    #[must_use]
+    pub fn with_proxy_transactions(mut self, transactions: u64) -> Self {
+        self.proxy_plan.transactions = transactions.max(1);
+        self
+    }
+
+    /// The study's position frame.
+    pub fn frame(&self) -> SamplingFrame {
+        self.frame
+    }
+
+    /// A fresh oracle over this study. Each oracle starts its warmup
+    /// accounting from scratch, so one oracle's total cost is what the
+    /// estimate would have cost standalone — even when the shared store
+    /// makes repeated trials nearly free in wall-clock terms.
+    pub fn oracle(&self) -> StudyOracle<'_, W, F> {
+        StudyOracle {
+            study: self,
+            warmed: BTreeMap::new(),
+            violations: 0,
+        }
+    }
+
+    /// Runs `method` once with design seed `seed` and returns its report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidExperiment`] for an infeasible design
+    /// and propagates simulator/statistics errors.
+    pub fn estimate(&self, method: Method, seed: u64) -> Result<SampleReport> {
+        let mut oracle = self.oracle();
+        let population = self.frame.positions;
+        let (estimate, converged, rounds) = match method {
+            Method::Position { samples, strata } => {
+                let design = PositionDesign {
+                    population,
+                    samples,
+                    strata,
+                    seed,
+                    level: 0.95,
+                };
+                (
+                    position_sample(&design, &mut oracle).map_err(lift)?,
+                    None,
+                    None,
+                )
+            }
+            Method::RankedSet { set_size, cycles } => {
+                let design = RankedSetDesign {
+                    population,
+                    set_size,
+                    cycles,
+                    seed,
+                    level: 0.95,
+                };
+                (
+                    ranked_set_sample(&design, &mut oracle).map_err(lift)?,
+                    None,
+                    None,
+                )
+            }
+            Method::Live {
+                target_half_width,
+                max_samples,
+            } => {
+                let design = LiveDesign {
+                    population,
+                    initial: 4.min(max_samples).max(2),
+                    batch: 2,
+                    target_half_width,
+                    max_samples,
+                    seed,
+                    level: 0.95,
+                };
+                let out = live_sample(&design, &mut oracle).map_err(lift)?;
+                (out.estimate, Some(out.converged), Some(out.rounds))
+            }
+        };
+        Ok(SampleReport {
+            method,
+            estimate,
+            converged,
+            rounds,
+            violations: oracle.violations,
+        })
+    }
+
+    /// Full-run ground truth: a census of the frame (every position
+    /// measured, in depth order so warmup chains), returning per-position
+    /// values, their mean, and the total simulated-cycle cost — the
+    /// denominator of every estimator's cost ratio.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn ground_truth(&self) -> Result<GroundTruth> {
+        let mut oracle = self.oracle();
+        let mut values = Vec::with_capacity(self.frame.positions as usize);
+        let mut simulated = 0.0;
+        for p in 0..self.frame.positions {
+            let m = oracle.measure(p)?;
+            values.push(m.value);
+            simulated += m.cost;
+        }
+        Ok(GroundTruth {
+            values,
+            simulated,
+            violations: oracle.violations,
+        })
+    }
+}
+
+/// A [`PositionOracle`] over a [`SamplingStudy`]: position `p` warms to
+/// depth `(p+1)·spacing` (chaining from the deepest prefix this oracle has
+/// already warmed, with the store memoizing across oracles), forks the
+/// plan's perturbed runs from the snapshot, and reports their mean
+/// cycles-per-transaction.
+///
+/// The cost of a measurement is `newly-warmed cycles + measured run
+/// cycles`: warmup is charged incrementally against this oracle's own
+/// deepest prefix, so an estimator's total cost equals what it would have
+/// simulated running alone with a fresh store — cache hits from *other*
+/// oracles (e.g. an earlier ground-truth census) don't deflate it.
+pub struct StudyOracle<'a, W, F> {
+    study: &'a SamplingStudy<W, F>,
+    /// Warmup depth → (cycle count at that depth, snapshot).
+    warmed: BTreeMap<u64, (u64, Arc<Checkpoint>)>,
+    violations: u64,
+}
+
+impl<W, F> fmt::Debug for StudyOracle<'_, W, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StudyOracle")
+            .field("warmed_depths", &self.warmed.len())
+            .field("violations", &self.violations)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W, F> StudyOracle<'_, W, F>
+where
+    W: Workload + Snap + Send,
+    F: Fn() -> W,
+{
+    /// Invariant violations observed across every run this oracle has
+    /// launched (zero unless the executor monitors invariants).
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    fn eval(&mut self, position: u64, plan: &RunPlan) -> Result<Measurement> {
+        let s = self.study;
+        if position >= s.frame.positions {
+            return Err(CoreError::InvalidExperiment {
+                what: format!(
+                    "position {position} outside the {}-position frame",
+                    s.frame.positions
+                ),
+            });
+        }
+        let warmup = s.frame.warmup_of(position);
+        let snap = {
+            let from = self
+                .warmed
+                .range(..=warmup)
+                .next_back()
+                .map(|(w, (_, ck))| (*w, ck.as_ref()));
+            s.executor.warm_checkpoint(
+                &s.config,
+                &s.make_workload,
+                s.measure_plan.base_seed,
+                warmup,
+                from,
+            )?
+        };
+        let space =
+            s.executor
+                .run_space_from_snapshot::<W>(&snap, s.config.perturbation_max_ns, plan)?;
+        self.violations += space.total_violations();
+        let results = space.results();
+        let warm_end = results[0].start_cycle;
+        let charged_warmup = match self.warmed.range(..=warmup).next_back() {
+            Some((&w, _)) if w == warmup => 0,
+            Some((_, &(cycle, _))) => warm_end.saturating_sub(cycle),
+            None => warm_end,
+        };
+        self.warmed
+            .entry(warmup)
+            .or_insert_with(|| (warm_end, Arc::clone(&snap)));
+        let measured: u64 = results.iter().map(|r| r.elapsed()).sum();
+        let value = results
+            .iter()
+            .map(|r| r.cycles_per_transaction())
+            .sum::<f64>()
+            / results.len() as f64;
+        Ok(Measurement::new(value, (charged_warmup + measured) as f64))
+    }
+}
+
+impl<W, F> PositionOracle for StudyOracle<'_, W, F>
+where
+    W: Workload + Snap + Send,
+    F: Fn() -> W,
+{
+    type Error = CoreError;
+
+    fn measure(&mut self, position: u64) -> std::result::Result<Measurement, CoreError> {
+        let plan = self.study.measure_plan;
+        self.eval(position, &plan)
+    }
+
+    fn proxy(&mut self, position: u64) -> std::result::Result<Measurement, CoreError> {
+        let plan = self.study.proxy_plan;
+        self.eval(position, &plan)
+    }
+}
+
+fn lift(e: SamplingError<CoreError>) -> CoreError {
+    match e {
+        SamplingError::Design { what } => CoreError::InvalidExperiment { what },
+        SamplingError::Stats(s) => CoreError::Stats(s),
+        SamplingError::Oracle(c) => c,
+        _ => CoreError::InvalidExperiment {
+            what: "sampling estimator failed".into(),
+        },
+    }
+}
+
+/// An estimator selection with its knobs — the unit [`evaluate`] scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Method {
+    /// Simple-random (`strata == 1`) or stratified position sampling.
+    Position {
+        /// Positions measured.
+        samples: usize,
+        /// Contiguous equal-width strata (`1` = SRS).
+        strata: usize,
+    },
+    /// Ranked-set sampling: `set_size · cycles` measurements guided by
+    /// `set_size² · cycles` cheap proxy probes.
+    RankedSet {
+        /// Candidates ranked per set (and measurements per cycle).
+        set_size: usize,
+        /// Full rank rotations.
+        cycles: usize,
+    },
+    /// Live sampling: extend measurement until the CI half-width is within
+    /// `target_half_width · |mean|` or `max_samples` is hit.
+    Live {
+        /// Relative CI half-width target (e.g. `0.02` for ±2%).
+        target_half_width: f64,
+        /// Hard ceiling on measurements.
+        max_samples: usize,
+    },
+}
+
+impl Method {
+    /// Short stable name for tables and JSON records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Position { strata: 1, .. } => "srs",
+            Method::Position { .. } => "stratified",
+            Method::RankedSet { .. } => "ranked-set",
+            Method::Live { .. } => "live",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One estimator invocation: the estimate plus run-level context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleReport {
+    /// The method that produced the estimate.
+    pub method: Method,
+    /// Point estimate, CI, and simulated-cycle cost.
+    pub estimate: Estimate,
+    /// Live sampling only: whether the precision target was met.
+    pub converged: Option<bool>,
+    /// Live sampling only: extension rounds taken.
+    pub rounds: Option<usize>,
+    /// Invariant violations observed across the estimate's runs.
+    pub violations: u64,
+}
+
+/// Full-run ground truth for one study: the census of every frame position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruth {
+    values: Vec<f64>,
+    simulated: f64,
+    violations: u64,
+}
+
+impl GroundTruth {
+    /// The population mean — what every estimator is trying to hit.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Per-position mean cycles-per-transaction, in frame order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Total simulated cycles of the census (warmup + every measurement).
+    pub fn simulated_cycles(&self) -> f64 {
+        self.simulated
+    }
+
+    /// Invariant violations observed during the census.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+}
+
+/// How one [`Method`] scored across the evaluation's trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodScore {
+    /// The method scored.
+    pub method: Method,
+    /// Trials run (per configuration side).
+    pub trials: usize,
+    /// Percentage of trial CIs (both sides pooled) containing their side's
+    /// ground-truth mean. Nominal is the design level (95%).
+    pub coverage_percent: f64,
+    /// Wrong-conclusion ratio of trial point-estimate pairs versus the
+    /// *true* direction: the probability that comparing one base-side
+    /// estimate against one alternative-side estimate ranks the
+    /// configurations the wrong way round.
+    pub wcr_percent: f64,
+    /// Mean absolute point-estimate error, percent of the true mean
+    /// (pooled over both sides).
+    pub mean_abs_error_percent: f64,
+    /// Mean simulated-cycle cost, percent of the full-run census cost
+    /// (pooled over both sides).
+    pub mean_cost_percent: f64,
+    /// Base-side trial point estimates, in trial order.
+    pub points_base: Vec<f64>,
+    /// Alternative-side trial point estimates, in trial order.
+    pub points_alt: Vec<f64>,
+}
+
+/// The output of [`evaluate`]: ground truths plus one score per method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Census of the base configuration's frame.
+    pub truth_base: GroundTruth,
+    /// Census of the alternative configuration's frame.
+    pub truth_alt: GroundTruth,
+    /// Scores, in the order the methods were given.
+    pub scores: Vec<MethodScore>,
+}
+
+impl Evaluation {
+    /// Renders the accuracy-vs-cost comparison as a [`Table`].
+    pub fn table(&self) -> Table {
+        let mut t = Table::new("Sampling estimators vs full-run ground truth");
+        t.set_headers(vec![
+            "Estimator",
+            "Trials",
+            "CI coverage (%)",
+            "WCR vs truth (%)",
+            "|error| (%)",
+            "Cost (% of full run)",
+        ]);
+        for s in &self.scores {
+            t.add_row(vec![
+                s.method.name().to_owned(),
+                s.trials.to_string(),
+                format!("{:.1}", s.coverage_percent),
+                format!("{:.1}", s.wcr_percent),
+                format!("{:.2}", s.mean_abs_error_percent),
+                format!("{:.1}", s.mean_cost_percent),
+            ]);
+        }
+        t
+    }
+}
+
+/// Derives decorrelated per-trial design seeds (splitmix-style).
+fn trial_seed(base: u64, trial: usize) -> u64 {
+    let mut z = base ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Scores `methods` on a comparison experiment: `base` versus `alt` are two
+/// studies of the *same frame shape* on different machine configurations
+/// (the §4.1 setting — e.g. two L2 associativities). For each method and
+/// each of `trials` design seeds, both sides are estimated; the scores
+/// aggregate CI coverage against each side's census mean, the
+/// wrong-conclusion ratio of cross-side point-estimate pairs versus the
+/// true direction, absolute error, and cost.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidExperiment`] if `trials == 0`, `methods` is
+/// empty, or the two ground truths tie exactly (no true direction exists);
+/// propagates simulator and statistics errors.
+pub fn evaluate<W, F>(
+    base: &SamplingStudy<W, F>,
+    alt: &SamplingStudy<W, F>,
+    methods: &[Method],
+    trials: usize,
+    seed: u64,
+) -> Result<Evaluation>
+where
+    W: Workload + Snap + Send,
+    F: Fn() -> W,
+{
+    if trials == 0 {
+        return Err(CoreError::InvalidExperiment {
+            what: "evaluation needs at least one trial".into(),
+        });
+    }
+    if methods.is_empty() {
+        return Err(CoreError::InvalidExperiment {
+            what: "evaluation needs at least one method".into(),
+        });
+    }
+    let truth_base = base.ground_truth()?;
+    let truth_alt = alt.ground_truth()?;
+    let (tb, ta) = (truth_base.mean(), truth_alt.mean());
+    if tb == ta {
+        return Err(CoreError::InvalidExperiment {
+            what: "ground truths tie exactly; no true direction to score WCR against".into(),
+        });
+    }
+    let truth_superior = if tb < ta {
+        Superior::First
+    } else {
+        Superior::Second
+    };
+
+    let mut scores = Vec::with_capacity(methods.len());
+    for &method in methods {
+        let mut points_base = Vec::with_capacity(trials);
+        let mut points_alt = Vec::with_capacity(trials);
+        let mut covered = 0usize;
+        let mut abs_err = 0.0;
+        let mut cost = 0.0;
+        for t in 0..trials {
+            let s = trial_seed(seed, t);
+            let rb = base.estimate(method, s)?;
+            let ra = alt.estimate(method, s ^ 0x05EE_DA17)?;
+            covered += usize::from(rb.estimate.ci().contains(tb))
+                + usize::from(ra.estimate.ci().contains(ta));
+            abs_err += (rb.estimate.point() - tb).abs() / tb.abs()
+                + (ra.estimate.point() - ta).abs() / ta.abs();
+            cost += rb.estimate.cost().simulated / truth_base.simulated_cycles()
+                + ra.estimate.cost().simulated / truth_alt.simulated_cycles();
+            points_base.push(rb.estimate.point());
+            points_alt.push(ra.estimate.point());
+        }
+        let wcr_percent = match wrong_conclusion_ratio(&points_base, &points_alt) {
+            Ok(w) => {
+                if w.superior == truth_superior {
+                    w.wcr_percent
+                } else {
+                    100.0 - w.wcr_percent
+                }
+            }
+            // Trial means tied exactly: the estimator gives no direction at
+            // all, which is a coin flip against the truth.
+            Err(CoreError::InvalidExperiment { .. }) => 50.0,
+            Err(e) => return Err(e),
+        };
+        scores.push(MethodScore {
+            method,
+            trials,
+            coverage_percent: 100.0 * covered as f64 / (2 * trials) as f64,
+            wcr_percent,
+            mean_abs_error_percent: 100.0 * abs_err / (2 * trials) as f64,
+            mean_cost_percent: 100.0 * cost / (2 * trials) as f64,
+            points_base,
+            points_alt,
+        });
+    }
+    Ok(Evaluation {
+        truth_base,
+        truth_alt,
+        scores,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtvar_sim::workload::SharingWorkload;
+
+    fn small_study(dram_ns: u64) -> SamplingStudy<SharingWorkload, impl Fn() -> SharingWorkload> {
+        let cfg = MachineConfig::hpca2003()
+            .with_cpus(2)
+            .with_dram_latency_ns(dram_ns)
+            .with_perturbation(4, 0);
+        SamplingStudy::new(
+            &Executor::sequential(),
+            cfg,
+            || SharingWorkload::new(4, 3, 30, 2048, 8),
+            SamplingFrame::new(6, 5),
+            &RunPlan::new(10).with_runs(2),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn frame_geometry() {
+        let f = SamplingFrame::new(10, 25);
+        assert_eq!(f.warmup_of(0), 25);
+        assert_eq!(f.warmup_of(9), 250);
+        assert_eq!(f.span(), 250);
+    }
+
+    #[test]
+    fn oracle_measures_deterministically_and_charges_warmup_once() {
+        let study = small_study(80);
+        let mut oracle = study.oracle();
+        let a = oracle.measure(3).unwrap();
+        let b = oracle.measure(3).unwrap();
+        assert_eq!(a.value, b.value, "same position, same value");
+        assert!(
+            b.cost < a.cost,
+            "second visit must not re-pay warmup: {} vs {}",
+            b.cost,
+            a.cost
+        );
+        // A shallower position after a deeper one re-pays its own warmup
+        // (standalone accounting), but the value is position-intrinsic.
+        let mut fresh = study.oracle();
+        let c = fresh.measure(3).unwrap();
+        assert_eq!(a, c, "fresh oracle reproduces measurement and cost");
+    }
+
+    #[test]
+    fn warmup_charging_is_incremental_in_depth_order() {
+        let study = small_study(80);
+        let mut oracle = study.oracle();
+        let shallow = oracle.measure(0).unwrap();
+        let deep = oracle.measure(5).unwrap();
+        let mut alone = study.oracle();
+        let deep_alone = alone.measure(5).unwrap();
+        assert_eq!(deep.value, deep_alone.value);
+        assert!(
+            deep.cost < deep_alone.cost,
+            "chained deep warmup must charge only the extension"
+        );
+        assert!(shallow.cost > 0.0);
+    }
+
+    #[test]
+    fn out_of_frame_position_is_rejected() {
+        let study = small_study(80);
+        let mut oracle = study.oracle();
+        assert!(matches!(
+            oracle.measure(6),
+            Err(CoreError::InvalidExperiment { .. })
+        ));
+    }
+
+    #[test]
+    fn all_methods_estimate_within_frame() {
+        let study = small_study(80);
+        for method in [
+            Method::Position {
+                samples: 4,
+                strata: 1,
+            },
+            Method::Position {
+                samples: 4,
+                strata: 2,
+            },
+            Method::RankedSet {
+                set_size: 2,
+                cycles: 2,
+            },
+            Method::Live {
+                target_half_width: 0.5,
+                max_samples: 6,
+            },
+        ] {
+            let r = study.estimate(method, 11).unwrap();
+            assert!(r.estimate.point().is_finite(), "{method}");
+            assert!(r.estimate.cost().simulated > 0.0, "{method}");
+            assert!(
+                r.estimate.ci().lower() <= r.estimate.ci().upper(),
+                "{method}"
+            );
+            let again = study.estimate(method, 11).unwrap();
+            assert_eq!(r, again, "{method} must be reproducible per seed");
+        }
+    }
+
+    #[test]
+    fn ground_truth_census_covers_frame_and_costs_more_than_samples() {
+        let study = small_study(80);
+        let truth = study.ground_truth().unwrap();
+        assert_eq!(truth.values().len(), 6);
+        assert!(truth.mean().is_finite());
+        let est = study
+            .estimate(
+                Method::Position {
+                    samples: 2,
+                    strata: 1,
+                },
+                3,
+            )
+            .unwrap();
+        assert!(est.estimate.cost().simulated < truth.simulated_cycles());
+    }
+
+    #[test]
+    fn study_validation() {
+        let cfg = MachineConfig::hpca2003().with_cpus(2);
+        let wl = || SharingWorkload::new(4, 3, 30, 2048, 8);
+        let ex = Executor::sequential();
+        let plan = RunPlan::new(10).with_runs(2);
+        assert!(SamplingStudy::new(&ex, cfg.clone(), wl, SamplingFrame::new(1, 5), &plan).is_err());
+        assert!(SamplingStudy::new(&ex, cfg.clone(), wl, SamplingFrame::new(4, 0), &plan).is_err());
+        assert!(SamplingStudy::new(
+            &ex,
+            cfg,
+            wl,
+            SamplingFrame::new(4, 5),
+            &RunPlan::new(10).with_runs(0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn evaluation_scores_methods_and_renders_table() {
+        let base = small_study(60);
+        let alt = small_study(200); // slower memory: clear true direction
+        let methods = [
+            Method::Position {
+                samples: 4,
+                strata: 1,
+            },
+            Method::Live {
+                target_half_width: 0.5,
+                max_samples: 6,
+            },
+        ];
+        let eval = evaluate(&base, &alt, &methods, 2, 42).unwrap();
+        assert_eq!(eval.scores.len(), 2);
+        for s in &eval.scores {
+            assert_eq!(s.trials, 2);
+            assert!((0.0..=100.0).contains(&s.coverage_percent));
+            assert!((0.0..=100.0).contains(&s.wcr_percent));
+            assert!(s.mean_cost_percent > 0.0);
+            assert_eq!(s.points_base.len(), 2);
+        }
+        let table = eval.table();
+        assert_eq!(table.row_count(), 2);
+        assert!(table.to_string().contains("srs"));
+
+        assert!(evaluate(&base, &alt, &methods, 0, 1).is_err());
+        assert!(evaluate(&base, &alt, &[], 1, 1).is_err());
+    }
+}

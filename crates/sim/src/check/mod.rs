@@ -520,7 +520,7 @@ crate::impl_snap!(Violation {
 });
 /// Hand-written [`Snap`](crate::checkpoint::Snap): encodes exactly the six
 /// semantic fields the derived implementation always encoded, in the same
-/// order. The [`Scratch`] working set is per-call memory with no meaning
+/// order. The `Scratch` working set is per-call memory with no meaning
 /// across calls, so it stays out of the byte stream — checkpoint encodings
 /// are unchanged — and a restored monitor simply starts with empty scratch.
 impl crate::checkpoint::Snap for InvariantMonitor {

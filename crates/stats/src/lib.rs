@@ -12,6 +12,10 @@
 //! * [`infer`] — confidence intervals for means, two-sample t-tests (pooled
 //!   and Welch), one-way ANOVA, and the paper's sample-size estimate
 //!   `n = (t·S / (r·Ȳ))²`.
+//! * [`sampling`] — sampling methodologies as first-class estimators:
+//!   simple-random/stratified position sampling, ranked-set sampling, and
+//!   live (adaptive) sampling, each returning a point estimate, a CI, and
+//!   its simulated-cycle cost.
 //!
 //! # Example
 //!
@@ -36,6 +40,7 @@
 pub mod describe;
 pub mod dist;
 pub mod infer;
+pub mod sampling;
 pub mod special;
 
 mod error;

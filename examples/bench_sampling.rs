@@ -1,0 +1,167 @@
+//! Benchmark the sampling estimators against full-run ground truth on the
+//! 16-CPU OLTP workload and write the accuracy-vs-cost record to
+//! `BENCH_sampling.json`.
+//!
+//! ```text
+//! cargo run --release --example bench_sampling
+//! ```
+//!
+//! Two experiments share one checkpoint substrate:
+//!
+//! 1. **Headline accuracy/cost**: a 40-position frame through the OLTP
+//!    warmup timeline is censused for ground truth, then each estimator
+//!    (SRS, stratified, ranked-set, live) estimates the frame mean from a
+//!    fraction of the positions. The record asserts that every estimator's
+//!    95% CI contains the full-run mean at ≤ 25% of the full run's
+//!    simulated cycles.
+//! 2. **Methodology evaluation**: the same frame on a second configuration
+//!    (slower DRAM) gives a comparison experiment with a known true
+//!    direction; `evaluate` scores each estimator's empirical CI coverage,
+//!    wrong-conclusion ratio versus that truth, absolute error, and cost
+//!    over several design-seed trials.
+
+use mtvar_core::runspace::{Executor, RunPlan};
+use mtvar_core::sampling::{evaluate, Method, SamplingFrame, SamplingStudy};
+use mtvar_sim::config::MachineConfig;
+use mtvar_workloads::Benchmark;
+
+/// Frame: 40 starting points, 25 warmup transactions apart (1,000-txn span).
+const POSITIONS: u64 = 40;
+const SPACING: u64 = 25;
+/// Per measured position: 3 perturbed runs of 250 transactions.
+const RUNS: usize = 3;
+const TXNS: u64 = 250;
+/// Design seed of the headline estimates and base of the trial seeds.
+const SEED: u64 = 2003;
+/// Evaluation trials per estimator per side.
+const TRIALS: usize = 3;
+
+const METHODS: [Method; 4] = [
+    Method::Position {
+        samples: 6,
+        strata: 1,
+    },
+    Method::Position {
+        samples: 6,
+        strata: 3,
+    },
+    Method::RankedSet {
+        set_size: 2,
+        cycles: 2,
+    },
+    Method::Live {
+        target_half_width: 0.03,
+        max_samples: 6,
+    },
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let executor = Executor::new();
+    let plan = RunPlan::new(TXNS).with_runs(RUNS);
+    let frame = SamplingFrame::new(POSITIONS, SPACING);
+    let make_study = |cfg: MachineConfig| {
+        SamplingStudy::new(
+            &executor,
+            cfg.with_perturbation(4, 0),
+            || Benchmark::Oltp.workload(16, 42),
+            frame,
+            &plan,
+        )
+    };
+    let base = make_study(MachineConfig::hpca2003())?;
+    let alt = make_study(MachineConfig::hpca2003().with_dram_latency_ns(150))?;
+
+    println!(
+        "censusing the {POSITIONS}-position OLTP frame for ground truth \
+         ({} warmup + {} measured transactions)...",
+        frame.span(),
+        POSITIONS * RUNS as u64 * TXNS
+    );
+    let truth = base.ground_truth()?;
+    println!(
+        "  full-run mean {:.1} cycles/txn over {} positions, {:.3e} simulated cycles\n",
+        truth.mean(),
+        truth.values().len(),
+        truth.simulated_cycles()
+    );
+
+    // Headline: each estimator vs the full run, on the base configuration.
+    let mut rows = String::new();
+    println!(
+        "  {:<11} {:>9}  {:>23}  {:>6}  {:>7}  {:>6}",
+        "estimator", "estimate", "95% CI", "n", "probes", "cost%"
+    );
+    for method in METHODS {
+        let r = base.estimate(method, SEED)?;
+        let e = &r.estimate;
+        let cost_pct = 100.0 * e.cost().simulated / truth.simulated_cycles();
+        let contains = e.ci().contains(truth.mean());
+        println!(
+            "  {:<11} {:>9.1}  [{:>9.1}, {:>9.1}]  {:>6}  {:>7}  {:>5.1}%",
+            method.name(),
+            e.point(),
+            e.ci().lower(),
+            e.ci().upper(),
+            e.cost().measurements,
+            e.cost().proxy_probes,
+            cost_pct
+        );
+        assert!(
+            contains,
+            "{method}: 95% CI [{:.1}, {:.1}] must contain the full-run mean {:.1}",
+            e.ci().lower(),
+            e.ci().upper(),
+            truth.mean()
+        );
+        assert!(
+            cost_pct <= 25.0,
+            "{method}: cost {cost_pct:.1}% exceeds 25% of the full run"
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"point\": {:.4}, \"ci_lower\": {:.4}, \"ci_upper\": {:.4}, \"contains_truth\": {}, \"measurements\": {}, \"proxy_probes\": {}, \"simulated_cycles\": {:.0}, \"cost_percent_of_full_run\": {:.2} }}",
+            method.name(),
+            e.point(),
+            e.ci().lower(),
+            e.ci().upper(),
+            contains,
+            e.cost().measurements,
+            e.cost().proxy_probes,
+            e.cost().simulated,
+            cost_pct
+        ));
+    }
+
+    // Evaluation: base vs slower-DRAM alternative, TRIALS seeds per method.
+    println!("\nscoring estimators on the base-vs-slow-DRAM comparison ({TRIALS} trials)...\n");
+    let eval = evaluate(&base, &alt, &METHODS, TRIALS, SEED)?;
+    println!("{}", eval.table());
+
+    let mut score_rows = String::new();
+    for s in &eval.scores {
+        if !score_rows.is_empty() {
+            score_rows.push_str(",\n");
+        }
+        score_rows.push_str(&format!(
+            "      {{ \"name\": \"{}\", \"coverage_percent\": {:.1}, \"wcr_percent\": {:.1}, \"mean_abs_error_percent\": {:.3}, \"mean_cost_percent\": {:.2} }}",
+            s.method.name(),
+            s.coverage_percent,
+            s.wcr_percent,
+            s.mean_abs_error_percent,
+            s.mean_cost_percent
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"OLTP, 16 CPUs, hpca2003 machine, perturbation 4ns\",\n  \"frame\": {{ \"positions\": {POSITIONS}, \"spacing_txns\": {SPACING}, \"runs_per_position\": {RUNS}, \"transactions_per_run\": {TXNS} }},\n  \"ground_truth\": {{ \"mean_cycles_per_txn\": {:.4}, \"simulated_cycles\": {:.0} }},\n  \"estimators\": [\n{rows}\n  ],\n  \"evaluation\": {{\n    \"comparison\": \"base vs dram 150ns\",\n    \"trials\": {TRIALS},\n    \"truth_base_mean\": {:.4},\n    \"truth_alt_mean\": {:.4},\n    \"scores\": [\n{score_rows}\n    ]\n  }}\n}}\n",
+        truth.mean(),
+        truth.simulated_cycles(),
+        eval.truth_base.mean(),
+        eval.truth_alt.mean(),
+    );
+    std::fs::write("BENCH_sampling.json", &json)?;
+    println!("wrote BENCH_sampling.json");
+    Ok(())
+}

@@ -40,6 +40,12 @@ cargo test -q --offline --features invariant-monitor --test checkpoint_identity
 echo "==> statistical self-validation"
 cargo test -q --offline -p mtvar-stats --test selfcheck
 
+echo "==> sampling estimators: CI coverage self-validation"
+cargo test -q --offline -p mtvar-stats --test sampling_selfcheck
+
+echo "==> sampling estimators: fast accuracy/cost gate vs full-run truth"
+cargo test -q --offline --test sampling_eval
+
 # Kernel-parity gate: the optimized event queue and snoop filter must
 # reproduce every golden digest and checkpoint fingerprint in release mode,
 # where the filter's debug differential against full broadcast is compiled
@@ -65,5 +71,8 @@ cargo fmt --all --check
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo doc --no-deps (rustdoc must be warning-free)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline --quiet
 
 echo "==> verify OK"
