@@ -196,6 +196,18 @@ impl MachineConfig {
         self
     }
 
+    /// Switches the coherence transport from the snooping bus to per-region
+    /// home-node directories (see [`Directory`](crate::mem::Directory)),
+    /// keeping the protocol state machine (MOSI/MESI/MOESI) as configured —
+    /// the organization that scales the machine past the paper's 16 CPUs.
+    /// The resulting configuration is fingerprint-distinct from every
+    /// snooping configuration, so golden keys and checkpoint-cache keys
+    /// never collide across transports.
+    pub fn with_directory_coherence(mut self) -> Self {
+        self.memory.protocol = self.memory.protocol.directory();
+        self
+    }
+
     /// Enables the Figure-1 scheduling-event log.
     pub fn with_sched_log(mut self) -> Self {
         self.record_sched_events = true;

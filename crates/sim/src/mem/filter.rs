@@ -8,9 +8,9 @@
 //!
 //! [`SnoopFilter`] keeps a conservative residency summary: block addresses
 //! hash into [`REGIONS`] regions, and for every region the filter maintains
-//! a per-node count of resident L2 blocks plus a 16-bit presence vector
-//! (bit *i* set while node *i* holds at least one block in the region). A
-//! miss then consults only the nodes whose presence bit is set.
+//! a per-node count of resident L2 blocks plus a presence bitset (bit *i*
+//! set while node *i* holds at least one block in the region). A miss then
+//! consults only the nodes whose presence bit is set.
 //!
 //! The summary is **conservative and exact in the direction that matters**:
 //! a set bit may be stale coverage from a different block in the same
@@ -27,9 +27,12 @@
 //! snapshot bytes — checkpoint encodings and fingerprints are unchanged
 //! from the broadcast implementation.
 //!
-//! The presence vector is a `u16`, so filtering engages only on machines
-//! with at most 16 nodes (the paper's target size); larger configurations
-//! fall back to the full broadcast scan transparently.
+//! The presence vector is a `u64`-word bitset ([`SnoopFilter::candidates`] returns
+//! one word per 64 nodes), so filtering works at any machine size; a
+//! 128-node configuration pays two words per region instead of losing the
+//! filter. Directory-coherence configurations replace the filter with the
+//! exact per-block [`Directory`](super::Directory) and construct it
+//! [`disabled`](SnoopFilter::disabled).
 
 use crate::ids::BlockAddr;
 
@@ -38,10 +41,6 @@ use crate::ids::BlockAddr;
 /// bit set — and filter nothing; 65,536 regions keep private-data regions
 /// mapped to their single user with high probability.
 pub const REGIONS: usize = 65_536;
-
-/// Largest node count the `u16` presence vector can summarize; bigger
-/// machines use the unfiltered broadcast path.
-pub const MAX_FILTERED_CPUS: usize = 16;
 
 /// Maps a block address to its region. Block addresses are structured (the
 /// workloads carve them from a handful of widely spaced bases), so a plain
@@ -52,54 +51,78 @@ pub fn region_of(addr: BlockAddr) -> usize {
     (addr.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize
 }
 
+/// Number of `u64` words a presence bitset over `cpus` nodes needs.
+#[inline]
+pub(crate) fn words_for(cpus: usize) -> usize {
+    cpus.div_ceil(64)
+}
+
 /// Conservative per-region summary of which nodes' L2 caches may hold a
 /// block; see the module docs for the contract.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SnoopFilter {
-    /// Presence vector per region: bit `i` set iff `counts` for node `i` in
-    /// the region is nonzero. Empty when the filter is disabled.
-    masks: Vec<u16>,
+    /// Presence bitsets, `REGIONS × words` row-major by region: bit `i` of a
+    /// region's word group is set iff `counts` for node `i` in the region is
+    /// nonzero. Empty when the filter is disabled.
+    bits: Vec<u64>,
     /// Resident-block counts, `REGIONS × cpus`, row-major by region. A
     /// count needs 32 bits: one region can in principle absorb an entire
     /// 65,536-block L2.
     counts: Vec<u32>,
-    /// Node count; 0 marks the filter disabled (> [`MAX_FILTERED_CPUS`]).
+    /// Node count; 0 marks the filter disabled (directory configurations).
     cpus: usize,
+    /// `u64` words per region: `ceil(cpus / 64)`.
+    words: usize,
 }
 
 impl SnoopFilter {
     /// Creates the filter for a machine with `cpus` nodes (all caches
-    /// empty). Machines with more than [`MAX_FILTERED_CPUS`] nodes get a
-    /// disabled filter that records nothing.
+    /// empty). Works at any node count; the presence bitset grows by one
+    /// `u64` word per region per 64 nodes.
     pub fn new(cpus: usize) -> Self {
-        if cpus > MAX_FILTERED_CPUS {
-            return SnoopFilter {
-                masks: Vec::new(),
-                counts: Vec::new(),
-                cpus: 0,
-            };
-        }
+        let words = words_for(cpus);
         SnoopFilter {
-            masks: vec![0; REGIONS],
+            bits: vec![0; REGIONS * words],
             counts: vec![0; REGIONS * cpus],
             cpus,
+            words,
         }
     }
 
-    /// Whether the filter is tracking residency (node count within the
-    /// presence vector's reach).
+    /// A permanently disabled filter that records nothing — the placeholder
+    /// used by directory-coherence memory systems, which track residency in
+    /// the exact [`Directory`](super::Directory) instead.
+    pub fn disabled() -> Self {
+        SnoopFilter {
+            bits: Vec::new(),
+            counts: Vec::new(),
+            cpus: 0,
+            words: 0,
+        }
+    }
+
+    /// Whether the filter is tracking residency (always true for filters
+    /// built with [`Self::new`]; false only for [`Self::disabled`]).
     #[inline]
     pub fn enabled(&self) -> bool {
         self.cpus != 0
     }
 
-    /// The presence vector for `addr`'s region: only nodes with their bit
+    /// The presence bitset for `addr`'s region, one `u64` word per 64 nodes
+    /// (bit `i` of word `i / 64` covers node `i`): only nodes with their bit
     /// set can hold the block. Meaningless (always call [`Self::enabled`]
     /// first) on a disabled filter.
     #[inline]
-    pub fn candidates(&self, addr: BlockAddr) -> u16 {
+    pub fn candidates(&self, addr: BlockAddr) -> &[u64] {
         debug_assert!(self.enabled());
-        self.masks[region_of(addr)]
+        let r = region_of(addr);
+        &self.bits[r * self.words..(r + 1) * self.words]
+    }
+
+    /// Whether node `cpu`'s presence bit is set for `addr`'s region.
+    #[inline]
+    pub fn may_hold(&self, cpu: usize, addr: BlockAddr) -> bool {
+        self.candidates(addr)[cpu / 64] & (1u64 << (cpu % 64)) != 0
     }
 
     /// Records that node `cpu`'s L2 gained a block it did not hold before.
@@ -112,7 +135,7 @@ impl SnoopFilter {
         let c = &mut self.counts[r * self.cpus + cpu];
         *c += 1;
         if *c == 1 {
-            self.masks[r] |= 1u16 << cpu;
+            self.bits[r * self.words + cpu / 64] |= 1u64 << (cpu % 64);
         }
     }
 
@@ -128,7 +151,7 @@ impl SnoopFilter {
         debug_assert!(*c > 0, "evicting from an empty region summary");
         *c -= 1;
         if *c == 0 {
-            self.masks[r] &= !(1u16 << cpu);
+            self.bits[r * self.words + cpu / 64] &= !(1u64 << (cpu % 64));
         }
     }
 }
@@ -137,19 +160,29 @@ impl SnoopFilter {
 mod tests {
     use super::*;
 
+    /// Collects the candidate set as a mask over the first 128 nodes, for
+    /// compact assertions.
+    fn mask(f: &SnoopFilter, addr: BlockAddr) -> u128 {
+        let mut m = 0u128;
+        for (w, &bits) in f.candidates(addr).iter().enumerate() {
+            m |= u128::from(bits) << (64 * w);
+        }
+        m
+    }
+
     #[test]
     fn fill_sets_and_evict_clears_presence() {
         let mut f = SnoopFilter::new(4);
         let a = BlockAddr(0x1234);
-        assert_eq!(f.candidates(a), 0);
+        assert_eq!(mask(&f, a), 0);
         f.note_fill(2, a);
-        assert_eq!(f.candidates(a), 0b0100);
+        assert_eq!(mask(&f, a), 0b0100);
         f.note_fill(0, a);
-        assert_eq!(f.candidates(a), 0b0101);
+        assert_eq!(mask(&f, a), 0b0101);
         f.note_evict(2, a);
-        assert_eq!(f.candidates(a), 0b0001);
+        assert_eq!(mask(&f, a), 0b0001);
         f.note_evict(0, a);
-        assert_eq!(f.candidates(a), 0);
+        assert_eq!(mask(&f, a), 0);
     }
 
     #[test]
@@ -162,19 +195,44 @@ mod tests {
         f.note_fill(1, a);
         f.note_fill(1, a);
         f.note_evict(1, a);
-        assert_eq!(f.candidates(a), 0b10, "one resident block remains");
+        assert_eq!(mask(&f, a), 0b10, "one resident block remains");
         f.note_evict(1, a);
-        assert_eq!(f.candidates(a), 0);
+        assert_eq!(mask(&f, a), 0);
     }
 
     #[test]
-    fn disabled_beyond_sixteen_cpus() {
+    fn wide_machines_use_multiple_words() {
+        let mut f = SnoopFilter::new(128);
+        assert!(f.enabled());
+        let a = BlockAddr(0xF00D);
+        assert_eq!(f.candidates(a).len(), 2);
+        f.note_fill(0, a);
+        f.note_fill(63, a);
+        f.note_fill(64, a);
+        f.note_fill(127, a);
+        assert_eq!(mask(&f, a), (1 << 0) | (1 << 63) | (1 << 64) | (1 << 127));
+        assert!(f.may_hold(64, a) && f.may_hold(127, a));
+        f.note_evict(64, a);
+        assert!(!f.may_hold(64, a));
+        assert_eq!(mask(&f, a), (1 << 0) | (1 << 63) | (1 << 127));
+    }
+
+    #[test]
+    fn odd_node_counts_round_words_up() {
         let f = SnoopFilter::new(17);
+        assert!(f.enabled());
+        assert_eq!(f.candidates(BlockAddr(1)).len(), 1);
+        let f = SnoopFilter::new(65);
+        assert_eq!(f.candidates(BlockAddr(1)).len(), 2);
+    }
+
+    #[test]
+    fn disabled_filter_records_nothing() {
+        let mut f = SnoopFilter::disabled();
         assert!(!f.enabled());
-        let mut f = f;
         f.note_fill(3, BlockAddr(1)); // must not panic or record
+        f.note_evict(3, BlockAddr(1));
         assert!(!f.enabled());
-        assert!(SnoopFilter::new(16).enabled());
     }
 
     #[test]

@@ -1,13 +1,16 @@
-//! The memory hierarchy: cache arrays, MOSI snooping coherence, interconnect
-//! and DRAM timing, plus the §3.3 perturbation hook.
+//! The memory hierarchy: cache arrays, MOSI/MESI/MOESI coherence over a
+//! snooping bus or a home-node directory, interconnect and DRAM timing,
+//! plus the §3.3 perturbation hook.
 
 mod cache;
+pub mod directory;
 pub mod filter;
 mod system;
 
 pub use cache::{CacheArray, CacheConfig, CoherenceState, Eviction};
+pub use directory::{home_of, Directory};
 pub use filter::SnoopFilter;
 pub use system::{
     AccessOutcome, AccessSource, CoherenceProtocol, MemStats, MemoryConfig, MemorySystem,
-    Perturbation,
+    Perturbation, ProbeStats,
 };

@@ -1,23 +1,34 @@
 //! The coherent memory system: per-node L1 I/D and L2 caches, a snooping
-//! MOSI protocol over a shared interconnect, DRAM, and the paper's §3.3
-//! timing-perturbation hook.
+//! MOSI protocol over a shared interconnect (or a directory organization on
+//! large machines), DRAM, and the paper's §3.3 timing-perturbation hook.
 //!
 //! Latencies follow §3.2.1 of the paper: with a 50 ns network traversal and
 //! 80 ns DRAM, a block comes from memory in 180 ns and from another cache in
-//! 125 ns (two traversals plus the 80 ns/25 ns provider times).
+//! 125 ns (two traversals plus the 80 ns/25 ns provider times). Under the
+//! directory variants a cache-to-cache transfer takes three traversals (via
+//! the block's home node) instead of two, and transactions serialize at the
+//! per-region home instead of one global root switch.
 
 use super::cache::{CacheArray, CacheConfig, CoherenceState};
-use super::filter::SnoopFilter;
+use super::directory::{home_of, Directory};
+use super::filter::{words_for, SnoopFilter};
 use crate::ids::{BlockAddr, CpuId, Cycle, Nanos};
 use crate::ops::AccessKind;
 use crate::rng::Xoshiro256StarStar;
 use crate::SimError;
 
-/// Which invalidation-based snooping protocol keeps the caches coherent.
+/// Which invalidation-based coherence protocol keeps the caches coherent,
+/// and over which transport.
 ///
-/// The paper's target uses MOSI (§3.2.1); its simulator supports a broad
-/// range of protocols (§3.2.3), and the ablation benches compare the three
-/// classic variants.
+/// The paper's target uses MOSI snooping (§3.2.1); its simulator supports a
+/// broad range of protocols (§3.2.3), and the ablation benches compare the
+/// three classic variants. The `Dir*` variants run the *same* protocol
+/// state machine over a per-region home-node directory (see
+/// [`Directory`](super::Directory)) instead of a broadcast bus — the
+/// scalable organization for machines past the paper's 16 nodes. Directory
+/// and snooping variants are distinct here (rather than a separate config
+/// field) so every derived configuration fingerprint, golden key, and
+/// checkpoint-cache key distinguishes them automatically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum CoherenceProtocol {
@@ -31,14 +42,56 @@ pub enum CoherenceProtocol {
     Mesi,
     /// The union: clean-exclusive silent upgrades *and* dirty sharing.
     Moesi,
+    /// MOSI over a home-node directory instead of a snooping bus.
+    DirMosi,
+    /// MESI over a home-node directory.
+    DirMesi,
+    /// MOESI over a home-node directory.
+    DirMoesi,
 }
 
 impl CoherenceProtocol {
+    /// The underlying protocol state machine, with the transport stripped:
+    /// `DirMesi.base() == Mesi`, `Mesi.base() == Mesi`.
+    #[inline]
+    pub fn base(self) -> Self {
+        match self {
+            CoherenceProtocol::DirMosi => CoherenceProtocol::Mosi,
+            CoherenceProtocol::DirMesi => CoherenceProtocol::Mesi,
+            CoherenceProtocol::DirMoesi => CoherenceProtocol::Moesi,
+            other => other,
+        }
+    }
+
+    /// The same protocol state machine over the directory transport:
+    /// `Mesi.directory() == DirMesi`, idempotent on `Dir*` variants.
+    #[inline]
+    pub fn directory(self) -> Self {
+        match self.base() {
+            CoherenceProtocol::Mosi => CoherenceProtocol::DirMosi,
+            CoherenceProtocol::Mesi => CoherenceProtocol::DirMesi,
+            _ => CoherenceProtocol::DirMoesi,
+        }
+    }
+
+    /// Whether coherence transactions route through home-node directories
+    /// rather than a snooping broadcast.
+    #[inline]
+    pub fn is_directory(self) -> bool {
+        matches!(
+            self,
+            CoherenceProtocol::DirMosi | CoherenceProtocol::DirMesi | CoherenceProtocol::DirMoesi
+        )
+    }
+
     /// Whether the protocol grants Exclusive on a read miss with no other
     /// sharers.
     #[inline]
     pub fn has_exclusive(self) -> bool {
-        matches!(self, CoherenceProtocol::Mesi | CoherenceProtocol::Moesi)
+        matches!(
+            self.base(),
+            CoherenceProtocol::Mesi | CoherenceProtocol::Moesi
+        )
     }
 
     /// Whether a dirty block may stay dirty-shared (Owned) when another node
@@ -46,7 +99,10 @@ impl CoherenceProtocol {
     /// Shared-clean.
     #[inline]
     pub fn has_owned(self) -> bool {
-        matches!(self, CoherenceProtocol::Mosi | CoherenceProtocol::Moesi)
+        matches!(
+            self.base(),
+            CoherenceProtocol::Mosi | CoherenceProtocol::Moesi
+        )
     }
 }
 
@@ -295,6 +351,42 @@ impl Perturbation {
     }
 }
 
+/// Interconnect-probe counters: how many remote tag probes (owner scans)
+/// and point-to-point invalidation messages the coherence transport issued.
+/// Purely diagnostic — the broadcast-vs-filtered-vs-directory comparison in
+/// EXPERIMENTS.md is built from these. Never serialized, never part of run
+/// results, and excluded from machine equality (always-equal `PartialEq`,
+/// like the invariant monitor's scratch state), so a restored machine whose
+/// counters restart at zero still compares equal to the live one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProbeStats {
+    /// Remote L2 tag probes issued while locating an owner on a miss.
+    pub scan_probes: u64,
+    /// Point-to-point invalidation messages sent to candidate holders.
+    pub invalidate_probes: u64,
+}
+
+impl PartialEq for ProbeStats {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for ProbeStats {}
+
+/// Reusable candidate-bitset buffer for scans that mutate the machine while
+/// iterating. Sized once at construction (`ceil(cpus / 64)` words), so the
+/// steady-state hot path never allocates. Contents are dead outside a single
+/// scan; equality always holds so leftover bits never distinguish machines.
+#[derive(Debug, Clone, Default)]
+struct ScanScratch(Vec<u64>);
+
+impl PartialEq for ScanScratch {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
 /// The full coherent memory system shared by all processors.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -310,8 +402,23 @@ pub struct MemorySystem {
     /// Conservative L2-residency summary narrowing snoop scans; derived
     /// state, maintained at every residency transition and rebuilt on
     /// checkpoint restore (never serialized, so snapshot bytes are those of
-    /// the broadcast implementation).
+    /// the broadcast implementation). Disabled under directory protocols,
+    /// which track residency exactly in `directory` instead.
     filter: SnoopFilter,
+    /// Exact per-block sharer directory (`Some` iff the protocol is a
+    /// `Dir*` variant). Derived state like the filter: rebuilt from cache
+    /// contents on restore, never serialized.
+    directory: Option<Directory>,
+    /// Per-home occupancy registers for the directory transport (empty for
+    /// snooping protocols, which serialize at the single root switch via
+    /// `bus_free_at`). Architectural timing state: serialized, but only for
+    /// directory configurations, so snooping snapshot encodings are
+    /// byte-identical to the pre-directory implementation.
+    home_free_at: Vec<Cycle>,
+    /// Scratch bitset for candidate scans (see [`ScanScratch`]).
+    scan_scratch: ScanScratch,
+    /// Diagnostic probe counters (see [`ProbeStats`]).
+    probes: ProbeStats,
 }
 
 impl MemorySystem {
@@ -340,6 +447,7 @@ impl MemorySystem {
                 l2: CacheArray::new(config.l2)?,
             });
         }
+        let dir = config.protocol.is_directory();
         Ok(MemorySystem {
             config,
             nodes,
@@ -347,7 +455,15 @@ impl MemorySystem {
             perturbation,
             stats: MemStats::default(),
             last_access: 0,
-            filter: SnoopFilter::new(cpus),
+            filter: if dir {
+                SnoopFilter::disabled()
+            } else {
+                SnoopFilter::new(cpus)
+            },
+            directory: dir.then(|| Directory::new(cpus)),
+            home_free_at: if dir { vec![0; cpus] } else { Vec::new() },
+            scan_scratch: ScanScratch(Vec::with_capacity(words_for(cpus))),
+            probes: ProbeStats::default(),
         })
     }
 
@@ -362,9 +478,11 @@ impl MemorySystem {
     }
 
     /// Resets counters (e.g. at the end of warmup) without touching cache
-    /// contents.
+    /// contents. The diagnostic probe counters reset too, so measurement
+    /// intervals report measurement probes only.
     pub fn reset_stats(&mut self) {
         self.stats = MemStats::default();
+        self.probes = ProbeStats::default();
     }
 
     /// Replaces the perturbation stream — the per-run knob of §3.3. Cache
@@ -465,61 +583,61 @@ impl MemorySystem {
                 };
             }
             AccessKind::Write if l2_state.is_readable() => {
-                // S or O: ownership upgrade — invalidate remote copies.
+                // S or O: ownership upgrade — invalidate remote copies. On
+                // the snooping bus the upgrade is one broadcast; under a
+                // directory the requester asks the home, which invalidates
+                // the exact sharers point-to-point and acks (two traversals).
                 self.stats.upgrades += 1;
-                let wait = self.arbitrate_bus(now);
+                let latency = if self.config.protocol.is_directory() {
+                    let wait = self.arbitrate_home(home_of(addr, self.nodes.len()), now);
+                    wait + 2 * self.config.hop_ns + self.config.l2_hit_ns
+                } else {
+                    let wait = self.arbitrate_bus(now);
+                    wait + self.config.upgrade_ns + self.config.l2_hit_ns
+                };
                 self.invalidate_others(n, addr);
                 self.nodes[n].l2.set_state(addr, CoherenceState::Modified);
                 return AccessOutcome {
-                    latency: wait + self.config.upgrade_ns + self.config.l2_hit_ns,
+                    latency,
                     source: AccessSource::Upgrade,
                 };
             }
             _ => {}
         }
 
-        // Full L2 miss: snooping coherence transaction.
+        // Full L2 miss: one coherence transaction. Snooping serializes at
+        // the root switch; the directory serializes at the block's home
+        // node, so transactions to different regions proceed independently.
         self.stats.l2_misses += 1;
-        let wait = self.arbitrate_bus(now);
+        let directory = self.config.protocol.is_directory();
+        let wait = if directory {
+            self.arbitrate_home(home_of(addr, self.nodes.len()), now)
+        } else {
+            self.arbitrate_bus(now)
+        };
         let pert = self.perturbation.draw();
         self.stats.perturbation_ns += pert;
 
-        // Locate a remote owner (M/O/E copy) and whether any copy exists.
-        // The snoop filter narrows the scan to nodes that can hold the
-        // block; a clear presence bit proves the node's copy is Invalid, so
-        // the filtered scan is exact (differentially checked against the
-        // full broadcast in debug builds).
-        let (owner, any_remote_copy);
-        if self.filter.enabled() {
-            let mut o: Option<usize> = None;
-            let mut any = false;
-            let mut mask = self.filter.candidates(addr) & !(1u16 << n);
-            while mask != 0 {
-                let i = mask.trailing_zeros() as usize;
-                mask &= mask - 1;
-                let st = self.nodes[i].l2.probe(addr);
-                if st != CoherenceState::Invalid {
-                    any = true;
-                    if st.is_owner() && o.is_none() {
-                        o = Some(i);
-                    }
-                }
-            }
-            debug_assert_eq!(
-                (o, any),
-                self.broadcast_scan(n, addr),
-                "snoop filter diverged from the full broadcast"
-            );
-            owner = o;
-            any_remote_copy = any;
-        } else {
-            (owner, any_remote_copy) = self.broadcast_scan(n, addr);
-        }
+        // Locate a remote owner (M/O/E copy) and whether any copy exists,
+        // probing only the candidate holders: the snoop filter's region
+        // summary (conservative, clear bit proves absence) or the
+        // directory's exact sharer set. Differentially checked against the
+        // full broadcast in debug builds either way.
+        let (owner, any_remote_copy) = self.scan_candidates(n, addr);
 
+        // Data supply: cache-to-cache is two traversals on the snooping bus
+        // (owner overhears the broadcast) but three via a directory (the
+        // home forwards the request to the owner). A home-node memory fetch
+        // costs the same two traversals as the snooping bus: the home *is*
+        // the memory controller for its region.
         let (provide, source) = match owner {
             Some(_) => {
                 self.stats.cache_to_cache += 1;
-                (self.config.cache_provide_ns, AccessSource::RemoteCache)
+                let forward_hop = if directory { self.config.hop_ns } else { 0 };
+                (
+                    forward_hop + self.config.cache_provide_ns,
+                    AccessSource::RemoteCache,
+                )
             }
             None => {
                 self.stats.memory_fetches += 1;
@@ -570,16 +688,84 @@ impl MemorySystem {
             if ev.state.is_dirty() {
                 self.stats.writebacks += 1;
             }
-            self.filter.note_evict(n, ev.addr);
+            self.residency_evict(n, ev.addr);
             // Inclusion: the victim leaves our L1s too.
             self.nodes[n].l1d.invalidate(ev.addr);
             self.nodes[n].l1i.invalidate(ev.addr);
         }
         // A full miss only runs when our own L2 held no copy, so the insert
         // is always a fresh fill.
-        self.filter.note_fill(n, addr);
+        self.residency_fill(n, addr);
 
         AccessOutcome { latency, source }
+    }
+
+    /// Records a fresh L2 fill in whichever residency tracker the transport
+    /// uses: the snoop filter's region summary or the exact directory.
+    #[inline]
+    fn residency_fill(&mut self, n: usize, addr: BlockAddr) {
+        match &mut self.directory {
+            Some(dir) => dir.note_fill(n, addr),
+            None => self.filter.note_fill(n, addr),
+        }
+    }
+
+    /// Records the loss of a resident L2 copy (eviction or invalidation) in
+    /// the active residency tracker.
+    #[inline]
+    fn residency_evict(&mut self, n: usize, addr: BlockAddr) {
+        match &mut self.directory {
+            Some(dir) => dir.note_evict(n, addr),
+            None => self.filter.note_evict(n, addr),
+        }
+    }
+
+    /// Loads the candidate-holder bitset for `addr` (filter region bits or
+    /// exact directory sharers) into the scan scratch, with requester `n`
+    /// masked out. The scratch is pre-sized at construction, so this never
+    /// allocates.
+    fn load_candidates(&mut self, n: usize, addr: BlockAddr) {
+        let words: &[u64] = match &self.directory {
+            Some(dir) => dir.candidates(addr),
+            None => self.filter.candidates(addr),
+        };
+        self.scan_scratch.0.clear();
+        self.scan_scratch.0.extend_from_slice(words);
+        self.scan_scratch.0[n / 64] &= !(1u64 << (n % 64));
+    }
+
+    /// Probes the candidate holders of `addr` (requester `n` excluded) for
+    /// a remote owner (M/O/E copy) and whether any valid copy exists. Exact
+    /// by the trackers' contracts — a clear filter bit proves absence, and
+    /// directory sharer sets are exact — which debug builds verify against
+    /// the full broadcast scan.
+    fn scan_candidates(&mut self, n: usize, addr: BlockAddr) -> (Option<usize>, bool) {
+        self.load_candidates(n, addr);
+        let mut owner: Option<usize> = None;
+        let mut any_remote_copy = false;
+        let mut probed = 0u64;
+        for w in 0..self.scan_scratch.0.len() {
+            let mut bits = self.scan_scratch.0[w];
+            while bits != 0 {
+                let i = (w << 6) | (bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+                probed += 1;
+                let st = self.nodes[i].l2.probe(addr);
+                if st != CoherenceState::Invalid {
+                    any_remote_copy = true;
+                    if st.is_owner() && owner.is_none() {
+                        owner = Some(i);
+                    }
+                }
+            }
+        }
+        self.probes.scan_probes += probed;
+        debug_assert_eq!(
+            (owner, any_remote_copy),
+            self.broadcast_scan(n, addr),
+            "candidate scan diverged from the full broadcast"
+        );
+        (owner, any_remote_copy)
     }
 
     /// Serializes a coherence transaction through the root switch; returns
@@ -597,6 +783,25 @@ impl MemorySystem {
         self.last_access = now;
         let start = self.bus_free_at.max(now);
         self.bus_free_at = start + self.config.bus_occupancy_ns;
+        let wait = start - now;
+        self.stats.bus_wait_ns += wait;
+        wait
+    }
+
+    /// Serializes a directory transaction at the block's home node; returns
+    /// the wait time (ns). Same single free-at queueing model as the
+    /// snooping root switch, but one register per home, so transactions to
+    /// blocks homed on different nodes never contend — the decoupling that
+    /// lets directory machines scale past the paper's 16 processors.
+    fn arbitrate_home(&mut self, home: usize, now: Cycle) -> Nanos {
+        debug_assert!(
+            now >= self.last_access,
+            "memory-system timestamps must be non-decreasing ({now} < {})",
+            self.last_access
+        );
+        self.last_access = now;
+        let start = self.home_free_at[home].max(now);
+        self.home_free_at[home] = start + self.config.bus_occupancy_ns;
         let wait = start - now;
         self.stats.bus_wait_ns += wait;
         wait
@@ -624,43 +829,46 @@ impl MemorySystem {
     }
 
     /// Invalidates every remote copy of `addr` (L2 + both L1s), counting
-    /// invalidations. Only the filter's candidate nodes are visited; an
-    /// invalidate on a non-resident node is a no-op, so skipping proven
-    /// non-holders changes nothing (checked in debug builds).
+    /// invalidations. Only the candidate holders are visited — the filter's
+    /// region summary or the directory's exact sharers; an invalidate on a
+    /// non-resident node is a no-op, so skipping proven non-holders changes
+    /// nothing (checked in debug builds).
     fn invalidate_others(&mut self, n: usize, addr: BlockAddr) {
-        if self.filter.enabled() {
-            #[cfg(debug_assertions)]
-            for (i, node) in self.nodes.iter().enumerate() {
-                if i != n && self.filter.candidates(addr) & (1u16 << i) == 0 {
-                    debug_assert_eq!(
-                        node.l2.probe(addr),
-                        CoherenceState::Invalid,
-                        "node {i} skipped by the snoop filter holds a copy"
-                    );
-                }
-            }
-            let mut mask = self.filter.candidates(addr) & !(1u16 << n);
-            while mask != 0 {
-                let i = mask.trailing_zeros() as usize;
-                mask &= mask - 1;
-                self.invalidate_node(i, addr);
-            }
-        } else {
-            for i in 0..self.nodes.len() {
-                if i != n {
-                    self.invalidate_node(i, addr);
-                }
+        self.load_candidates(n, addr);
+        #[cfg(debug_assertions)]
+        for (i, node) in self.nodes.iter().enumerate() {
+            if i != n && self.scan_scratch.0[i / 64] & (1u64 << (i % 64)) == 0 {
+                debug_assert_eq!(
+                    node.l2.probe(addr),
+                    CoherenceState::Invalid,
+                    "node {i} skipped by the candidate scan holds a copy"
+                );
             }
         }
+        // Invalidation mutates the directory entry being iterated, so walk a
+        // detached scratch (no allocation: ownership moves out and back).
+        let scratch = std::mem::take(&mut self.scan_scratch.0);
+        let mut probed = 0u64;
+        for (w, &word) in scratch.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let i = (w << 6) | (bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+                probed += 1;
+                self.invalidate_node(i, addr);
+            }
+        }
+        self.probes.invalidate_probes += probed;
+        self.scan_scratch.0 = scratch;
     }
 
     /// Invalidates node `i`'s copy of `addr` across its cache stack,
-    /// keeping the stats and the filter in step.
+    /// keeping the stats and the residency tracker in step.
     fn invalidate_node(&mut self, i: usize, addr: BlockAddr) {
         let old = self.nodes[i].l2.invalidate(addr);
         if old != CoherenceState::Invalid {
             self.stats.invalidations += 1;
-            self.filter.note_evict(i, addr);
+            self.residency_evict(i, addr);
             self.nodes[i].l1d.invalidate(addr);
             self.nodes[i].l1i.invalidate(addr);
         }
@@ -706,23 +914,36 @@ impl MemorySystem {
     #[doc(hidden)]
     pub fn force_l2_state(&mut self, cpu: CpuId, addr: BlockAddr, state: CoherenceState) {
         let n = cpu.index();
-        let l2 = &mut self.nodes[n].l2;
         if state == CoherenceState::Invalid {
-            if l2.invalidate(addr) != CoherenceState::Invalid {
-                self.filter.note_evict(n, addr);
+            if self.nodes[n].l2.invalidate(addr) != CoherenceState::Invalid {
+                self.residency_evict(n, addr);
             }
-        } else if !l2.set_state(addr, state) {
-            if let Some(ev) = l2.insert(addr, state) {
-                self.filter.note_evict(n, ev.addr);
+        } else if !self.nodes[n].l2.set_state(addr, state) {
+            let evicted = self.nodes[n].l2.insert(addr, state);
+            if let Some(ev) = evicted {
+                self.residency_evict(n, ev.addr);
             }
-            self.filter.note_fill(n, addr);
+            self.residency_fill(n, addr);
         }
     }
 
     /// The snoop filter's residency summary (for tests asserting that a
-    /// restored machine rebuilds the identical filter).
+    /// restored machine rebuilds the identical filter). Disabled — empty —
+    /// under directory protocols.
     pub fn snoop_filter(&self) -> &SnoopFilter {
         &self.filter
+    }
+
+    /// The home-node directory (`Some` iff the protocol is a `Dir*`
+    /// variant); for tests asserting the rebuilt-on-restore contract.
+    pub fn directory(&self) -> Option<&Directory> {
+        self.directory.as_ref()
+    }
+
+    /// Diagnostic interconnect-probe counters accumulated since the last
+    /// [`Self::reset_stats`].
+    pub fn probe_stats(&self) -> ProbeStats {
+        self.probes
     }
 
     /// Checks the protocol's single-writer invariant for `addr`: at most one
@@ -764,6 +985,9 @@ impl crate::checkpoint::Snap for CoherenceProtocol {
             CoherenceProtocol::Mosi => 0,
             CoherenceProtocol::Mesi => 1,
             CoherenceProtocol::Moesi => 2,
+            CoherenceProtocol::DirMosi => 3,
+            CoherenceProtocol::DirMesi => 4,
+            CoherenceProtocol::DirMoesi => 5,
         });
     }
     fn decode_snap(
@@ -773,6 +997,9 @@ impl crate::checkpoint::Snap for CoherenceProtocol {
             0 => Ok(CoherenceProtocol::Mosi),
             1 => Ok(CoherenceProtocol::Mesi),
             2 => Ok(CoherenceProtocol::Moesi),
+            3 => Ok(CoherenceProtocol::DirMosi),
+            4 => Ok(CoherenceProtocol::DirMesi),
+            5 => Ok(CoherenceProtocol::DirMoesi),
             _ => Err(crate::checkpoint::CheckpointError::Corrupt {
                 what: "CoherenceProtocol tag".into(),
             }),
@@ -814,9 +1041,12 @@ crate::impl_snap!(Perturbation { max_ns, rng });
 
 /// Hand-written [`Snap`](crate::checkpoint::Snap): encodes exactly the six
 /// architectural fields the derived implementation always encoded, in the
-/// same order — the snoop filter is derived state and is rebuilt from the
-/// restored cache contents, keeping checkpoint bytes (and fingerprints)
-/// identical to the pre-filter encoding.
+/// same order — the snoop filter and the directory are derived state,
+/// rebuilt from the restored cache contents, keeping snooping checkpoint
+/// bytes (and fingerprints) identical to the pre-filter encoding. The only
+/// addition the directory organization makes — its per-home occupancy
+/// registers — is appended *after* those six fields and *only* for `Dir*`
+/// protocols, so every snooping configuration's encoding is untouched.
 impl crate::checkpoint::Snap for MemorySystem {
     fn encode_snap(&self, enc: &mut crate::checkpoint::Encoder) {
         self.config.encode_snap(enc);
@@ -825,6 +1055,9 @@ impl crate::checkpoint::Snap for MemorySystem {
         self.perturbation.encode_snap(enc);
         self.stats.encode_snap(enc);
         self.last_access.encode_snap(enc);
+        if self.config.protocol.is_directory() {
+            self.home_free_at.encode_snap(enc);
+        }
     }
 
     fn decode_snap(
@@ -837,10 +1070,28 @@ impl crate::checkpoint::Snap for MemorySystem {
         let perturbation = Snap::decode_snap(dec)?;
         let stats = Snap::decode_snap(dec)?;
         let last_access = Snap::decode_snap(dec)?;
-        let mut filter = SnoopFilter::new(nodes.len());
+        let dir = config.protocol.is_directory();
+        let home_free_at: Vec<Cycle> = if dir {
+            Snap::decode_snap(dec)?
+        } else {
+            Vec::new()
+        };
+        let cpus = nodes.len();
+        if dir && home_free_at.len() != cpus {
+            return Err(crate::checkpoint::CheckpointError::Corrupt {
+                what: "home occupancy register count".into(),
+            });
+        }
+        let (mut filter, mut directory) = if dir {
+            (SnoopFilter::disabled(), Some(Directory::new(cpus)))
+        } else {
+            (SnoopFilter::new(cpus), None)
+        };
         for (i, node) in nodes.iter().enumerate() {
-            node.l2
-                .for_each_resident(|addr, _| filter.note_fill(i, addr));
+            node.l2.for_each_resident(|addr, _| match &mut directory {
+                Some(d) => d.note_fill(i, addr),
+                None => filter.note_fill(i, addr),
+            });
         }
         Ok(MemorySystem {
             config,
@@ -850,6 +1101,10 @@ impl crate::checkpoint::Snap for MemorySystem {
             stats,
             last_access,
             filter,
+            directory,
+            home_free_at,
+            scan_scratch: ScanScratch(Vec::with_capacity(words_for(cpus))),
+            probes: ProbeStats::default(),
         })
     }
 }

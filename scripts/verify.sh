@@ -37,6 +37,21 @@ cargo test -q --offline --test checkpoint_identity
 echo "==> checkpoint bit-identity gate (invariant monitor on)"
 cargo test -q --offline --features invariant-monitor --test checkpoint_identity
 
+# Scaling gate: the directory transport and the bitset snoop filter must
+# agree with their references at every size — snooping-vs-directory in
+# lockstep plus the directory-vs-oracle diff (monitor off and on), and the
+# filter against a naive residency model at 8/17/64/128 nodes. The 64-CPU
+# directory configs themselves are pinned by the golden (+dir64 digests)
+# and checkpoint suites above and in release below.
+echo "==> scaling gate: snoop-vs-directory transport differential (monitor off)"
+cargo test -q --offline -p mtvar-sim --test coherence_diff
+
+echo "==> scaling gate: snoop-vs-directory transport differential (monitor on)"
+cargo test -q --offline -p mtvar-sim --features invariant-monitor --test coherence_diff
+
+echo "==> scaling gate: bitset snoop-filter property tests (8/17/64/128 nodes)"
+cargo test -q --offline -p mtvar-sim --test proptests
+
 echo "==> statistical self-validation"
 cargo test -q --offline -p mtvar-stats --test selfcheck
 
@@ -46,11 +61,13 @@ cargo test -q --offline -p mtvar-stats --test sampling_selfcheck
 echo "==> sampling estimators: fast accuracy/cost gate vs full-run truth"
 cargo test -q --offline --test sampling_eval
 
-# Kernel-parity gate: the optimized event queue and snoop filter must
-# reproduce every golden digest and checkpoint fingerprint in release mode,
-# where the filter's debug differential against full broadcast is compiled
-# out and the filtered path runs alone. Debug builds covered the same suites
-# above with the differential asserts active.
+# Kernel-parity gate: the optimized event queue, snoop filter, and
+# directory transport must reproduce every golden digest and checkpoint
+# fingerprint in release mode, where the filter's and directory's debug
+# differentials against full broadcast are compiled out and the filtered
+# paths run alone. Debug builds covered the same suites above (including
+# the +dir64 digests and the 64-CPU directory checkpoint case) with the
+# differential asserts active.
 echo "==> kernel parity: golden digests, release (pure filtered snoop path)"
 cargo test -q --offline --release --test golden_runs
 

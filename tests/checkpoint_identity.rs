@@ -77,6 +77,64 @@ fn snapshot_restore_is_bit_identical_for_every_benchmark() {
     }
 }
 
+/// The scaling gate: a warmed 64-CPU directory-coherence machine must
+/// checkpoint and restore bit-identically — snapshot fingerprints equal,
+/// continued runs equal — and executor sweeps over the same configuration
+/// must not depend on the thread count. The directory's per-home occupancy
+/// registers ride in the snapshot (unlike the rebuilt-on-restore sharer
+/// sets), so this exercises the conditional encoding path end to end.
+#[test]
+fn warmed_64_cpu_directory_machine_restores_bit_identically() {
+    const DIR_CPUS: usize = 64;
+    let cfg = MachineConfig::hpca2003()
+        .with_cpus(DIR_CPUS)
+        .with_directory_coherence()
+        .with_perturbation(4, 0x1DE7);
+    let workload = Benchmark::Oltp.workload(DIR_CPUS, WORKLOAD_SEED);
+
+    let mut straight = Machine::new(cfg.clone(), workload.clone()).unwrap();
+    straight.run_transactions(WARMUP).expect("straight warmup");
+    let want = straight
+        .run_transactions(MEASURE)
+        .expect("straight measure");
+
+    let mut warmed = Machine::new(cfg.clone(), workload).unwrap();
+    warmed.run_transactions(WARMUP).expect("warmup");
+    let snapshot = warmed.snapshot();
+    let mut restored: Machine<ProfiledWorkload> = Machine::restore(&snapshot).expect("restore");
+    assert_eq!(
+        restored.snapshot().fingerprint(),
+        snapshot.fingerprint(),
+        "restore must reproduce the 64-CPU directory snapshot byte-for-byte"
+    );
+    let got = restored
+        .run_transactions(MEASURE)
+        .expect("restored measure");
+    assert_eq!(want, got, "continued 64-CPU directory run diverged");
+    assert_eq!(
+        straight.snapshot().fingerprint(),
+        restored.snapshot().fingerprint(),
+        "post-measurement 64-CPU directory state diverged"
+    );
+
+    // Executor-level: the same configuration swept with 1 and 4 worker
+    // threads must produce identical statistics.
+    let plan = RunPlan::new(20).with_runs(2).with_warmup(WARMUP);
+    let make = move || Benchmark::Oltp.workload(DIR_CPUS, WORKLOAD_SEED);
+    let reference = Executor::sequential()
+        .without_cache()
+        .run_space(&cfg, make, &plan)
+        .unwrap();
+    let parallel = Executor::with_threads(4)
+        .without_cache()
+        .run_space(&cfg, make, &plan)
+        .unwrap();
+    assert_eq!(
+        reference, parallel,
+        "64-CPU directory sweep depends on executor thread count"
+    );
+}
+
 #[test]
 fn shared_warmup_sweeps_are_thread_count_and_store_invariant() {
     let plan = RunPlan::new(MEASURE).with_runs(4).with_warmup(WARMUP);

@@ -62,10 +62,27 @@ fn e5000_config() -> MachineConfig {
         .with_invariant_checks()
 }
 
-/// Runs one benchmark under `config` and returns its digest, asserting along
-/// the way that the invariant monitor stayed clean.
-fn digest_benchmark_under(config: MachineConfig, bench: Benchmark) -> u64 {
-    let mut m = Machine::new(config, bench.workload(CPUS, WORKLOAD_SEED))
+/// The scaling configuration the paper never had: a 64-node machine under
+/// directory coherence (same per-node hierarchy as the paper's target),
+/// with the workload's threads spread across all 64 CPUs. Digesting every
+/// benchmark under it locks down the directory transport's protocol
+/// decisions, timing, and residency bookkeeping at a scale where the
+/// snooping bus never operated.
+const DIR64_CPUS: usize = 64;
+
+fn dir64_config() -> MachineConfig {
+    MachineConfig::hpca2003()
+        .with_cpus(DIR64_CPUS)
+        .with_directory_coherence()
+        .with_perturbation(4, PERTURBATION_SEED)
+        .with_invariant_checks()
+}
+
+/// Runs one benchmark under `config` (a `cpus`-thread workload on a `cpus`
+/// machine) and returns its digest, asserting along the way that the
+/// invariant monitor stayed clean.
+fn digest_benchmark_under_cpus(config: MachineConfig, bench: Benchmark, cpus: usize) -> u64 {
+    let mut m = Machine::new(config, bench.workload(cpus, WORKLOAD_SEED))
         .expect("golden config must build");
     m.run_transactions(WARMUP_TXNS).expect("warmup");
     let result = m.run_transactions(MEASURE_TXNS).expect("measurement");
@@ -76,6 +93,10 @@ fn digest_benchmark_under(config: MachineConfig, bench: Benchmark) -> u64 {
         m.invariant_violations(),
     );
     run_digest(&result)
+}
+
+fn digest_benchmark_under(config: MachineConfig, bench: Benchmark) -> u64 {
+    digest_benchmark_under_cpus(config, bench, CPUS)
 }
 
 fn digest_benchmark(bench: Benchmark) -> u64 {
@@ -103,6 +124,10 @@ fn all_benchmarks_match_golden_digests() {
         current.set(
             &format!("{}+ooo", bench.name()),
             digest_benchmark_under(ooo_config(), bench),
+        );
+        current.set(
+            &format!("{}+dir64", bench.name()),
+            digest_benchmark_under_cpus(dir64_config(), bench, DIR64_CPUS),
         );
     }
 

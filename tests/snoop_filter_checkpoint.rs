@@ -1,8 +1,10 @@
-//! Snoop-filter checkpoint coverage: the sharer-presence filter is derived
-//! state, rebuilt from cache contents on restore rather than serialized. A
-//! machine checkpointed mid-run with a warm filter must therefore restore to
-//! a filter identical to one that was never checkpointed — for every
-//! coherence protocol — and the continued run must stay digest-identical.
+//! Residency-tracker checkpoint coverage: the sharer-presence filter and
+//! the home-node directory are derived state, rebuilt from cache contents
+//! on restore rather than serialized. A machine checkpointed mid-run with a
+//! warm tracker must therefore restore to one identical to a machine that
+//! was never checkpointed — for every coherence protocol, snooping and
+//! directory, at any node count — and the continued run must stay
+//! digest-identical.
 
 use mtvar::core::golden::run_digest;
 use mtvar::sim::config::MachineConfig;
@@ -79,10 +81,11 @@ fn restored_filter_matches_a_never_checkpointed_run_for_every_protocol() {
 }
 
 #[test]
-fn filter_disables_above_sixteen_cpus_and_checkpoints_still_round_trip() {
-    // 17+ CPUs exceed the u16 presence vector; the memory system must fall
-    // back to full broadcast with a disabled filter, and snapshot/restore
-    // must keep working (the rebuild is a no-op on a disabled filter).
+fn filter_stays_enabled_above_sixteen_cpus_and_checkpoints_round_trip() {
+    // The presence vector was once a u16, capping the filter at 16 nodes;
+    // the bitset widening keeps it engaged on any machine size. A 24-CPU
+    // machine must run filtered, restore an identical filter from a
+    // checkpoint, and continue bit-identically.
     let cfg = MachineConfig::hpca2003()
         .with_cpus(24)
         .with_perturbation(4, 0x1DE7);
@@ -91,13 +94,74 @@ fn filter_disables_above_sixteen_cpus_and_checkpoints_still_round_trip() {
     let mut machine = Machine::new(cfg, workload).unwrap();
     machine.run_transactions(WARMUP).expect("warmup");
     assert!(
-        !machine.memory().snoop_filter().enabled(),
-        "filter must disable itself beyond 16 CPUs"
+        machine.memory().snoop_filter().enabled(),
+        "the widened filter must stay engaged beyond 16 CPUs"
+    );
+    assert_ne!(
+        *machine.memory().snoop_filter(),
+        SnoopFilter::new(24),
+        "warmup must leave presence bits in the filter"
     );
     let snapshot = machine.snapshot();
     let mut restored: Machine<ProfiledWorkload> = Machine::restore(&snapshot).expect("restore");
-    assert!(!restored.memory().snoop_filter().enabled());
+    assert_eq!(
+        restored.memory().snoop_filter(),
+        machine.memory().snoop_filter(),
+        "filter rebuilt on restore diverged from the live filter"
+    );
     let want = machine.run_transactions(MEASURE).expect("straight");
     let got = restored.run_transactions(MEASURE).expect("restored");
-    assert_eq!(want, got, "broadcast fallback diverged across a checkpoint");
+    assert_eq!(
+        want, got,
+        "wide filtered machine diverged across a checkpoint"
+    );
+}
+
+#[test]
+fn restored_directory_matches_a_never_checkpointed_run() {
+    // Directory machines track residency in the exact per-block directory
+    // instead of the filter; it is derived state under the same contract —
+    // rebuilt from restored cache contents, never serialized — and the
+    // continued run must stay identical.
+    for protocol in [
+        CoherenceProtocol::DirMosi,
+        CoherenceProtocol::DirMesi,
+        CoherenceProtocol::DirMoesi,
+    ] {
+        let workload = Benchmark::Oltp.workload(CPUS, WORKLOAD_SEED);
+
+        let mut straight = Machine::new(config(protocol), workload.clone()).unwrap();
+        straight.run_transactions(WARMUP).expect("straight warmup");
+        let want = straight
+            .run_transactions(MEASURE)
+            .expect("straight measure");
+
+        let mut warmed = Machine::new(config(protocol), workload).unwrap();
+        warmed.run_transactions(WARMUP).expect("warmup");
+        let dir = warmed.memory().directory().expect("directory protocol");
+        assert!(
+            !warmed.memory().snoop_filter().enabled(),
+            "{protocol:?}: directory machines must not also run the filter"
+        );
+        assert!(
+            dir.tracked_blocks() > 0,
+            "{protocol:?}: warmup must populate the directory"
+        );
+        let snapshot = warmed.snapshot();
+        let mut restored: Machine<ProfiledWorkload> = Machine::restore(&snapshot).expect("restore");
+        assert_eq!(
+            restored.memory().directory(),
+            warmed.memory().directory(),
+            "{protocol:?}: directory rebuilt on restore diverged from the live one"
+        );
+        let got = restored
+            .run_transactions(MEASURE)
+            .expect("restored measure");
+        assert_eq!(want, got, "{protocol:?}: continued run diverged");
+        assert_eq!(
+            restored.snapshot().fingerprint(),
+            straight.snapshot().fingerprint(),
+            "{protocol:?}: post-measurement state diverged"
+        );
+    }
 }
