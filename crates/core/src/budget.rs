@@ -145,7 +145,7 @@ impl CovModel {
         warmup: u64,
     ) -> Result<Self>
     where
-        W: Workload + Snap + Send,
+        W: Workload + Snap + Clone + Send + Sync,
         F: Fn() -> W + Sync,
     {
         let mut points = Vec::with_capacity(pilot_lengths.len());

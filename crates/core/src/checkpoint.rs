@@ -101,7 +101,24 @@ pub struct CheckpointStore {
     inner: Mutex<StoreInner>,
     capacity: usize,
     disk: Option<PathBuf>,
+    /// Diagnostics from degraded disk operations (unreadable or corrupt
+    /// spill files, abandoned prefix searches). Bounded; see
+    /// [`CheckpointStore::take_warnings`].
+    warnings: Mutex<Vec<String>>,
 }
+
+/// How many *additional* prefix candidates [`CheckpointStore::longest_prefix`]
+/// tries after its first choice fails validation. Each failure means a
+/// corrupt or vanished entry; one retry recovers the common single-bad-file
+/// case, while a hard cap keeps a spill directory whose files cannot be
+/// deleted (read-only mount) or keep re-materializing from spinning the
+/// search forever. Beyond the cap the store warns and reports a miss — the
+/// caller re-simulates, which is always correct.
+const CORRUPT_RETRY_LIMIT: usize = 1;
+
+/// Cap on buffered warnings; beyond it new warnings still reach stderr but
+/// are not stored (a degraded spill dir can fail on every sweep).
+const MAX_WARNINGS: usize = 64;
 
 impl Default for CheckpointStore {
     fn default() -> Self {
@@ -125,6 +142,7 @@ impl CheckpointStore {
             inner: Mutex::new(StoreInner::default()),
             capacity: Self::DEFAULT_CAPACITY,
             disk: None,
+            warnings: Mutex::new(Vec::new()),
         }
     }
 
@@ -167,6 +185,24 @@ impl CheckpointStore {
         self.inner.lock().expect("store poisoned").map.clear();
     }
 
+    /// Drains and returns the warnings accumulated from degraded disk
+    /// operations: unreadable spill files, corrupt files (deleted or not),
+    /// and prefix searches abandoned after `CORRUPT_RETRY_LIMIT` failed
+    /// candidates. Every warning was also written to stderr when it
+    /// occurred; this accessor exists so tests and callers can assert on
+    /// them programmatically.
+    pub fn take_warnings(&self) -> Vec<String> {
+        std::mem::take(&mut *self.warnings.lock().expect("store poisoned"))
+    }
+
+    fn warn(&self, message: String) {
+        eprintln!("mtvar checkpoint store: {message}");
+        let mut warnings = self.warnings.lock().expect("store poisoned");
+        if warnings.len() < MAX_WARNINGS {
+            warnings.push(message);
+        }
+    }
+
     /// Looks up the snapshot for `key`: memory first, then disk. A memory
     /// hit clones only the `Arc`, never the payload. A disk file that fails
     /// frame validation (truncated or corrupt) is deleted and reported as a
@@ -201,8 +237,14 @@ impl CheckpointStore {
     /// memory and disk. Returns `(warmup, checkpoint)`; the caller restores
     /// it and simulates only the remaining `key.warmup - warmup`
     /// transactions.
+    ///
+    /// `get` re-validates each candidate (a corrupt disk file becomes a
+    /// miss), and the search falls back to the next-deepest prefix — but
+    /// only `CORRUPT_RETRY_LIMIT` time(s). An undeletable or
+    /// re-materializing corrupt entry must not spin the search; past the
+    /// cap it warns and reports a miss so the caller re-simulates.
     pub fn longest_prefix(&self, key: &CheckpointKey) -> Option<(u64, Arc<Checkpoint>)> {
-        let mut best: Option<u64> = None;
+        let mut candidates: Vec<u64> = Vec::new();
         {
             let inner = self.inner.lock().expect("store poisoned");
             for k in inner.map.keys() {
@@ -210,9 +252,8 @@ impl CheckpointStore {
                     && k.workload == key.workload
                     && k.base_seed == key.base_seed
                     && k.warmup < key.warmup
-                    && best.is_none_or(|b| k.warmup > b)
                 {
-                    best = Some(k.warmup);
+                    candidates.push(k.warmup);
                 }
             }
         }
@@ -230,19 +271,31 @@ impl CheckpointStore {
                 else {
                     continue;
                 };
-                if warmup < key.warmup && best.is_none_or(|b| warmup > b) {
-                    best = Some(warmup);
+                if warmup < key.warmup {
+                    candidates.push(warmup);
                 }
             }
         }
-        let warmup = best?;
-        let prefix_key = CheckpointKey { warmup, ..*key };
-        // `get` re-validates (a corrupt disk file becomes a miss); retry on
-        // the next-best prefix rather than giving up outright.
-        match self.get(&prefix_key) {
-            Some(ck) => Some((warmup, ck)),
-            None => self.longest_prefix(&prefix_key),
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut failures = 0usize;
+        while let Some(warmup) = candidates.pop() {
+            let prefix_key = CheckpointKey { warmup, ..*key };
+            if let Some(ck) = self.get(&prefix_key) {
+                return Some((warmup, ck));
+            }
+            failures += 1;
+            if failures > CORRUPT_RETRY_LIMIT {
+                self.warn(format!(
+                    "abandoning prefix search for {}{} after {failures} corrupt or \
+                     vanished candidate(s); falling back to re-simulation",
+                    key.file_prefix(),
+                    key.warmup,
+                ));
+                return None;
+            }
         }
+        None
     }
 
     fn insert_memory(&self, key: CheckpointKey, checkpoint: Arc<Checkpoint>) {
@@ -265,13 +318,32 @@ impl CheckpointStore {
     fn load_from_disk(&self, key: &CheckpointKey) -> Option<Arc<Checkpoint>> {
         let dir = self.disk.as_ref()?;
         let path = dir.join(key.file_name());
-        let bytes = fs::read(&path).ok()?;
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                // Present but unreadable (permissions, a directory squatting
+                // on the name, I/O error): surface it — silent misses here
+                // hide a degraded spill dir that will fail on every sweep.
+                self.warn(format!("spill entry {} is unreadable: {e}", path.display()));
+                return None;
+            }
+        };
         match Checkpoint::from_bytes(&bytes) {
             Ok(ck) => Some(Arc::new(ck)),
-            Err(_) => {
+            Err(e) => {
                 // Truncated or corrupt: remove it so it cannot poison later
                 // sweeps, and report a miss so the caller re-simulates.
-                let _ = fs::remove_file(&path);
+                match fs::remove_file(&path) {
+                    Ok(()) => self.warn(format!(
+                        "deleted corrupt spill entry {} ({e})",
+                        path.display()
+                    )),
+                    Err(rm) => self.warn(format!(
+                        "corrupt spill entry {} ({e}) could not be deleted: {rm}",
+                        path.display()
+                    )),
+                }
                 None
             }
         }
@@ -417,6 +489,76 @@ mod tests {
             // Re-insert for the next mangling round.
             store.insert(key(50), snapshot(5));
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prefix_search_retry_is_bounded_over_corrupt_files() {
+        let dir = temp_dir("bounded-retry");
+        fs::create_dir_all(&dir).unwrap();
+        // Four garbage .ckpt files at increasing warmups — every candidate
+        // fails frame validation. The search must try the deepest, retry
+        // once on the next-deepest, then give up with a warning instead of
+        // walking (or spinning through) the whole chain.
+        for warmup in [10u64, 20, 30, 40] {
+            fs::write(dir.join(key(warmup).file_name()), b"not a checkpoint").unwrap();
+        }
+        let store = CheckpointStore::new().with_disk_spill(&dir);
+        assert!(store.longest_prefix(&key(100)).is_none());
+        let surviving: Vec<bool> = [10u64, 20, 30, 40]
+            .iter()
+            .map(|w| dir.join(key(*w).file_name()).exists())
+            .collect();
+        assert_eq!(
+            surviving,
+            [true, true, false, false],
+            "only the two attempted candidates (40, then 30) may be touched"
+        );
+        let warnings = store.take_warnings();
+        assert!(
+            warnings
+                .iter()
+                .any(|w| w.contains("abandoning prefix search")),
+            "the abandoned search must be surfaced: {warnings:?}"
+        );
+        assert!(
+            store.take_warnings().is_empty(),
+            "take_warnings drains the buffer"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn undeletable_corrupt_entries_terminate_with_a_warning() {
+        let dir = temp_dir("undeletable");
+        // Plant corrupt entries the store *cannot unlink*: directories
+        // squatting on the .ckpt names (remove_file fails on a directory,
+        // and read fails without deleting). Before the retry bound, a chain
+        // of these drove one recursion per entry; re-materializing paths
+        // span forever.
+        for warmup in [10u64, 20, 30, 40, 50] {
+            fs::create_dir_all(dir.join(key(warmup).file_name())).unwrap();
+        }
+        let store = CheckpointStore::new().with_disk_spill(&dir);
+        assert!(store.get(&key(50)).is_none(), "unreadable entry is a miss");
+        assert!(store.longest_prefix(&key(100)).is_none());
+        for warmup in [10u64, 20, 30, 40, 50] {
+            assert!(
+                dir.join(key(warmup).file_name()).exists(),
+                "undeletable entries must survive, not be retried forever"
+            );
+        }
+        let warnings = store.take_warnings();
+        assert!(
+            warnings.iter().filter(|w| w.contains("unreadable")).count() >= 2,
+            "unreadable entries must be surfaced: {warnings:?}"
+        );
+        assert!(
+            warnings
+                .iter()
+                .any(|w| w.contains("abandoning prefix search")),
+            "the bounded search must warn when giving up: {warnings:?}"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

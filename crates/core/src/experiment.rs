@@ -102,7 +102,7 @@ impl Experiment {
     /// Propagates simulator and statistics errors.
     pub fn run<W, F>(&self, make_workload: F) -> Result<ExperimentReport>
     where
-        W: Workload + Snap + Send,
+        W: Workload + Snap + Clone + Send + Sync,
         F: Fn() -> W + Sync,
     {
         self.run_with(&Executor::sequential(), make_workload)
@@ -121,7 +121,7 @@ impl Experiment {
     /// Propagates simulator and statistics errors.
     pub fn run_with<W, F>(&self, executor: &Executor, make_workload: F) -> Result<ExperimentReport>
     where
-        W: Workload + Snap + Send,
+        W: Workload + Snap + Clone + Send + Sync,
         F: Fn() -> W + Sync,
     {
         let mut arms = Vec::with_capacity(self.arms.len());

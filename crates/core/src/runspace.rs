@@ -665,7 +665,7 @@ impl Executor {
         plan: &RunPlan,
     ) -> Result<RunSpace>
     where
-        W: Workload + Snap + Send,
+        W: Workload + Snap + Clone + Send + Sync,
         F: Fn() -> W + Sync,
     {
         plan.validate()?;
@@ -689,8 +689,15 @@ impl Executor {
             // The domain constant keeps them decorrelated from (and the
             // cache disjoint with) the legacy path's seed stream.
             let source_id = config_id ^ SHARED_WARMUP_DOMAIN;
+            // Decode once, fork per run: the template's cache arrays are
+            // copy-on-write, so each fork clones pointers, not payloads.
+            // Decoding here (rather than reusing the machine warm_checkpoint
+            // just simulated) leaves the decoder's resident-line seed on
+            // every array, which makes each fork's first-write
+            // materialization a single sequential pass.
+            let template: Machine<W> = Machine::restore(&snapshot)?;
             return self.execute(plan, source_id, workload_id, |seed| {
-                let mut machine: Machine<W> = Machine::restore(&snapshot)?;
+                let mut machine = template.fork();
                 machine.set_perturbation(perturbation_max, seed);
                 if self.strict_invariants {
                     machine.enable_invariant_checks();
@@ -862,12 +869,15 @@ impl Executor {
         plan: &RunPlan,
     ) -> Result<RunSpace>
     where
-        W: Workload + Snap + Send,
+        W: Workload + Snap + Clone + Send + Sync,
     {
         plan.validate()?;
         let source_id = snapshot.fingerprint();
+        // Decode once, fork per run (copy-on-write cache arrays) — the
+        // restore cost is paid once per snapshot instead of once per run.
+        let template: Machine<W> = Machine::restore(snapshot)?;
         self.execute(plan, source_id, 0, |seed| {
-            let mut machine: Machine<W> = Machine::restore(snapshot)?;
+            let mut machine = template.fork();
             if self.strict_invariants {
                 machine.enable_invariant_checks();
             }
@@ -1062,7 +1072,7 @@ where
 /// Propagates configuration and deadlock errors from the simulator.
 pub fn run_space<W, F>(config: &MachineConfig, make_workload: F, plan: &RunPlan) -> Result<RunSpace>
 where
-    W: Workload + Snap + Send,
+    W: Workload + Snap + Clone + Send + Sync,
     F: Fn() -> W + Sync,
 {
     Executor::sequential()

@@ -111,7 +111,7 @@ impl<W, F> fmt::Debug for SamplingStudy<W, F> {
 
 impl<W, F> SamplingStudy<W, F>
 where
-    W: Workload + Snap + Send,
+    W: Workload + Snap + Clone + Send + Sync,
     F: Fn() -> W,
 {
     /// Builds a study over `frame` on `config`, measuring each sampled
@@ -316,7 +316,7 @@ impl<W, F> fmt::Debug for StudyOracle<'_, W, F> {
 
 impl<W, F> StudyOracle<'_, W, F>
 where
-    W: Workload + Snap + Send,
+    W: Workload + Snap + Clone + Send + Sync,
     F: Fn() -> W,
 {
     /// Invariant violations observed across every run this oracle has
@@ -376,7 +376,7 @@ where
 
 impl<W, F> PositionOracle for StudyOracle<'_, W, F>
 where
-    W: Workload + Snap + Send,
+    W: Workload + Snap + Clone + Send + Sync,
     F: Fn() -> W,
 {
     type Error = CoreError;
@@ -588,7 +588,7 @@ pub fn evaluate<W, F>(
     seed: u64,
 ) -> Result<Evaluation>
 where
-    W: Workload + Snap + Send,
+    W: Workload + Snap + Clone + Send + Sync,
     F: Fn() -> W,
 {
     if trials == 0 {

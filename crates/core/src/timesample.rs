@@ -326,7 +326,7 @@ pub fn sweep_positions_with<W, F>(
     plan: &RunPlan,
 ) -> Result<TimeSampleStudy>
 where
-    W: Workload + Snap + Send,
+    W: Workload + Snap + Clone + Send + Sync,
     F: Fn() -> W + Sync,
 {
     if positions.len() < 2 {

@@ -509,6 +509,9 @@ impl crate::checkpoint::Snap for InvariantKind {
             }
         })
     }
+    fn snap_size_hint(&self) -> usize {
+        1
+    }
 }
 
 crate::impl_snap!(Violation {
@@ -546,6 +549,14 @@ impl crate::checkpoint::Snap for InvariantMonitor {
             fetch_ops: Snap::decode_snap(dec)?,
             scratch: Scratch::default(),
         })
+    }
+    fn snap_size_hint(&self) -> usize {
+        self.protocol.snap_size_hint()
+            + self.violations.snap_size_hint()
+            + self.total_violations.snap_size_hint()
+            + self.last_event_time.snap_size_hint()
+            + self.data_ops.snap_size_hint()
+            + self.fetch_ops.snap_size_hint()
     }
 }
 

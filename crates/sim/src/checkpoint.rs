@@ -31,7 +31,21 @@ pub const CHECKPOINT_MAGIC: [u8; 8] = *b"MTVARCKP";
 
 /// Current encoding version. Bump when any [`Snap`] implementation changes
 /// its wire format; old checkpoints are then rejected instead of misread.
-pub const CHECKPOINT_VERSION: u32 = 1;
+///
+/// Version history:
+///
+/// * **1** — monolithic frame: `magic | version | payload_len | fingerprint
+///   | payload`.
+/// * **2** — sectioned frame: the header additionally carries a section
+///   table (kind, length and per-section fingerprint for every
+///   [`Section`] of the payload) plus a checksum over the whole header.
+///   The *payload* bytes are unchanged from version 1 — sections are
+///   offsets into the same byte stream — so payload fingerprints (and
+///   everything derived from them: store keys, run seeds, golden
+///   statistics) carry over without re-blessing. Only the framed on-disk
+///   form changed, which is why the version bump rejects old spill files
+///   instead of misreading their headers.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -267,6 +281,17 @@ pub trait Snap: Sized {
     /// Returns a [`CheckpointError`] if the stream is truncated or the bytes
     /// are not a valid encoding of this type.
     fn decode_snap(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError>;
+
+    /// Upper estimate of this value's encoded size in bytes, used to seed
+    /// encoder capacity so snapshot encoding never regrows its buffer
+    /// mid-encode (gated by the alloc-budget suite). Estimates must err
+    /// high, never low; the default generously covers small fixed-size
+    /// values (hand-written enum encodings), and containers sum their
+    /// elements. [`impl_snap!`](crate::impl_snap) derives it as the sum of
+    /// the field hints.
+    fn snap_size_hint(&self) -> usize {
+        64
+    }
 }
 
 /// Implements [`Snap`] for a struct with named fields by encoding the listed
@@ -285,6 +310,9 @@ macro_rules! impl_snap {
                 $( let $field = $crate::checkpoint::Snap::decode_snap(dec)?; )+
                 Ok(Self { $($field),+ })
             }
+            fn snap_size_hint(&self) -> usize {
+                0 $( + $crate::checkpoint::Snap::snap_size_hint(&self.$field) )+
+            }
         }
     };
 }
@@ -296,6 +324,9 @@ impl Snap for u8 {
     fn decode_snap(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
         dec.get_u8()
     }
+    fn snap_size_hint(&self) -> usize {
+        1
+    }
 }
 
 impl Snap for u16 {
@@ -304,6 +335,9 @@ impl Snap for u16 {
     }
     fn decode_snap(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
         dec.get_u16()
+    }
+    fn snap_size_hint(&self) -> usize {
+        2
     }
 }
 
@@ -314,6 +348,9 @@ impl Snap for u32 {
     fn decode_snap(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
         dec.get_u32()
     }
+    fn snap_size_hint(&self) -> usize {
+        4
+    }
 }
 
 impl Snap for u64 {
@@ -322,6 +359,9 @@ impl Snap for u64 {
     }
     fn decode_snap(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
         dec.get_u64()
+    }
+    fn snap_size_hint(&self) -> usize {
+        8
     }
 }
 
@@ -333,6 +373,9 @@ impl Snap for usize {
         usize::try_from(dec.get_u64()?).map_err(|_| CheckpointError::Corrupt {
             what: "usize value exceeds this platform's width".into(),
         })
+    }
+    fn snap_size_hint(&self) -> usize {
+        8
     }
 }
 
@@ -349,6 +392,9 @@ impl Snap for bool {
             }),
         }
     }
+    fn snap_size_hint(&self) -> usize {
+        1
+    }
 }
 
 impl Snap for f64 {
@@ -357,6 +403,9 @@ impl Snap for f64 {
     }
     fn decode_snap(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
         Ok(f64::from_bits(dec.get_u64()?))
+    }
+    fn snap_size_hint(&self) -> usize {
+        8
     }
 }
 
@@ -371,6 +420,9 @@ impl Snap for String {
         String::from_utf8(bytes.to_vec()).map_err(|_| CheckpointError::Corrupt {
             what: "string is not valid UTF-8".into(),
         })
+    }
+    fn snap_size_hint(&self) -> usize {
+        8 + self.len()
     }
 }
 
@@ -393,6 +445,9 @@ impl<T: Snap> Snap for Option<T> {
             }),
         }
     }
+    fn snap_size_hint(&self) -> usize {
+        1 + self.as_ref().map_or(0, Snap::snap_size_hint)
+    }
 }
 
 impl<A: Snap, B: Snap> Snap for (A, B) {
@@ -402,6 +457,9 @@ impl<A: Snap, B: Snap> Snap for (A, B) {
     }
     fn decode_snap(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
         Ok((A::decode_snap(dec)?, B::decode_snap(dec)?))
+    }
+    fn snap_size_hint(&self) -> usize {
+        self.0.snap_size_hint() + self.1.snap_size_hint()
     }
 }
 
@@ -420,6 +478,9 @@ impl<T: Snap> Snap for Vec<T> {
         }
         Ok(out)
     }
+    fn snap_size_hint(&self) -> usize {
+        8 + self.iter().map(Snap::snap_size_hint).sum::<usize>()
+    }
 }
 
 impl<T: Snap> Snap for VecDeque<T> {
@@ -436,6 +497,9 @@ impl<T: Snap> Snap for VecDeque<T> {
             out.push_back(T::decode_snap(dec)?);
         }
         Ok(out)
+    }
+    fn snap_size_hint(&self) -> usize {
+        8 + self.iter().map(Snap::snap_size_hint).sum::<usize>()
     }
 }
 
@@ -454,6 +518,9 @@ impl<T: Snap, const N: usize> Snap for [T; N] {
             Ok(a) => Ok(a),
             Err(_) => unreachable!("vector was built with exactly N elements"),
         }
+    }
+    fn snap_size_hint(&self) -> usize {
+        self.iter().map(Snap::snap_size_hint).sum()
     }
 }
 
@@ -475,6 +542,9 @@ impl Snap for CpuId {
     fn decode_snap(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
         Ok(CpuId(dec.get_u32()?))
     }
+    fn snap_size_hint(&self) -> usize {
+        4
+    }
 }
 
 impl Snap for ThreadId {
@@ -483,6 +553,9 @@ impl Snap for ThreadId {
     }
     fn decode_snap(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
         Ok(ThreadId(dec.get_u32()?))
+    }
+    fn snap_size_hint(&self) -> usize {
+        4
     }
 }
 
@@ -493,6 +566,9 @@ impl Snap for LockId {
     fn decode_snap(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
         Ok(LockId(dec.get_u32()?))
     }
+    fn snap_size_hint(&self) -> usize {
+        4
+    }
 }
 
 impl Snap for BlockAddr {
@@ -502,46 +578,322 @@ impl Snap for BlockAddr {
     fn decode_snap(dec: &mut Decoder<'_>) -> Result<Self, CheckpointError> {
         Ok(BlockAddr(dec.get_u64()?))
     }
+    fn snap_size_hint(&self) -> usize {
+        8
+    }
 }
 
-/// FNV-1a over `bytes`, finished with a splitmix diffusion step — the same
-/// construction the fingerprint helpers in `mtvar-core` use, applied to a
-/// checkpoint's payload to content-address it.
-fn fingerprint_bytes(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a offset basis (the running-state seed for [`fnv1a_update`]).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Folds `bytes` into a running FNV-1a state. Resumable: hashing a
+/// concatenation equals chaining updates, which is what lets
+/// [`SectionEncoder::finish`] compute the whole-payload fingerprint
+/// alongside the per-section ones in a single traversal.
+#[inline]
+fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        h = h.wrapping_mul(FNV_PRIME);
     }
-    // splitmix64 finalizer for avalanche.
+    h
+}
+
+/// Finishes an FNV-1a state with a splitmix64 diffusion step for avalanche.
+#[inline]
+fn fnv_finish(h: u64) -> u64 {
     let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
+/// FNV-1a over `bytes`, finished with a splitmix diffusion step — the same
+/// construction the fingerprint helpers in `mtvar-core` use, applied to a
+/// checkpoint's payload to content-address it.
+fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    fnv_finish(fnv1a_update(FNV_OFFSET, bytes))
+}
+
+/// Identifies one section of a sectioned checkpoint payload. The order of
+/// sections in a machine snapshot is fixed (see
+/// [`Machine::snapshot`](crate::machine::Machine::snapshot)): `Meta`,
+/// `Cpus`, `MemHeader`, one `MemNode` per node, `MemShared`, `Sched`,
+/// `Workload`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SectionKind {
+    /// Machine config, clock, sequence counter and the sorted event queue.
+    Meta,
+    /// All processor cores (pipelines, predictors, per-CPU accounting).
+    Cpus,
+    /// Memory-system configuration and the node count.
+    MemHeader,
+    /// One node's cache stack (L1I, L1D, L2) — the payload's dominant
+    /// sections, and the unit of copy-on-write sharing between forks.
+    MemNode(u32),
+    /// Memory-system tail: bus/occupancy timing, perturbation RNG, stats.
+    MemShared,
+    /// Scheduler, lock table, noise model and invariant monitor.
+    Sched,
+    /// Workload generators and commit accounting.
+    Workload,
+}
+
+impl SectionKind {
+    fn wire(self) -> (u8, u32) {
+        match self {
+            SectionKind::Meta => (0, 0),
+            SectionKind::Cpus => (1, 0),
+            SectionKind::MemHeader => (2, 0),
+            SectionKind::MemNode(i) => (3, i),
+            SectionKind::MemShared => (4, 0),
+            SectionKind::Sched => (5, 0),
+            SectionKind::Workload => (6, 0),
+        }
+    }
+
+    fn from_wire(tag: u8, index: u32) -> Result<Self, CheckpointError> {
+        let kind = match (tag, index) {
+            (0, 0) => SectionKind::Meta,
+            (1, 0) => SectionKind::Cpus,
+            (2, 0) => SectionKind::MemHeader,
+            (3, i) => SectionKind::MemNode(i),
+            (4, 0) => SectionKind::MemShared,
+            (5, 0) => SectionKind::Sched,
+            (6, 0) => SectionKind::Workload,
+            _ => {
+                return Err(CheckpointError::Corrupt {
+                    what: format!("section kind tag {tag}/{index}"),
+                })
+            }
+        };
+        Ok(kind)
+    }
+}
+
+impl fmt::Display for SectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SectionKind::Meta => write!(f, "Meta"),
+            SectionKind::Cpus => write!(f, "Cpus"),
+            SectionKind::MemHeader => write!(f, "MemHeader"),
+            SectionKind::MemNode(i) => write!(f, "MemNode({i})"),
+            SectionKind::MemShared => write!(f, "MemShared"),
+            SectionKind::Sched => write!(f, "Sched"),
+            SectionKind::Workload => write!(f, "Workload"),
+        }
+    }
+}
+
+/// One contiguous, individually fingerprinted range of a checkpoint payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Section {
+    /// What machine state the range holds.
+    pub kind: SectionKind,
+    /// Byte offset of the section's first byte within the payload.
+    pub start: usize,
+    /// Section length in bytes.
+    pub len: usize,
+    /// Content fingerprint of exactly this range (same construction as the
+    /// whole-payload fingerprint).
+    pub fingerprint: u64,
+}
+
+/// Wire size of one section-table entry in the framed format:
+/// `tag(1) | index(4) | len(8) | fingerprint(8)`.
+const SECTION_ENTRY_BYTES: usize = 21;
+
+/// Sanity cap on the section count a frame may declare: `Meta` + `Cpus` +
+/// `MemHeader` + `MemShared` + `Sched` + `Workload` + one node per CPU.
+/// No machine we build approaches 2^20 nodes, so anything larger is a
+/// corrupt header, rejected before it can size an allocation.
+const MAX_SECTIONS: usize = (1 << 20) + 8;
+
+/// An [`Encoder`] that records section boundaries as it goes: callers mark
+/// the start of each logical region with [`SectionEncoder::begin`], append
+/// bytes through [`SectionEncoder::enc`], and [`SectionEncoder::finish`]
+/// closes the table and fingerprints every section. The byte stream produced
+/// is exactly what the same `encode_snap` calls would feed a bare
+/// [`Encoder`] — marking boundaries adds table entries, never bytes — which
+/// is what keeps sectioned payloads (and their fingerprints) identical to
+/// the pre-section encoding.
+#[derive(Debug)]
+pub struct SectionEncoder {
+    enc: Encoder,
+    sections: Vec<Section>,
+    open: Option<(SectionKind, usize)>,
+}
+
+impl SectionEncoder {
+    /// Creates an encoder with `capacity` payload bytes and room for
+    /// `sections` table entries pre-reserved (machine snapshots know both up
+    /// front, keeping encode free of regrowth).
+    pub fn with_capacity(capacity: usize, sections: usize) -> Self {
+        SectionEncoder {
+            enc: Encoder::with_capacity(capacity),
+            sections: Vec::with_capacity(sections),
+            open: None,
+        }
+    }
+
+    /// Closes the current section (if any) and opens a new one of `kind` at
+    /// the current byte offset.
+    pub fn begin(&mut self, kind: SectionKind) {
+        self.close_open();
+        self.open = Some((kind, self.enc.len()));
+    }
+
+    /// The underlying byte encoder; everything appended lands in the
+    /// section most recently opened with [`SectionEncoder::begin`].
+    pub fn enc(&mut self) -> &mut Encoder {
+        &mut self.enc
+    }
+
+    fn close_open(&mut self) {
+        if let Some((kind, start)) = self.open.take() {
+            self.sections.push(Section {
+                kind,
+                start,
+                len: self.enc.len() - start,
+                fingerprint: 0,
+            });
+        }
+    }
+
+    /// Closes the table, fingerprints every section and the whole payload,
+    /// and returns the finished [`Checkpoint`].
+    pub fn finish(mut self) -> Checkpoint {
+        self.close_open();
+        let payload = self.enc.into_bytes();
+        // One traversal computes every fingerprint: each byte feeds two
+        // independent FNV chains (its section's and the whole payload's).
+        // The chains carry no data dependency on each other, so the CPU
+        // overlaps their serial multiply chains and the fused pass costs
+        // barely more than one — where hashing a multi-megabyte payload
+        // twice costs double.
+        let mut whole = FNV_OFFSET;
+        let mut cursor = 0usize;
+        for s in &mut self.sections {
+            // Bytes between sections (none in practice: `begin` is called
+            // before the first byte and sections abut) still feed the
+            // whole-payload chain.
+            whole = fnv1a_update(whole, &payload[cursor..s.start]);
+            let mut sec = FNV_OFFSET;
+            for &b in &payload[s.start..s.start + s.len] {
+                sec ^= u64::from(b);
+                sec = sec.wrapping_mul(FNV_PRIME);
+                whole ^= u64::from(b);
+                whole = whole.wrapping_mul(FNV_PRIME);
+            }
+            s.fingerprint = fnv_finish(sec);
+            cursor = s.start + s.len;
+        }
+        whole = fnv1a_update(whole, &payload[cursor..]);
+        Checkpoint {
+            payload,
+            fingerprint: fnv_finish(whole),
+            sections: self.sections,
+        }
+    }
+}
+
+/// Sequential reader over a sectioned checkpoint: each
+/// [`SectionReader::expect`] demands the next section be of a given kind and
+/// hands back a [`Decoder`] scoped to exactly that section's bytes, so a
+/// decode overrun in one component is caught at its own boundary (with the
+/// section named) instead of silently consuming its neighbour's bytes.
+#[derive(Debug)]
+pub struct SectionReader<'a> {
+    ck: &'a Checkpoint,
+    next: usize,
+}
+
+impl<'a> SectionReader<'a> {
+    /// Positions a reader at `ck`'s first section.
+    pub fn new(ck: &'a Checkpoint) -> Self {
+        SectionReader { ck, next: 0 }
+    }
+
+    /// Number of sections not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.ck.sections.len() - self.next
+    }
+
+    /// The kind of the next section, if any (for data-dependent layouts
+    /// like the per-node memory sections).
+    pub fn peek(&self) -> Option<SectionKind> {
+        self.ck.sections.get(self.next).map(|s| s.kind)
+    }
+
+    /// Opens the next section, requiring it to be `kind`; returns a decoder
+    /// over exactly its bytes. The caller must fully consume it (checked
+    /// with [`Decoder::finish`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Corrupt`] when sections are exhausted or
+    /// the next section is of a different kind.
+    pub fn expect(&mut self, kind: SectionKind) -> Result<Decoder<'a>, CheckpointError> {
+        let Some(s) = self.ck.sections.get(self.next) else {
+            return Err(CheckpointError::Corrupt {
+                what: format!("missing section {kind}"),
+            });
+        };
+        if s.kind != kind {
+            return Err(CheckpointError::Corrupt {
+                what: format!("expected section {kind}, found {}", s.kind),
+            });
+        }
+        self.next += 1;
+        Ok(Decoder::new(&self.ck.payload[s.start..s.start + s.len]))
+    }
+
+    /// Asserts every section was consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Corrupt`] if sections remain.
+    pub fn finish(&self) -> Result<(), CheckpointError> {
+        if self.remaining() != 0 {
+            return Err(CheckpointError::Corrupt {
+                what: format!("{} unread trailing section(s)", self.remaining()),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// One serialized machine state: an opaque payload plus its content
-/// fingerprint.
+/// fingerprint and (for machine snapshots) a table of [`Section`]s over the
+/// payload.
 ///
 /// Produced by [`Machine::snapshot`](crate::machine::Machine::snapshot) and
 /// consumed by [`Machine::restore`](crate::machine::Machine::restore).
 /// The framed byte form ([`Checkpoint::to_bytes`]) is safe to persist:
-/// [`Checkpoint::from_bytes`] re-verifies magic, version, length and
-/// fingerprint, so a truncated or bit-flipped file is detected instead of
-/// silently restoring a wrong machine.
+/// [`Checkpoint::from_bytes`] re-verifies magic, version, header checksum,
+/// length, the whole-payload fingerprint and every per-section fingerprint,
+/// so a truncated or bit-flipped file — in header or payload — is detected
+/// instead of silently restoring a wrong machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Checkpoint {
     payload: Vec<u8>,
     fingerprint: u64,
+    sections: Vec<Section>,
 }
 
 impl Checkpoint {
-    /// Wraps an encoded payload, computing its fingerprint.
+    /// Wraps an encoded payload, computing its fingerprint. The checkpoint
+    /// carries no section table (callers that want one use
+    /// [`SectionEncoder`]); decode falls back to one linear pass.
     pub fn from_payload(payload: Vec<u8>) -> Self {
         let fingerprint = fingerprint_bytes(&payload);
         Checkpoint {
             payload,
             fingerprint,
+            sections: Vec::new(),
         }
     }
 
@@ -552,9 +904,17 @@ impl Checkpoint {
 
     /// Content fingerprint of the payload (FNV-1a + splitmix finalizer).
     /// Two checkpoints have the same fingerprint exactly when their encoded
-    /// state is byte-identical.
+    /// state is byte-identical. Independent of the section table — a
+    /// sectioned and an unsectioned checkpoint over the same bytes
+    /// fingerprint identically.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The section table (empty for [`Checkpoint::from_payload`]
+    /// checkpoints). Sections tile the payload exactly, in order.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
     }
 
     /// Payload size in bytes.
@@ -568,25 +928,51 @@ impl Checkpoint {
     }
 
     /// Serializes to the framed byte format:
-    /// `magic(8) | version(4) | payload_len(8) | fingerprint(8) | payload`.
+    ///
+    /// ```text
+    /// magic(8) | version(4) | payload_len(8) | payload_fingerprint(8)
+    ///   | section_count(4) | section entries (21 bytes each)
+    ///   | header_checksum(8) | payload
+    /// ```
+    ///
+    /// The header checksum fingerprints every header byte before it, so a
+    /// flipped bit in the section table (or the lengths) is caught on load
+    /// without consulting the payload.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(28 + self.payload.len());
+        let header_len = 32 + self.sections.len() * SECTION_ENTRY_BYTES + 8;
+        let mut out = Vec::with_capacity(header_len + self.payload.len());
         out.extend_from_slice(&CHECKPOINT_MAGIC);
         out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
         out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for s in &self.sections {
+            let (tag, index) = s.kind.wire();
+            out.push(tag);
+            out.extend_from_slice(&index.to_le_bytes());
+            out.extend_from_slice(&(s.len as u64).to_le_bytes());
+            out.extend_from_slice(&s.fingerprint.to_le_bytes());
+        }
+        let header_checksum = fingerprint_bytes(&out);
+        out.extend_from_slice(&header_checksum.to_le_bytes());
         out.extend_from_slice(&self.payload);
         out
     }
 
     /// Parses and validates the framed byte format.
     ///
+    /// Validation is layered so any single corruption is caught by at least
+    /// one check: magic and version first; the header checksum (covering
+    /// lengths and the section table); the payload length against the bytes
+    /// actually present (an interrupted write) and against `usize` (so a
+    /// wrapped length cannot mis-slice on 32-bit targets); the
+    /// whole-payload fingerprint; and finally every section's own
+    /// fingerprint over its recorded range, which localizes payload damage
+    /// to a named section.
+    ///
     /// # Errors
     ///
-    /// Returns a [`CheckpointError`] if the magic or version is wrong, the
-    /// data is shorter than the recorded payload length (an interrupted
-    /// write), trailing bytes follow the payload, or the recorded
-    /// fingerprint does not match the payload (bit rot / corruption).
+    /// Returns a [`CheckpointError`] describing the first failed check.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
         let mut dec = Decoder::new(bytes);
         let magic = dec.get_bytes(8)?;
@@ -598,19 +984,84 @@ impl Checkpoint {
             return Err(CheckpointError::UnsupportedVersion { found: version });
         }
         let payload_len = dec.get_u64()?;
+        // Reject lengths that do not fit in this platform's usize *before*
+        // any cast — `payload_len as usize` would silently truncate on
+        // 32-bit targets and slice the wrong range.
+        let payload_len: usize = payload_len
+            .try_into()
+            .map_err(|_| CheckpointError::Corrupt {
+                what: format!("payload length {payload_len} exceeds this platform's usize"),
+            })?;
         let stored = dec.get_u64()?;
-        if payload_len > dec.remaining() as u64 {
+        let section_count = dec.get_u32()? as usize;
+        if section_count > MAX_SECTIONS {
+            return Err(CheckpointError::Corrupt {
+                what: format!("section count {section_count}"),
+            });
+        }
+        let mut sections = Vec::with_capacity(section_count);
+        let mut start = 0usize;
+        for _ in 0..section_count {
+            let tag = dec.get_u8()?;
+            let index = dec.get_u32()?;
+            let kind = SectionKind::from_wire(tag, index)?;
+            let len: usize = dec
+                .get_u64()?
+                .try_into()
+                .map_err(|_| CheckpointError::Corrupt {
+                    what: format!("section {kind} length exceeds this platform's usize"),
+                })?;
+            let fingerprint = dec.get_u64()?;
+            sections.push(Section {
+                kind,
+                start,
+                len,
+                fingerprint,
+            });
+            start = start
+                .checked_add(len)
+                .filter(|&end| end <= payload_len)
+                .ok_or_else(|| CheckpointError::Corrupt {
+                    what: format!("section {kind} overruns the payload"),
+                })?;
+        }
+        if section_count > 0 && start != payload_len {
+            return Err(CheckpointError::Corrupt {
+                what: format!("section table covers {start} of {payload_len} payload byte(s)"),
+            });
+        }
+        // The checksum fingerprints every header byte before itself, so a
+        // corrupted length or table entry is caught here even when the
+        // payload bytes are intact.
+        let header_end = bytes.len() - dec.remaining();
+        let header_checksum = dec.get_u64()?;
+        let actual_checksum = fingerprint_bytes(&bytes[..header_end]);
+        if header_checksum != actual_checksum {
+            return Err(CheckpointError::Corrupt {
+                what: "header checksum mismatch".into(),
+            });
+        }
+        if payload_len > dec.remaining() {
             return Err(CheckpointError::Truncated);
         }
-        let payload = dec.get_bytes(payload_len as usize)?.to_vec();
+        let payload = dec.get_bytes(payload_len)?.to_vec();
         dec.finish()?;
         let actual = fingerprint_bytes(&payload);
         if actual != stored {
             return Err(CheckpointError::FingerprintMismatch { stored, actual });
         }
+        for s in &sections {
+            let actual = fingerprint_bytes(&payload[s.start..s.start + s.len]);
+            if actual != s.fingerprint {
+                return Err(CheckpointError::Corrupt {
+                    what: format!("section {} fingerprint mismatch", s.kind),
+                });
+            }
+        }
         Ok(Checkpoint {
             payload,
             fingerprint: stored,
+            sections,
         })
     }
 }

@@ -314,6 +314,10 @@ impl crate::checkpoint::Snap for FaultKind {
             }
         })
     }
+    fn snap_size_hint(&self) -> usize {
+        // Largest variant: tag + cpu + block + state.
+        14
+    }
 }
 
 crate::impl_snap!(FaultSpec {

@@ -10,7 +10,9 @@
 //! through the configured perturbation or noise seeds.
 
 use crate::check::{InvariantMonitor, Violation};
-use crate::checkpoint::{Checkpoint, CheckpointError, Decoder, Encoder, Snap};
+use crate::checkpoint::{
+    Checkpoint, CheckpointError, Decoder, Encoder, SectionEncoder, SectionKind, SectionReader, Snap,
+};
 use crate::config::{FaultKind, MachineConfig};
 use crate::equeue::EventQueue;
 use crate::ids::{BlockAddr, CpuId, Cycle, Nanos, ThreadId};
@@ -634,6 +636,9 @@ impl crate::checkpoint::Snap for EventKind {
             }
         })
     }
+    fn snap_size_hint(&self) -> usize {
+        5
+    }
 }
 
 crate::impl_snap!(Event { time, seq, kind });
@@ -643,6 +648,27 @@ crate::impl_snap!(Cpu {
     idle,
     busy_ns,
 });
+
+/// Decoded-but-unvalidated machine state: what both the linear and the
+/// sectioned checkpoint decoders produce, and what
+/// [`Machine::restore`]'s shared assembly validates and wires up.
+struct MachineParts<W> {
+    config: MachineConfig,
+    now: Nanos,
+    seq: u64,
+    events: Vec<Event>,
+    cpus: Vec<Cpu>,
+    mem: MemorySystem,
+    sched: Scheduler,
+    locks: LockTable,
+    noise: Option<NoiseState>,
+    monitor: Option<InvariantMonitor>,
+    workload: W,
+    committed: u64,
+    commit_log: Vec<Nanos>,
+    measure_start: Nanos,
+    measure_committed_base: u64,
+}
 
 impl<W: Workload + Snap> Machine<W> {
     /// Serializes the complete machine state — caches and coherence state,
@@ -655,34 +681,56 @@ impl<W: Workload + Snap> Machine<W> {
     /// machines in identical states always produce byte-identical payloads
     /// (and hence equal fingerprints) regardless of queue-internal layout.
     pub fn snapshot(&self) -> Checkpoint {
-        // Resident cache lines dominate the payload (17 bytes each as tag +
-        // lru + state); everything else is noise. Reserving the estimate up
-        // front saves the ~10 doubling copies of growing a multi-megabyte
-        // payload from empty.
-        let resident: usize = self
-            .mem
-            .resident_blocks_total()
-            .saturating_mul(17)
-            .saturating_add(4096);
-        let mut enc = Encoder::with_capacity(resident);
-        self.config.encode_snap(&mut enc);
-        self.now.encode_snap(&mut enc);
-        self.seq.encode_snap(&mut enc);
+        // Reserving the full estimate up front saves the ~10 doubling copies
+        // of growing a multi-megabyte payload from empty. Sections are
+        // ranges over this one buffer, so the single reservation covers the
+        // largest section by construction (there is no per-section buffer to
+        // under-size).
+        let mut se =
+            SectionEncoder::with_capacity(self.snapshot_size_hint(), self.mem.node_count() + 6);
+        se.begin(SectionKind::Meta);
+        self.config.encode_snap(se.enc());
+        self.now.encode_snap(se.enc());
+        self.seq.encode_snap(se.enc());
         let mut events: Vec<Event> = self.events.to_vec();
         events.sort_unstable();
-        events.encode_snap(&mut enc);
-        self.cpus.encode_snap(&mut enc);
-        self.mem.encode_snap(&mut enc);
-        self.sched.encode_snap(&mut enc);
-        self.locks.encode_snap(&mut enc);
-        self.noise.encode_snap(&mut enc);
-        self.monitor.encode_snap(&mut enc);
-        self.workload.encode_snap(&mut enc);
-        self.committed.encode_snap(&mut enc);
-        self.commit_log.encode_snap(&mut enc);
-        self.measure_start.encode_snap(&mut enc);
-        self.measure_committed_base.encode_snap(&mut enc);
-        Checkpoint::from_payload(enc.into_bytes())
+        events.encode_snap(se.enc());
+        se.begin(SectionKind::Cpus);
+        self.cpus.encode_snap(se.enc());
+        self.mem.encode_snap_sectioned(&mut se);
+        se.begin(SectionKind::Sched);
+        self.sched.encode_snap(se.enc());
+        self.locks.encode_snap(se.enc());
+        self.noise.encode_snap(se.enc());
+        self.monitor.encode_snap(se.enc());
+        se.begin(SectionKind::Workload);
+        self.workload.encode_snap(se.enc());
+        self.committed.encode_snap(se.enc());
+        self.commit_log.encode_snap(se.enc());
+        self.measure_start.encode_snap(se.enc());
+        self.measure_committed_base.encode_snap(se.enc());
+        se.finish()
+    }
+
+    /// Upper bound on the encoded size of [`Machine::snapshot`]'s payload,
+    /// summed from every component's [`Snap::snap_size_hint`]. `snapshot`
+    /// seeds its encoder with exactly this value, and the alloc-budget suite
+    /// asserts the payload never exceeds it — so encode never regrows its
+    /// buffer mid-snapshot.
+    pub fn snapshot_size_hint(&self) -> usize {
+        self.config.snap_size_hint()
+            + 16 // now + seq
+            + 8 + self.events.len() * 21 // sorted events: time + seq + tagged kind
+            + self.cpus.snap_size_hint()
+            + self.mem.snap_size_hint()
+            + self.sched.snap_size_hint()
+            + self.locks.snap_size_hint()
+            + self.noise.snap_size_hint()
+            + self.monitor.snap_size_hint()
+            + self.workload.snap_size_hint()
+            + 8 // committed
+            + self.commit_log.snap_size_hint()
+            + 16 // measure_start + measure_committed_base
     }
 
     /// Reconstructs a machine from a [`Checkpoint`], bit-identical to the
@@ -701,7 +749,21 @@ impl<W: Workload + Snap> Machine<W> {
     /// [`SimError::InvalidConfig`] when the embedded configuration fails
     /// validation.
     pub fn restore(ck: &Checkpoint) -> Result<Self, SimError> {
-        let mut dec = Decoder::new(ck.payload());
+        // Sectioned checkpoints (everything `snapshot` produces) decode each
+        // component at its own boundary; unsectioned ones (raw payloads via
+        // `Checkpoint::from_payload`, e.g. older spill files re-wrapped) fall
+        // back to one linear pass over the same bytes. Both paths feed the
+        // same assembly, so the machines they build are identical.
+        let parts = if ck.sections().is_empty() {
+            Self::decode_linear(ck.payload())?
+        } else {
+            Self::decode_sectioned(ck)?
+        };
+        Self::assemble(parts)
+    }
+
+    fn decode_linear(payload: &[u8]) -> Result<MachineParts<W>, SimError> {
+        let mut dec = Decoder::new(payload);
         let config = MachineConfig::decode_snap(&mut dec)?;
         let now = Snap::decode_snap(&mut dec)?;
         let seq = Snap::decode_snap(&mut dec)?;
@@ -718,7 +780,88 @@ impl<W: Workload + Snap> Machine<W> {
         let measure_start = Snap::decode_snap(&mut dec)?;
         let measure_committed_base = Snap::decode_snap(&mut dec)?;
         dec.finish()?;
+        Ok(MachineParts {
+            config,
+            now,
+            seq,
+            events,
+            cpus,
+            mem,
+            sched,
+            locks,
+            noise,
+            monitor,
+            workload,
+            committed,
+            commit_log,
+            measure_start,
+            measure_committed_base,
+        })
+    }
 
+    fn decode_sectioned(ck: &Checkpoint) -> Result<MachineParts<W>, SimError> {
+        let mut sr = SectionReader::new(ck);
+        let mut dec = sr.expect(SectionKind::Meta)?;
+        let config = MachineConfig::decode_snap(&mut dec)?;
+        let now = Snap::decode_snap(&mut dec)?;
+        let seq = Snap::decode_snap(&mut dec)?;
+        let events: Vec<Event> = Snap::decode_snap(&mut dec)?;
+        dec.finish()?;
+        let mut dec = sr.expect(SectionKind::Cpus)?;
+        let cpus: Vec<Cpu> = Snap::decode_snap(&mut dec)?;
+        dec.finish()?;
+        let mem = MemorySystem::decode_snap_sectioned(&mut sr)?;
+        let mut dec = sr.expect(SectionKind::Sched)?;
+        let sched = Scheduler::decode_snap(&mut dec)?;
+        let locks = LockTable::decode_snap(&mut dec)?;
+        let noise = Snap::decode_snap(&mut dec)?;
+        let monitor: Option<InvariantMonitor> = Snap::decode_snap(&mut dec)?;
+        dec.finish()?;
+        let mut dec = sr.expect(SectionKind::Workload)?;
+        let workload = W::decode_snap(&mut dec)?;
+        let committed = Snap::decode_snap(&mut dec)?;
+        let commit_log = Snap::decode_snap(&mut dec)?;
+        let measure_start = Snap::decode_snap(&mut dec)?;
+        let measure_committed_base = Snap::decode_snap(&mut dec)?;
+        dec.finish()?;
+        sr.finish()?;
+        Ok(MachineParts {
+            config,
+            now,
+            seq,
+            events,
+            cpus,
+            mem,
+            sched,
+            locks,
+            noise,
+            monitor,
+            workload,
+            committed,
+            commit_log,
+            measure_start,
+            measure_committed_base,
+        })
+    }
+
+    fn assemble(parts: MachineParts<W>) -> Result<Self, SimError> {
+        let MachineParts {
+            config,
+            now,
+            seq,
+            events,
+            cpus,
+            mem,
+            sched,
+            locks,
+            noise,
+            monitor,
+            workload,
+            committed,
+            commit_log,
+            measure_start,
+            measure_committed_base,
+        } = parts;
         config.validate()?;
         if cpus.len() != config.cpus {
             return Err(CheckpointError::Corrupt {
@@ -776,6 +919,16 @@ impl<W: Workload + Clone> Machine<W> {
     /// checkpoint with different perturbation seeds is the paper's mechanism
     /// for exploring the space of executions.
     pub fn checkpoint(&self) -> Machine<W> {
+        self.clone()
+    }
+
+    /// Forks a cheap copy for a perturbed run. This is a `clone`, but the
+    /// dominant state — every cache's line array — is copy-on-write
+    /// ([`Arc`](std::sync::Arc)-shared until a fork's first write to the
+    /// set), so forking a decoded template is a pointer copy per cache
+    /// instead of a multi-megabyte decode. The shared-warmup executor
+    /// restores each snapshot **once** and calls `fork` per run.
+    pub fn fork(&self) -> Machine<W> {
         self.clone()
     }
 
@@ -980,6 +1133,68 @@ mod tests {
         assert_eq!(
             m.run_transactions(10).unwrap(),
             restored.run_transactions(10).unwrap()
+        );
+    }
+
+    #[test]
+    fn sectioned_and_linear_decode_build_identical_machines() {
+        let mut m = machine(4, 8);
+        m.run_transactions(30).unwrap();
+        let ck = m.snapshot();
+        // A machine snapshot carries sections: Meta, Cpus, MemHeader, one
+        // per node, MemShared, Sched, Workload — tiling the payload exactly.
+        assert_eq!(ck.sections().len(), 4 + 6);
+        let covered: usize = ck.sections().iter().map(|s| s.len).sum();
+        assert_eq!(covered, ck.len());
+        for (i, s) in ck.sections().iter().enumerate() {
+            let prev_end = if i == 0 {
+                0
+            } else {
+                ck.sections()[i - 1].start + ck.sections()[i - 1].len
+            };
+            assert_eq!(s.start, prev_end, "section {i} not contiguous");
+        }
+        // Stripping the table (as a raw-payload re-wrap would) leaves the
+        // same bytes, same fingerprint, and the linear fallback decode must
+        // build a machine that re-snapshots identically.
+        let legacy = Checkpoint::from_payload(ck.payload().to_vec());
+        assert!(legacy.sections().is_empty());
+        assert_eq!(legacy.fingerprint(), ck.fingerprint());
+        let a: Machine<UniformWorkload> = Machine::restore(&ck).unwrap();
+        let b: Machine<UniformWorkload> = Machine::restore(&legacy).unwrap();
+        assert_eq!(a.snapshot().fingerprint(), ck.fingerprint());
+        assert_eq!(b.snapshot().fingerprint(), ck.fingerprint());
+        // Sections survive the framed byte round-trip.
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(back.sections(), ck.sections());
+    }
+
+    #[test]
+    fn fork_shares_state_and_diverges_independently() {
+        let cfg = MachineConfig::hpca2003()
+            .with_cpus(4)
+            .with_perturbation(4, 1);
+        let wl = crate::workload::SharingWorkload::new(8, 7, 40, 4096, 10);
+        let mut m = Machine::new(cfg, wl).unwrap();
+        m.run_transactions(30).unwrap();
+        let template: Machine<crate::workload::SharingWorkload> =
+            Machine::restore(&m.snapshot()).unwrap();
+        // Forks of one template must behave exactly like independent
+        // restores of the same checkpoint.
+        let mut f1 = template.fork().with_perturbation_seed(11);
+        let mut f2 = template.fork().with_perturbation_seed(12);
+        let mut r1: Machine<crate::workload::SharingWorkload> = Machine::restore(&m.snapshot())
+            .unwrap()
+            .with_perturbation_seed(11);
+        assert_eq!(
+            f1.run_transactions(40).unwrap(),
+            r1.run_transactions(40).unwrap()
+        );
+        // Different seeds diverge; the template itself is untouched.
+        let _ = f2.run_transactions(40).unwrap();
+        assert_eq!(
+            template.snapshot().fingerprint(),
+            m.snapshot().fingerprint()
         );
     }
 

@@ -6,6 +6,8 @@
 //! MESI/MOSI/MOESI family. [`CoherenceState`] carries the per-block state
 //! and [`CacheArray`] the tag/LRU bookkeeping shared by the L1 and L2 models.
 
+use std::sync::Arc;
+
 use crate::ids::BlockAddr;
 use crate::SimError;
 
@@ -14,20 +16,26 @@ use crate::SimError;
 /// [`CoherenceProtocol`](crate::mem::CoherenceProtocol)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[repr(u8)]
 pub enum CoherenceState {
+    /// Invalid: no copy. Discriminant 0 so an all-zero `Line` is a default
+    /// (empty) line and zeroed allocations are valid line arrays — see
+    /// `zeroed_lines`. The snapshot byte for each state is an explicit
+    /// constant in the `Snap` impl below, independent of these
+    /// discriminants, so checkpoint bytes do not depend on declaration
+    /// order.
+    #[default]
+    Invalid = 0,
     /// Modified: the only copy, dirty, readable and writable.
-    Modified,
+    Modified = 1,
     /// Exclusive: the only copy, clean; a store upgrades to Modified without
     /// a bus transaction (MESI/MOESI only).
-    Exclusive,
+    Exclusive = 2,
     /// Owned: dirty, shared with other caches; this cache answers requests
     /// (MOSI/MOESI only).
-    Owned,
+    Owned = 3,
     /// Shared: clean read-only copy.
-    Shared,
-    /// Invalid: no copy.
-    #[default]
-    Invalid,
+    Shared = 4,
 }
 
 impl CoherenceState {
@@ -144,15 +152,139 @@ struct Line {
     lru: u64,
 }
 
+/// Allocates `len` default (all-Invalid) lines from zeroed memory.
+///
+/// `alloc_zeroed` hands back kernel-zeroed pages that are faulted in only on
+/// first touch, so building a mostly-empty line array (a fresh cache, a
+/// snapshot decode) costs no dense write — the scatter of resident lines
+/// touches only the pages it actually lands on, and a 4 MB L2's 65,536-line
+/// array skips the memset entirely.
+fn zeroed_lines(len: usize) -> Vec<Line> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let layout = std::alloc::Layout::array::<Line>(len).expect("line array layout");
+    // SAFETY: an all-zero `Line` is a valid default line — `tag` and `lru`
+    // are plain integers and `CoherenceState` is `repr(u8)` with
+    // `Invalid = 0` (pinned by the `zeroed_lines_are_default_lines` test).
+    // The pointer/len/capacity triple hands the exact
+    // `Layout::array::<Line>` allocation to `Vec`, which frees it with the
+    // same layout.
+    unsafe {
+        let ptr = std::alloc::alloc_zeroed(layout).cast::<Line>();
+        if ptr.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        Vec::from_raw_parts(ptr, len, len)
+    }
+}
+
+/// The shareable body of a [`CacheArray`]: the dense line array plus an
+/// optional resident-line seed.
+///
+/// Forks of one decoded machine share this behind an `Arc`; the first write
+/// re-materializes a private copy via [`Clone`], and that clone is *sparse*:
+/// a zeroed ([`zeroed_lines`]) dense array with only the resident lines
+/// scattered in. For the mostly-Invalid arrays a warmed machine carries,
+/// a fork's materialization cost is proportional to residency — like the
+/// run-length decode path — not to raw geometry, which is megabytes per L2.
+///
+/// `resident` lists `(index, line)` for every non-Invalid line, in index
+/// order. The snapshot decoder builds it as a free byproduct of its
+/// run-length walk; any in-place mutation drops it (see
+/// [`CacheArray::set_slice_mut`]), because a written array no longer matches
+/// the list. A seeded clone canonicalizes Invalid lines to
+/// `Line::default()`: their residual `tag`/`lru` values are dead state —
+/// every lookup and victim choice tests `state` first, and the snapshot
+/// encoding run-length-encodes Invalid lines — so the clone is
+/// behaviourally identical and re-encodes to the same bytes. An unseeded
+/// clone is a plain memcpy.
+struct CowLines {
+    dense: Vec<Line>,
+    resident: Option<Box<[(u32, Line)]>>,
+}
+
+impl Clone for CowLines {
+    fn clone(&self) -> Self {
+        let len = self.dense.len();
+        let mut dense: Vec<Line> = Vec::with_capacity(len);
+        match &self.resident {
+            Some(list) => {
+                // One sequential pass over uninitialized memory: zero the
+                // gaps between resident lines, write each resident line in
+                // place. (A zeroed allocation plus scatter would traverse
+                // the multi-megabyte array twice — memset, then revisit
+                // every page.) This canonicalizes Invalid lines to
+                // `Line::default()`, exactly as decode does: their residual
+                // `tag`/`lru` values are dead state, and the run-length
+                // snapshot encoding never emits them.
+                let ptr = dense.as_mut_ptr();
+                let mut cursor = 0usize;
+                // SAFETY: the seed's indices are strictly ascending and
+                // < len (the decoder builds it that way while filling the
+                // array front to back), so every element of [0, len) is
+                // written exactly once — gap elements with zero bytes (a
+                // valid `Line`: fields are plain integers and
+                // `CoherenceState` is `repr(u8)` with `Invalid = 0`),
+                // resident slots with their line — before `set_len`
+                // exposes them. `Line` is `Copy`, so no drops are skipped.
+                unsafe {
+                    for &(i, line) in list.iter() {
+                        let i = i as usize;
+                        debug_assert!(i >= cursor && i < len, "seed order/bounds");
+                        ptr.add(cursor).write_bytes(0u8, i - cursor);
+                        ptr.add(i).write(line);
+                        cursor = i + 1;
+                    }
+                    ptr.add(cursor).write_bytes(0u8, len - cursor);
+                    dense.set_len(len);
+                }
+            }
+            // No seed (the source has been written in place): a straight
+            // memcpy, byte-exact including any junk on Invalid lines.
+            None => dense.extend_from_slice(&self.dense),
+        }
+        // The clone exists to be written (Arc::make_mut), so the seed would
+        // be dropped on the next call anyway; skip copying it.
+        CowLines {
+            dense,
+            resident: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for CowLines {
+    /// Renders exactly like the dense `Vec<Line>` it wraps. The machine
+    /// fingerprint hashes `Debug` output, and the resident seed is a
+    /// materialization hint, not state — it must never reach the
+    /// fingerprint.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.dense.fmt(f)
+    }
+}
+
+impl PartialEq for CowLines {
+    fn eq(&self, other: &Self) -> bool {
+        self.dense == other.dense
+    }
+}
+
 /// A set-associative, LRU-replacement cache tag array carrying MOSI state.
 ///
 /// Stores metadata only (tags and states); the simulator never models data
 /// values, just their movement.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheArray {
     config: CacheConfig,
-    lines: Vec<Line>,
+    /// Shared copy-on-write line array. Forks of one decoded machine clone
+    /// this `Arc` (a pointer copy, even for a 65,536-line L2) and only
+    /// materialize a private copy on first write ([`Arc::make_mut`] in
+    /// [`CacheArray::set_slice_mut`]) — and that copy is sparse, seeded
+    /// from the decoder's resident-line list (see [`CowLines`]).
+    /// `CowLines`'s `Debug`/`PartialEq` delegate to the dense vector, so
+    /// fingerprints and comparisons are unaffected by sharing.
+    lines: Arc<CowLines>,
     sets: u64,
     ways: usize,
     use_clock: u64,
@@ -163,6 +295,30 @@ pub struct CacheArray {
     set_mask: u64,
     /// `log2(sets)`, the shift pairing with `set_mask`.
     set_shift: u32,
+    /// Live count of non-Invalid lines, maintained by every state
+    /// transition. Derived (never serialized; recomputed on decode) — it
+    /// makes [`CacheArray::resident_blocks`], and therefore the snapshot
+    /// capacity seed, O(1) instead of a dense scan of megabytes of line
+    /// arrays per snapshot.
+    resident_count: usize,
+}
+
+impl std::fmt::Debug for CacheArray {
+    /// Prints the serialized field set only. `resident_count` (like the
+    /// `CowLines` seed) is derived state and must stay out: the machine
+    /// fingerprint hashes `Debug` output, and an extra field would silently
+    /// reseed every checkpoint-derived run space.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheArray")
+            .field("config", &self.config)
+            .field("lines", &self.lines)
+            .field("sets", &self.sets)
+            .field("ways", &self.ways)
+            .field("use_clock", &self.use_clock)
+            .field("set_mask", &self.set_mask)
+            .field("set_shift", &self.set_shift)
+            .finish()
+    }
 }
 
 /// Result of inserting a block: what had to leave to make room.
@@ -186,12 +342,16 @@ impl CacheArray {
         let ways = config.associativity as usize;
         Ok(CacheArray {
             config,
-            lines: vec![Line::default(); (sets as usize) * ways],
+            lines: Arc::new(CowLines {
+                dense: zeroed_lines((sets as usize) * ways),
+                resident: Some(Box::from([])),
+            }),
             sets,
             ways,
             use_clock: 0,
             set_mask: sets - 1,
             set_shift: sets.trailing_zeros(),
+            resident_count: 0,
         })
     }
 
@@ -218,13 +378,22 @@ impl CacheArray {
     #[inline]
     fn set_slice_mut(&mut self, set: usize) -> &mut [Line] {
         let start = set * self.ways;
-        &mut self.lines[start..start + self.ways]
+        // First mutation after a fork materializes a private copy (sparse
+        // and calloc-backed — see [`CowLines`]'s `Clone`); thereafter the
+        // Arc is unique and this is a plain borrow. Any in-place write
+        // invalidates the decoder's resident-line seed, which describes the
+        // array as it was decoded.
+        let cow = Arc::make_mut(&mut self.lines);
+        if cow.resident.is_some() {
+            cow.resident = None;
+        }
+        &mut cow.dense[start..start + self.ways]
     }
 
     #[inline]
     fn set_slice(&self, set: usize) -> &[Line] {
         let start = set * self.ways;
-        &self.lines[start..start + self.ways]
+        &self.lines.dense[start..start + self.ways]
     }
 
     /// Returns the current state of `addr` without touching LRU (a snoop
@@ -260,17 +429,18 @@ impl CacheArray {
     pub fn set_state(&mut self, addr: BlockAddr, state: CoherenceState) -> bool {
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
+        let mut found = false;
         for line in self.set_slice_mut(set) {
             if line.state != CoherenceState::Invalid && line.tag == tag {
-                if state == CoherenceState::Invalid {
-                    line.state = CoherenceState::Invalid;
-                } else {
-                    line.state = state;
-                }
-                return true;
+                line.state = state;
+                found = true;
+                break;
             }
         }
-        false
+        if found && state == CoherenceState::Invalid {
+            self.resident_count -= 1;
+        }
+        found
     }
 
     /// Inserts `addr` with `state`, evicting the LRU victim if the set is
@@ -301,15 +471,26 @@ impl CacheArray {
             }
         }
         // Free way?
-        for line in self.set_slice_mut(set) {
-            if line.state == CoherenceState::Invalid {
-                *line = Line {
-                    tag,
-                    state,
-                    lru: clock,
-                };
-                return None;
+        let filled_free_way = {
+            let slice = self.set_slice_mut(set);
+            match slice
+                .iter_mut()
+                .find(|l| l.state == CoherenceState::Invalid)
+            {
+                Some(line) => {
+                    *line = Line {
+                        tag,
+                        state,
+                        lru: clock,
+                    };
+                    true
+                }
+                None => false,
             }
+        };
+        if filled_free_way {
+            self.resident_count += 1;
+            return None;
         }
         // Evict LRU.
         let (victim_idx, victim) = {
@@ -337,29 +518,51 @@ impl CacheArray {
     pub fn invalidate(&mut self, addr: BlockAddr) -> CoherenceState {
         let set = self.set_of(addr);
         let tag = self.tag_of(addr);
+        let mut old = CoherenceState::Invalid;
         for line in self.set_slice_mut(set) {
             if line.state != CoherenceState::Invalid && line.tag == tag {
-                let old = line.state;
+                old = line.state;
                 line.state = CoherenceState::Invalid;
-                return old;
+                break;
             }
         }
-        CoherenceState::Invalid
+        if old != CoherenceState::Invalid {
+            self.resident_count -= 1;
+        }
+        old
     }
 
-    /// Number of resident (non-Invalid) blocks — for tests and stats.
+    /// Number of resident (non-Invalid) blocks — for stats and the snapshot
+    /// capacity seed. O(1): a live counter, checked against the line array
+    /// in debug builds.
     pub fn resident_blocks(&self) -> usize {
-        self.lines
-            .iter()
-            .filter(|l| l.state != CoherenceState::Invalid)
-            .count()
+        debug_assert_eq!(
+            self.resident_count,
+            self.lines
+                .dense
+                .iter()
+                .filter(|l| l.state != CoherenceState::Invalid)
+                .count(),
+            "resident counter drifted from the line array"
+        );
+        self.resident_count
     }
 
-    /// Calls `f` with the address and state of every resident block. Used to
-    /// rebuild residency summaries (the snoop filter) after a checkpoint
-    /// restore, where only the cache contents are serialized.
+    /// Calls `f` with the address and state of every resident block, in line
+    /// index order. Used to rebuild residency summaries (the snoop filter)
+    /// after a checkpoint restore, where only the cache contents are
+    /// serialized.
     pub fn for_each_resident(&self, mut f: impl FnMut(BlockAddr, CoherenceState)) {
-        for (i, line) in self.lines.iter().enumerate() {
+        if let Some(list) = &self.lines.resident {
+            // The decoder's seed skips the dense scan entirely (the list is
+            // built in index order, matching the scan below).
+            for &(i, line) in list.iter() {
+                let set = i as usize / self.ways;
+                f(self.addr_of(set, line.tag), line.state);
+            }
+            return;
+        }
+        for (i, line) in self.lines.dense.iter().enumerate() {
             if line.state != CoherenceState::Invalid {
                 let set = i / self.ways;
                 f(self.addr_of(set, line.tag), line.state);
@@ -392,6 +595,9 @@ impl crate::checkpoint::Snap for CoherenceState {
             }),
         }
     }
+    fn snap_size_hint(&self) -> usize {
+        1
+    }
 }
 
 crate::impl_snap!(CacheConfig {
@@ -405,6 +611,34 @@ crate::impl_snap!(Line { tag, state, lru });
 /// encoding; the [`CoherenceState`] tags occupy 0–4.
 const SNAP_INVALID_RUN: u8 = 5;
 
+/// Length of the Invalid-line run starting at `lines[0]` (zero when the
+/// first line is resident). Scans eight lines per iteration, folding their
+/// states into one occupancy word and using `trailing_zeros` to locate the
+/// first resident line, instead of a branch per line — a mostly-empty L2 is
+/// hundreds of thousands of lines, and this scan dominates snapshot encode.
+#[inline]
+fn invalid_run_len(lines: &[Line]) -> usize {
+    let mut n = 0usize;
+    let mut chunks = lines.chunks_exact(8);
+    for chunk in &mut chunks {
+        let mut occ = 0u32;
+        for (j, line) in chunk.iter().enumerate() {
+            occ |= u32::from(line.state != CoherenceState::Invalid) << j;
+        }
+        if occ != 0 {
+            return n + occ.trailing_zeros() as usize;
+        }
+        n += 8;
+    }
+    for line in chunks.remainder() {
+        if line.state != CoherenceState::Invalid {
+            return n;
+        }
+        n += 1;
+    }
+    n
+}
+
 /// Hand-written [`Snap`](crate::checkpoint::Snap) for [`CacheArray`]: the
 /// line array dominates whole-machine checkpoints (a 4 MB L2 is 65,536
 /// lines), and most lines in a warmed machine are Invalid. Invalid lines are
@@ -415,19 +649,18 @@ const SNAP_INVALID_RUN: u8 = 5;
 /// bytes, while a fully Invalid L2 costs 6 bytes instead of a megabyte.
 impl crate::checkpoint::Snap for CacheArray {
     fn encode_snap(&self, enc: &mut crate::checkpoint::Encoder) {
+        let lines = &self.lines.dense;
         self.config.encode_snap(enc);
-        enc.put_u64(self.lines.len() as u64);
+        enc.put_u64(lines.len() as u64);
         let mut i = 0usize;
-        while i < self.lines.len() {
-            let line = &self.lines[i];
-            if line.state == CoherenceState::Invalid {
-                let run_start = i;
-                while i < self.lines.len() && self.lines[i].state == CoherenceState::Invalid {
-                    i += 1;
-                }
+        while i < lines.len() {
+            let run = invalid_run_len(&lines[i..]);
+            if run > 0 {
                 enc.put_u8(SNAP_INVALID_RUN);
-                enc.put_u64((i - run_start) as u64);
+                enc.put_u64(run as u64);
+                i += run;
             } else {
+                let line = &lines[i];
                 line.state.encode_snap(enc);
                 enc.put_u64(line.tag);
                 enc.put_u64(line.lru);
@@ -454,17 +687,24 @@ impl crate::checkpoint::Snap for CacheArray {
                 what: "CacheArray line count".into(),
             });
         }
-        let mut lines = Vec::with_capacity(len);
-        while lines.len() < len {
+        // The dense array starts zeroed (all-Invalid): invalid runs just
+        // advance the cursor without writing, and each resident line is
+        // written in place and recorded in the resident seed — which later
+        // powers both `for_each_resident` (snoop-filter rebuild) and the
+        // sparse copy-on-write materialization of forks (`CowLines`).
+        let mut dense = zeroed_lines(len);
+        let mut resident = Vec::new();
+        let mut filled = 0usize;
+        while filled < len {
             match dec.get_u8()? {
                 SNAP_INVALID_RUN => {
                     let run = dec.get_u64()? as usize;
-                    if run == 0 || run > len - lines.len() {
+                    if run == 0 || run > len - filled {
                         return Err(CheckpointError::Corrupt {
                             what: "CacheArray invalid-run length".into(),
                         });
                     }
-                    lines.resize(lines.len() + run, Line::default());
+                    filled += run;
                 }
                 tag_byte => {
                     let state = match tag_byte {
@@ -478,11 +718,15 @@ impl crate::checkpoint::Snap for CacheArray {
                             })
                         }
                     };
-                    lines.push(Line {
+                    let line = Line {
                         tag: dec.get_u64()?,
                         state,
                         lru: dec.get_u64()?,
-                    });
+                    };
+                    dense[filled] = line;
+                    // `len` is capped at 1 << 28 above, so indices fit u32.
+                    resident.push((filled as u32, line));
+                    filled += 1;
                 }
             }
         }
@@ -494,15 +738,29 @@ impl crate::checkpoint::Snap for CacheArray {
                 what: "CacheArray set count must be a power of two".into(),
             });
         }
+        let resident_count = resident.len();
         Ok(CacheArray {
             config,
-            lines,
+            lines: Arc::new(CowLines {
+                dense,
+                resident: Some(resident.into_boxed_slice()),
+            }),
             sets,
             ways,
             use_clock,
             set_mask: sets - 1,
             set_shift: sets.trailing_zeros(),
+            resident_count,
         })
+    }
+
+    fn snap_size_hint(&self) -> usize {
+        // Each resident line costs 17 bytes (tag byte + tag + lru); each
+        // invalid run costs 9 (marker + u64), and resident lines can split
+        // the array into at most `resident + 1` runs. The tail is the line
+        // count plus sets/ways/use_clock.
+        let resident = self.resident_blocks();
+        self.config.snap_size_hint() + 8 + resident * 17 + (resident + 1) * 9 + 24
     }
 }
 
@@ -606,6 +864,142 @@ mod tests {
         assert!(CoherenceState::Owned.is_owner() && CoherenceState::Modified.is_owner());
         assert!(!CoherenceState::Shared.is_owner());
         assert!(CoherenceState::Owned.is_dirty() && !CoherenceState::Shared.is_dirty());
+    }
+
+    #[test]
+    fn invalid_run_len_matches_naive_scan() {
+        // Exercise runs that end inside a chunk, at chunk boundaries, and in
+        // the sub-chunk remainder, against a line-at-a-time reference.
+        for total in [0usize, 1, 7, 8, 9, 16, 23, 64] {
+            for first_valid in 0..=total {
+                let mut lines = vec![Line::default(); total];
+                if first_valid < total {
+                    lines[first_valid].state = CoherenceState::Shared;
+                }
+                let naive = lines
+                    .iter()
+                    .take_while(|l| l.state == CoherenceState::Invalid)
+                    .count();
+                assert_eq!(
+                    invalid_run_len(&lines),
+                    naive,
+                    "total={total} first_valid={first_valid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zeroed_lines_are_default_lines() {
+        // Pins the layout contract behind `zeroed_lines`: all-zero bytes
+        // must be a valid default (Invalid) line. If `CoherenceState` ever
+        // loses `Invalid = 0` or `Line` gains a non-zero-default field,
+        // this fails before any cache misbehaves.
+        for n in [0usize, 1, 7, 64] {
+            let lines = zeroed_lines(n);
+            assert_eq!(lines.len(), n);
+            assert!(lines.iter().all(|l| *l == Line::default()));
+        }
+        assert_eq!(std::mem::discriminant(&CoherenceState::Invalid), {
+            // An all-zero byte pattern decodes as Invalid.
+            let state: CoherenceState = CoherenceState::default();
+            std::mem::discriminant(&state)
+        });
+    }
+
+    #[test]
+    fn sparse_clone_preserves_contents_and_canonicalizes_junk() {
+        use crate::checkpoint::{Decoder, Encoder, Snap};
+        fn bytes_of(c: &CacheArray) -> Vec<u8> {
+            let mut enc = Encoder::new();
+            c.encode_snap(&mut enc);
+            enc.into_bytes()
+        }
+
+        let mut a = small();
+        a.insert(BlockAddr(12), CoherenceState::Modified);
+        a.insert(BlockAddr(5), CoherenceState::Shared);
+        a.insert(BlockAddr(9), CoherenceState::Owned);
+        // Leave junk tag/lru bits on an Invalid line: invalidate keeps them.
+        a.invalidate(BlockAddr(9));
+
+        // Materialize through the scan path (a's in-place writes dropped
+        // the seed). Invalidating a non-resident block calls the mutable
+        // path — splitting the Arc — without changing any state.
+        let mut b = a.clone();
+        assert!(b.lines.resident.is_none());
+        b.invalidate(BlockAddr(60));
+        assert!(!Arc::ptr_eq(&a.lines, &b.lines), "clone materialized");
+        for addr in 0..64u64 {
+            assert_eq!(
+                a.probe(BlockAddr(addr)),
+                b.probe(BlockAddr(addr)),
+                "probe mismatch at {addr}"
+            );
+        }
+        assert_eq!(a.resident_blocks(), b.resident_blocks());
+        // Snapshot bytes are identical: the encoding run-length-encodes
+        // Invalid lines, so the junk the clone canonicalized never appears.
+        assert_eq!(bytes_of(&a), bytes_of(&b));
+
+        // Materialize through the decoder's resident seed.
+        let encoded = bytes_of(&a);
+        let restored = CacheArray::decode_snap(&mut Decoder::new(&encoded)).unwrap();
+        assert!(restored.lines.resident.is_some());
+        let mut c = restored.clone();
+        c.invalidate(BlockAddr(60));
+        assert!(!Arc::ptr_eq(&restored.lines, &c.lines));
+        assert_eq!(bytes_of(&c), encoded);
+    }
+
+    #[test]
+    fn decode_seeds_the_resident_list() {
+        use crate::checkpoint::{Decoder, Encoder, Snap};
+        let mut a = small();
+        a.insert(BlockAddr(12), CoherenceState::Modified);
+        a.insert(BlockAddr(5), CoherenceState::Shared);
+        let mut enc = Encoder::new();
+        a.encode_snap(&mut enc);
+        let bytes = enc.into_bytes();
+        let restored = CacheArray::decode_snap(&mut Decoder::new(&bytes)).unwrap();
+
+        // The decoder records every resident line as it fills the array.
+        let seed = restored.lines.resident.as_ref().expect("decode seeds");
+        assert_eq!(seed.len(), 2);
+        assert!(seed.windows(2).all(|w| w[0].0 < w[1].0), "index order");
+
+        // The seeded fast paths agree with a dense scan.
+        assert_eq!(restored.resident_blocks(), a.resident_blocks());
+        let mut from_seed = Vec::new();
+        restored.for_each_resident(|addr, state| from_seed.push((addr, state)));
+        let mut from_scan = Vec::new();
+        a.for_each_resident(|addr, state| from_scan.push((addr, state)));
+        assert_eq!(from_seed, from_scan);
+
+        // A write drops the seed (it no longer describes the array).
+        let mut restored = restored;
+        restored.insert(BlockAddr(1), CoherenceState::Exclusive);
+        assert!(restored.lines.resident.is_none());
+        assert_eq!(restored.resident_blocks(), 3);
+    }
+
+    #[test]
+    fn forked_clone_shares_lines_until_first_write() {
+        let mut a = small();
+        a.insert(BlockAddr(12), CoherenceState::Modified);
+        let mut b = a.clone();
+        assert!(
+            Arc::ptr_eq(&a.lines, &b.lines),
+            "clone must share the line array"
+        );
+        // Reads keep sharing; the first mutation splits the Arc and leaves
+        // the sibling untouched.
+        assert_eq!(b.probe(BlockAddr(12)), CoherenceState::Modified);
+        assert!(Arc::ptr_eq(&a.lines, &b.lines));
+        b.invalidate(BlockAddr(12));
+        assert!(!Arc::ptr_eq(&a.lines, &b.lines));
+        assert_eq!(a.probe(BlockAddr(12)), CoherenceState::Modified);
+        assert_eq!(b.probe(BlockAddr(12)), CoherenceState::Invalid);
     }
 
     #[test]

@@ -141,6 +141,9 @@ impl crate::checkpoint::Snap for AccessKind {
             }),
         }
     }
+    fn snap_size_hint(&self) -> usize {
+        1
+    }
 }
 
 crate::impl_snap!(BranchInfo { pc, taken });
@@ -235,6 +238,10 @@ impl crate::checkpoint::Snap for Op {
                 })
             }
         })
+    }
+    fn snap_size_hint(&self) -> usize {
+        // Largest variant: tag + two u64 fields (Compute, IndirectBranch).
+        17
     }
 }
 

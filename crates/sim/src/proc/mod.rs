@@ -157,6 +157,12 @@ impl crate::checkpoint::Snap for ProcessorConfig {
             }
         })
     }
+    fn snap_size_hint(&self) -> usize {
+        1 + match self {
+            ProcessorConfig::Simple => 0,
+            ProcessorConfig::OutOfOrder(cfg) => cfg.snap_size_hint(),
+        }
+    }
 }
 
 impl crate::checkpoint::Snap for ProcCore {
@@ -185,6 +191,12 @@ impl crate::checkpoint::Snap for ProcCore {
                 })
             }
         })
+    }
+    fn snap_size_hint(&self) -> usize {
+        1 + match self {
+            ProcCore::Simple(core) => core.snap_size_hint(),
+            ProcCore::Ooo(core) => core.as_ref().snap_size_hint(),
+        }
     }
 }
 

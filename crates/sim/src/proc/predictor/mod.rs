@@ -54,6 +54,9 @@ impl crate::checkpoint::Snap for Counter2 {
         }
         Ok(Counter2(v))
     }
+    fn snap_size_hint(&self) -> usize {
+        1
+    }
 }
 
 #[cfg(test)]

@@ -397,6 +397,9 @@ impl crate::checkpoint::Snap for ThreadState {
             }
         })
     }
+    fn snap_size_hint(&self) -> usize {
+        5
+    }
 }
 
 impl crate::checkpoint::Snap for SchedEventKind {
@@ -430,6 +433,9 @@ impl crate::checkpoint::Snap for SchedEventKind {
                 })
             }
         })
+    }
+    fn snap_size_hint(&self) -> usize {
+        5
     }
 }
 

@@ -83,6 +83,28 @@ cargo test -q --offline --test snoop_filter_checkpoint
 echo "==> kernel parity: steady-state allocation budget"
 cargo test -q --offline --test alloc_steady_state
 
+# Snapshot gate: the sectioned checkpoint format and copy-on-write fork
+# path. Decode fuzz proves every frame mutation is an error, never a
+# panic; the bounded-retry suite pins the corrupt-spill fallback in the
+# checkpoint store; the alloc-budget suite (release, so capacity seeds
+# face real payload sizes) pins encode-fits-seed and fork-vs-restore
+# cost. Feature off and on: the invariant monitor rides inside the
+# Sched section, so both frame shapes must hold the line.
+echo "==> snapshot gate: decode fuzz over frames and payloads"
+cargo test -q --offline -p mtvar-sim --test checkpoint_fuzz
+
+echo "==> snapshot gate: decode fuzz (invariant monitor on)"
+cargo test -q --offline -p mtvar-sim --features invariant-monitor --test checkpoint_fuzz
+
+echo "==> snapshot gate: bounded retry over corrupt spill files"
+cargo test -q --offline -p mtvar-core checkpoint::
+
+echo "==> snapshot gate: restore/fork allocation budget, release"
+cargo test -q --offline --release --test alloc_steady_state
+
+echo "==> snapshot gate: restore/fork allocation budget, release (invariant monitor on)"
+cargo test -q --offline --release --features invariant-monitor --test alloc_steady_state
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -1,4 +1,4 @@
-//! Steady-state allocation regression test.
+//! Steady-state allocation regression tests.
 //!
 //! The kernel overhaul's zero-alloc claim: once a machine is warmed — event
 //! wheel buckets sized, workload op queues filled, scheduler scratch grown —
@@ -10,11 +10,20 @@
 //! capacity, a cold wheel bucket's first use), not per-event or per-decision
 //! churn, which would cost thousands of allocations in a window this size.
 //!
-//! This test lives in its own integration-test binary because a global
-//! allocator is per-binary and concurrent tests would pollute the counter.
+//! The snapshot path carries the same discipline: encode must fit the
+//! up-front capacity seed (no doubling regrowth of a multi-megabyte buffer),
+//! and forking a decoded template must cost a small fraction of a full
+//! restore — the copy-on-write fork is the point of the sectioned snapshot
+//! work.
+//!
+//! These tests live in their own integration-test binary because a global
+//! allocator is per-binary; they additionally serialize on a mutex because
+//! the test harness runs them on concurrent threads and the counters are
+//! process-global.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use mtvar_sim::config::MachineConfig;
 use mtvar_sim::machine::Machine;
@@ -23,11 +32,17 @@ use mtvar_workloads::Benchmark;
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
 
-// SAFETY: defers entirely to `System`; the counter is a relaxed atomic.
+/// Serializes the tests in this binary: the counters above are
+/// process-global, and the harness runs `#[test]`s concurrently.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+// SAFETY: defers entirely to `System`; the counters are relaxed atomics.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         unsafe { System.alloc(layout) }
     }
 
@@ -38,23 +53,44 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // Regrowth is exactly what this test hunts; count it like an alloc.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
         unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // The cache line arrays are calloc-backed (sparse copy-on-write
+        // materialization); count those allocations the same as the rest so
+        // the fork-vs-restore budget below measures them faithfully.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
     }
 }
 
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-#[test]
-fn warmed_machine_runs_ten_thousand_events_without_allocating() {
-    // The bench's reference machine, with the invariant monitor on so the
-    // coherence-check path is included in the zero-alloc claim.
+fn counters() -> (u64, u64) {
+    (
+        ALLOCATIONS.load(Ordering::Relaxed),
+        ALLOCATED_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+fn warmed_reference_machine() -> Machine<mtvar_workloads::profile::ProfiledWorkload> {
     let cfg = MachineConfig::hpca2003().with_perturbation(4, 1);
     let mut machine = Machine::new(cfg, Benchmark::Oltp.workload(16, 42)).expect("machine");
     machine.enable_invariant_checks();
-
-    // Warm until every long-lived container has seen its working-set size.
     machine.run_transactions(300).expect("warmup");
+    machine
+}
+
+#[test]
+fn warmed_machine_runs_ten_thousand_events_without_allocating() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // The bench's reference machine, with the invariant monitor on so the
+    // coherence-check path is included in the zero-alloc claim.
+    let mut machine = warmed_reference_machine();
 
     let events_before = machine.events_posted();
     let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
@@ -71,4 +107,77 @@ fn warmed_machine_runs_ten_thousand_events_without_allocating() {
         "steady state allocated {allocs} times over {events} events; \
          the hot path has regressed to per-event allocation"
     );
+}
+
+#[test]
+fn snapshot_encode_fits_its_capacity_seed() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let machine = warmed_reference_machine();
+
+    // The capacity seed (the sum of every component's `snap_size_hint`)
+    // must cover the whole payload — and therefore every section, since
+    // sections are ranges over the one buffer. If this inequality breaks,
+    // encode regrows the buffer mid-snapshot and the allocation budget
+    // below breaks with it.
+    let seed = machine.snapshot_size_hint();
+    let (allocs_before, _) = counters();
+    let ck = machine.snapshot();
+    let (allocs_after, _) = counters();
+    assert!(
+        ck.len() <= seed,
+        "payload ({} bytes) outgrew the capacity seed ({seed} bytes): \
+         encode is regrowing mid-snapshot",
+        ck.len()
+    );
+    let covered: usize = ck.sections().iter().map(|s| s.len).sum();
+    assert_eq!(covered, ck.len(), "sections must tile the payload");
+
+    // Encoding allocates the payload buffer, the section table, and the
+    // sorted event list — a fixed handful, independent of machine size.
+    // Doubling growth of a warmed 16-CPU payload from empty would cost ~10
+    // reallocs on its own and fail this budget.
+    let allocs = allocs_after - allocs_before;
+    assert!(
+        allocs <= 16,
+        "snapshot encode allocated {allocs} times; the capacity seed has \
+         stopped covering the payload"
+    );
+}
+
+#[test]
+fn forking_a_template_is_far_cheaper_than_restoring() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let machine = warmed_reference_machine();
+    let ck = machine.snapshot();
+
+    let (restore_allocs_0, restore_bytes_0) = counters();
+    let template: Machine<mtvar_workloads::profile::ProfiledWorkload> =
+        Machine::restore(&ck).expect("restore");
+    let (restore_allocs_1, restore_bytes_1) = counters();
+    let restore_allocs = restore_allocs_1 - restore_allocs_0;
+    let restore_bytes = restore_bytes_1 - restore_bytes_0;
+
+    let (fork_allocs_0, fork_bytes_0) = counters();
+    let fork = template.fork();
+    let (fork_allocs_1, fork_bytes_1) = counters();
+    let fork_allocs = fork_allocs_1 - fork_allocs_0;
+    let fork_bytes = fork_bytes_1 - fork_bytes_0;
+
+    // The line arrays — the dominant decoded state — are Arc-shared until
+    // first write, so a fork allocates only the small per-run containers
+    // (event wheel, scheduler state, workload queues), a fraction of what a
+    // full decode pays.
+    assert!(
+        fork_bytes <= restore_bytes / 4,
+        "fork allocated {fork_bytes} bytes vs {restore_bytes} for a full \
+         restore; copy-on-write sharing has regressed \
+         ({fork_allocs} vs {restore_allocs} allocations)"
+    );
+
+    // The fork must still be a working machine: run a perturbed window
+    // (the first write to each array materializes its private copy via the
+    // decoder's resident-line seed).
+    let mut fork = fork.with_perturbation_seed(7);
+    fork.run_transactions(20).expect("forked run");
+    drop(template);
 }
