@@ -352,7 +352,9 @@ impl CheckpointStore {
 
 /// Writes `bytes` to `dir/name` via temp-file + `fsync` + atomic rename, so
 /// an interrupted write never leaves a truncated file under the final name.
-fn write_atomically(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+/// Shared with the run-result spill ([`crate::resultcache::ResultStore`]),
+/// which reuses the same crash-safety machinery.
+pub(crate) fn write_atomically(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
     fs::create_dir_all(dir)?;
     let tmp = dir.join(format!("{name}.tmp"));
     let mut file = fs::File::create(&tmp)?;

@@ -22,6 +22,10 @@
 //! * [`checkpoint`] — the content-addressed [`checkpoint::CheckpointStore`]
 //!   behind shared warmup: an in-memory LRU of machine snapshots with
 //!   crash-safe disk spill and longest-prefix warmup extension.
+//! * [`resultcache`] — the run-result cache's persistent layer
+//!   ([`resultcache::ResultStore`]): completed measurements and their
+//!   violation records spill to disk with the same crash-safe framing, so a
+//!   restarted process (or a long-lived service) keeps its warm results.
 //! * [`metrics`] — coefficient of variation, range of variability, and
 //!   windowed time series (§4.2, §4.3).
 //! * [`wcr`] — the wrong-conclusion ratio by pairwise enumeration (§4.1).
@@ -64,6 +68,7 @@ pub mod experiment;
 pub mod golden;
 pub mod metrics;
 pub mod report;
+pub mod resultcache;
 pub mod runspace;
 pub mod sampling;
 pub mod timesample;

@@ -61,6 +61,7 @@ use mtvar_stats::describe::Summary;
 pub use mtvar_sim::check::{InvariantKind, Violation};
 
 use crate::checkpoint::{CheckpointKey, CheckpointStore};
+use crate::resultcache::{ResultStore, RunKey, RunRecord};
 use crate::{CoreError, Result};
 
 /// Design of a multi-run experiment on one configuration.
@@ -322,8 +323,11 @@ pub fn config_fingerprint(config: &MachineConfig) -> u64 {
 /// Fingerprints a workload *factory* by probing one fresh instance: its
 /// name, thread count, and a prefix of every thread's op stream. This
 /// distinguishes workloads that share a name but differ in internal seed or
-/// sizing, which must not collide in the result cache.
-fn workload_fingerprint<W: Workload>(probe: &mut W) -> u64 {
+/// sizing, which must not collide in the result cache. Public so out-of-core
+/// layers (the serve daemon's warmup coalescer) can key work by the same
+/// identity the executor's caches use. Probing consumes ops, so pass a
+/// throwaway instance, never one that will be simulated.
+pub fn workload_fingerprint<W: Workload>(probe: &mut W) -> u64 {
     let mut w = FnvWriter::new();
     let _ = write!(w, "{}/{}", probe.name(), probe.thread_count());
     let threads = probe.thread_count();
@@ -364,6 +368,15 @@ pub trait RunProgress: Send + Sync {
     /// A run finished simulating after `wall` of wall-clock time.
     fn run_completed(&self, run_index: usize, wall: Duration) {
         let _ = (run_index, wall);
+    }
+
+    /// A run's measurement is available — called once per run per sweep,
+    /// for simulated completions *and* cache hits alike, with the result
+    /// that will occupy the run's slot in the returned [`RunSpace`].
+    /// Observers that stream per-run data (digests, summaries) hook this;
+    /// counters usually don't need it.
+    fn run_result(&self, run_index: usize, result: &RunResult) {
+        let _ = (run_index, result);
     }
 
     /// A run was satisfied from the result cache without simulating.
@@ -460,43 +473,43 @@ impl RunProgress for ProgressCounters {
 // Result cache
 // ---------------------------------------------------------------------------
 
-/// Cache key: the complete identity of one simulated run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct RunKey {
-    source: u64,
-    workload: u64,
-    seed: u64,
-    warmup: u64,
-    transactions: u64,
-}
+// [`RunKey`] and [`RunRecord`] — the cache's key and cacheable unit — live
+// in [`crate::resultcache`] alongside their disk encoding.
 
-/// What the executor remembers about one completed run: the measurement plus
-/// the invariant findings made while producing it. Caching the findings is
-/// what lets cache hits *replay* violations instead of silently dropping
-/// them (the bug this type exists to prevent).
-#[derive(Debug, Clone)]
-struct RunRecord {
-    result: RunResult,
-    /// Whether an invariant monitor observed the run at all. Strict
-    /// executors refuse to trust unmonitored cache entries and re-simulate.
-    monitored: bool,
-    /// Uncapped violation count from the run's monitor.
-    total_violations: u64,
-    /// Stored violation reports (capped by the monitor).
-    violations: Vec<Violation>,
-}
-
+/// In-memory run-result memo with an optional write-through [`ResultStore`]
+/// disk layer: memory misses fall back to disk, inserts go to both, so a
+/// restarted process keeps its warm results.
 #[derive(Debug, Default)]
 struct ResultCache {
     map: Mutex<HashMap<RunKey, RunRecord>>,
+    store: Option<Arc<ResultStore>>,
 }
 
 impl ResultCache {
+    fn with_store(store: Arc<ResultStore>) -> Self {
+        ResultCache {
+            map: Mutex::new(HashMap::new()),
+            store: Some(store),
+        }
+    }
+
     fn get(&self, key: &RunKey) -> Option<RunRecord> {
-        self.map.lock().expect("cache poisoned").get(key).cloned()
+        if let Some(hit) = self.map.lock().expect("cache poisoned").get(key).cloned() {
+            return Some(hit);
+        }
+        let record = self.store.as_ref()?.get(key)?;
+        // Promote the disk hit so repeat lookups stay in memory.
+        self.map
+            .lock()
+            .expect("cache poisoned")
+            .insert(*key, record.clone());
+        Some(record)
     }
 
     fn insert(&self, key: RunKey, record: RunRecord) {
+        if let Some(store) = &self.store {
+            store.insert(&key, &record);
+        }
         self.map.lock().expect("cache poisoned").insert(key, record);
     }
 
@@ -589,6 +602,27 @@ impl Executor {
     pub fn without_cache(mut self) -> Self {
         self.cache = None;
         self
+    }
+
+    /// Enables disk spill for the result cache under `dir`: every completed
+    /// run is written through to a [`ResultStore`] (crash-safe temp-file +
+    /// `fsync` + rename), and in-memory misses fall back to disk — so a
+    /// fresh executor pointed at the same directory replays earlier runs,
+    /// violations included, instead of re-simulating them. Replaces the
+    /// current cache (memoized entries from before this call are dropped).
+    #[must_use]
+    pub fn with_result_spill(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache = Some(Arc::new(ResultCache::with_store(Arc::new(
+            ResultStore::new(dir),
+        ))));
+        self
+    }
+
+    /// The result cache's disk store, if spill is enabled — exposed so
+    /// callers (the serve daemon's stats) can drain its warnings and count
+    /// spilled entries.
+    pub fn result_store(&self) -> Option<&Arc<ResultStore>> {
+        self.cache.as_ref().and_then(|c| c.store.as_ref())
     }
 
     /// Attaches a [`CheckpointStore`] (shared with clones of the executor).
@@ -926,6 +960,7 @@ impl Executor {
                         if !hit.violations.is_empty() {
                             p.run_violations(i, &hit.violations);
                         }
+                        p.run_result(i, &hit.result);
                     }
                     slots[i] = Some(Ok(hit));
                 }
@@ -944,6 +979,7 @@ impl Executor {
                 if !record.violations.is_empty() {
                     p.run_violations(run_index, &record.violations);
                 }
+                p.run_result(run_index, &record.result);
             }
             outcome
         });
@@ -1595,6 +1631,108 @@ mod tests {
             .run_space(&small_config(), small_workload, &plan)
             .unwrap();
         assert_eq!(observing, strict, "the monitor must be read-only");
+    }
+
+    #[test]
+    fn result_spill_survives_a_fresh_executor() {
+        let dir = std::env::temp_dir().join(format!("mtvar-runspace-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = RunPlan::new(20).with_runs(4).with_warmup(5);
+        let baseline = Executor::sequential()
+            .without_cache()
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        {
+            let progress = Arc::new(ProgressCounters::new());
+            let exec = Executor::with_threads(2)
+                .with_result_spill(&dir)
+                .with_progress(progress.clone());
+            assert!(exec.result_store().is_some());
+            let first = exec
+                .run_space(&small_config(), small_workload, &plan)
+                .unwrap();
+            assert_eq!(first, baseline);
+            assert_eq!(progress.completed(), 4);
+            assert_eq!(exec.result_store().unwrap().len_on_disk(), 4);
+        }
+        // A fresh executor (fresh process, in spirit) replays from disk.
+        let progress = Arc::new(ProgressCounters::new());
+        let fresh = Executor::with_threads(2)
+            .with_result_spill(&dir)
+            .with_progress(progress.clone());
+        let replayed = fresh
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        assert_eq!(replayed, baseline, "spilled results must be bit-identical");
+        assert_eq!(progress.completed(), 0, "nothing re-simulates");
+        assert_eq!(progress.cached(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn result_spill_replays_violations() {
+        let dir =
+            std::env::temp_dir().join(format!("mtvar-runspace-spill-viol-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = RunPlan::new(30).with_runs(2);
+        let first = Executor::sequential()
+            .with_result_spill(&dir)
+            .run_space(&faulted_config(), small_workload, &plan)
+            .unwrap();
+        assert!(!first.is_clean());
+        let progress = Arc::new(ProgressCounters::new());
+        let fresh = Executor::sequential()
+            .with_result_spill(&dir)
+            .with_progress(progress.clone());
+        let replayed = fresh
+            .run_space(&faulted_config(), small_workload, &plan)
+            .unwrap();
+        assert_eq!(progress.cached(), 2);
+        assert_eq!(
+            first.violations(),
+            replayed.violations(),
+            "disk hits must replay violations, not drop them"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_result_fires_for_completions_and_cache_hits() {
+        use std::sync::Mutex as StdMutex;
+        #[derive(Default)]
+        struct Digests(StdMutex<Vec<(usize, u64)>>);
+        impl RunProgress for Digests {
+            fn run_result(&self, run_index: usize, result: &RunResult) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push((run_index, crate::golden::run_digest(result)));
+            }
+        }
+        let observer = Arc::new(Digests::default());
+        let exec =
+            Executor::with_threads(2).with_progress(observer.clone() as Arc<dyn RunProgress>);
+        let plan = RunPlan::new(20).with_runs(3);
+        let space = exec
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        let expected: Vec<(usize, u64)> = space
+            .results()
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, crate::golden::run_digest(r)))
+            .collect();
+        let mut seen = observer.0.lock().unwrap().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, expected, "simulated completions stream results");
+        observer.0.lock().unwrap().clear();
+        // Second sweep: all cache hits, same digests.
+        let _ = exec
+            .run_space(&small_config(), small_workload, &plan)
+            .unwrap();
+        let mut seen = observer.0.lock().unwrap().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, expected, "cache hits stream identical results");
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! The warmup coalescer: single-flight execution of shared warmups.
+//!
+//! Two sweeps that agree on `(neutralized config, workload, base seed,
+//! warmup)` — the [`CheckpointKey`] the executor's checkpoint store already
+//! uses — need the *same* warmed snapshot: warmup runs unperturbed, so even
+//! sweeps with different perturbation magnitudes coalesce. Without
+//! coordination, N concurrent jobs would each simulate that warmup before
+//! the first insert lands in the store. The coalescer closes the window:
+//! the first job to arrive on a family becomes its **leader** and simulates
+//! the warmup (inserting the snapshot into the shared store), every other
+//! job **follows** — blocking until the leader's insert is visible, then
+//! proceeding straight to a store hit and a CoW fork family. N clients
+//! asking overlapping questions pay for one warmup.
+//!
+//! Correctness is untouched: the leader produces exactly the snapshot the
+//! executor would have produced anyway, and followers re-enter
+//! [`Executor::run_space`] unchanged — same fingerprints, same seeds, same
+//! digests. A leader that *fails* clears the family so a waiting follower
+//! retries as the new leader; an error never wedges the family.
+//!
+//! [`Executor::run_space`]: mtvar_core::runspace::Executor::run_space
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use mtvar_core::checkpoint::CheckpointKey;
+
+/// How a job's warmup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// This job simulated the family's warmup.
+    Leader,
+    /// This job reused a warmup another job simulated (or was simulating).
+    Follower,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FamilyState {
+    InFlight,
+    Done,
+}
+
+/// Single-flight warmup coordinator, shared by every dispatcher.
+#[derive(Debug, Default)]
+pub struct WarmupCoalescer {
+    families: Mutex<HashMap<CheckpointKey, FamilyState>>,
+    settled: Condvar,
+    leaders: AtomicU64,
+    followers: AtomicU64,
+}
+
+impl WarmupCoalescer {
+    /// An empty coalescer.
+    pub fn new() -> Self {
+        WarmupCoalescer::default()
+    }
+
+    /// Runs `warm` exactly once per family: the caller either becomes the
+    /// leader (and runs it) or blocks until the current leader finishes and
+    /// returns as a follower. `warm` must leave the warmed snapshot
+    /// somewhere followers can find it — in practice the executor's shared
+    /// [`CheckpointStore`](mtvar_core::checkpoint::CheckpointStore), which
+    /// [`Executor::warm_checkpoint`] inserts into.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the leader's `warm` error to the leader alone; the family
+    /// is cleared so a waiting follower retries as the new leader.
+    ///
+    /// [`Executor::warm_checkpoint`]: mtvar_core::runspace::Executor::warm_checkpoint
+    pub fn coalesce<E>(
+        &self,
+        key: CheckpointKey,
+        warm: impl FnOnce() -> std::result::Result<(), E>,
+    ) -> std::result::Result<Role, E> {
+        {
+            let mut families = self.families.lock().expect("coalescer poisoned");
+            loop {
+                match families.get(&key) {
+                    None => {
+                        families.insert(key, FamilyState::InFlight);
+                        break; // become leader, run warm() below, lock released
+                    }
+                    Some(FamilyState::Done) => {
+                        self.followers.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Role::Follower);
+                    }
+                    Some(FamilyState::InFlight) => {
+                        families = self.settled.wait(families).expect("coalescer poisoned");
+                        // Re-inspect: Done -> follow; removed (leader
+                        // failed) -> contend for leadership.
+                    }
+                }
+            }
+        }
+        match warm() {
+            Ok(()) => {
+                let mut families = self.families.lock().expect("coalescer poisoned");
+                families.insert(key, FamilyState::Done);
+                drop(families);
+                self.settled.notify_all();
+                self.leaders.fetch_add(1, Ordering::Relaxed);
+                Ok(Role::Leader)
+            }
+            Err(e) => {
+                let mut families = self.families.lock().expect("coalescer poisoned");
+                families.remove(&key);
+                drop(families);
+                self.settled.notify_all();
+                Err(e)
+            }
+        }
+    }
+
+    /// Warmups simulated by leaders.
+    pub fn leaders(&self) -> u64 {
+        self.leaders.load(Ordering::Relaxed)
+    }
+
+    /// Warmups avoided by followers.
+    pub fn followers(&self) -> u64 {
+        self.followers.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::{Arc, Barrier};
+    use std::time::Duration;
+
+    fn key(warmup: u64) -> CheckpointKey {
+        CheckpointKey {
+            config: 1,
+            workload: 2,
+            base_seed: 3,
+            warmup,
+        }
+    }
+
+    #[test]
+    fn one_leader_many_followers() {
+        let coalescer = Arc::new(WarmupCoalescer::new());
+        let warmups = Arc::new(AtomicUsize::new(0));
+        let entered = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+
+        // The leader: enters warm(), signals, then blocks until released —
+        // guaranteeing the followers arrive while the family is in flight.
+        let lc = Arc::clone(&coalescer);
+        let lw = Arc::clone(&warmups);
+        let le = Arc::clone(&entered);
+        let lr = Arc::clone(&release);
+        let leader = std::thread::spawn(move || {
+            lc.coalesce(key(10), || {
+                lw.fetch_add(1, Ordering::SeqCst);
+                le.wait();
+                lr.wait();
+                Ok::<(), ()>(())
+            })
+            .unwrap()
+        });
+        entered.wait(); // the leader is now inside warm()
+
+        let followers: Vec<_> = (0..3)
+            .map(|_| {
+                let c = Arc::clone(&coalescer);
+                let w = Arc::clone(&warmups);
+                std::thread::spawn(move || {
+                    c.coalesce(key(10), || {
+                        w.fetch_add(1, Ordering::SeqCst);
+                        Ok::<(), ()>(())
+                    })
+                    .unwrap()
+                })
+            })
+            .collect();
+        // Give the followers time to park on the condvar, then release.
+        std::thread::sleep(Duration::from_millis(20));
+        release.wait();
+
+        assert_eq!(leader.join().unwrap(), Role::Leader);
+        for f in followers {
+            assert_eq!(f.join().unwrap(), Role::Follower);
+        }
+        assert_eq!(warmups.load(Ordering::SeqCst), 1, "exactly one warmup ran");
+        assert_eq!(coalescer.leaders(), 1);
+        assert_eq!(coalescer.followers(), 3);
+        // Late arrivals on a settled family follow without waiting.
+        let role = coalescer.coalesce(key(10), || Ok::<(), ()>(())).unwrap();
+        assert_eq!(role, Role::Follower);
+        assert_eq!(coalescer.followers(), 4);
+    }
+
+    #[test]
+    fn distinct_families_do_not_coalesce() {
+        let coalescer = WarmupCoalescer::new();
+        assert_eq!(
+            coalescer.coalesce(key(10), || Ok::<(), ()>(())).unwrap(),
+            Role::Leader
+        );
+        assert_eq!(
+            coalescer.coalesce(key(20), || Ok::<(), ()>(())).unwrap(),
+            Role::Leader,
+            "different warmup, different family"
+        );
+        assert_eq!(coalescer.leaders(), 2);
+        assert_eq!(coalescer.followers(), 0);
+    }
+
+    #[test]
+    fn failed_leader_clears_the_family_for_retry() {
+        let coalescer = Arc::new(WarmupCoalescer::new());
+        let entered = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+
+        let lc = Arc::clone(&coalescer);
+        let le = Arc::clone(&entered);
+        let lr = Arc::clone(&release);
+        let leader = std::thread::spawn(move || {
+            lc.coalesce(key(10), || {
+                le.wait();
+                lr.wait();
+                Err::<(), &str>("warmup exploded")
+            })
+        });
+        entered.wait();
+        let fc = Arc::clone(&coalescer);
+        let retry = std::thread::spawn(move || fc.coalesce(key(10), || Ok::<(), &str>(())));
+        std::thread::sleep(Duration::from_millis(20));
+        release.wait();
+
+        assert_eq!(leader.join().unwrap().unwrap_err(), "warmup exploded");
+        // The waiter contended for leadership after the failure and ran the
+        // warmup itself.
+        assert_eq!(retry.join().unwrap().unwrap(), Role::Leader);
+        assert_eq!(coalescer.leaders(), 1);
+        assert_eq!(coalescer.followers(), 0);
+    }
+}

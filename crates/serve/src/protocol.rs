@@ -1,0 +1,1165 @@
+//! The wire protocol: length-prefixed, checksummed frames carrying typed
+//! request/response messages.
+//!
+//! One frame is
+//!
+//! ```text
+//! magic "MTVS" (4) | version u16 | kind u8 | reserved u8 | body_len u32
+//! | body (body_len bytes) | checksum u64
+//! ```
+//!
+//! with every multi-byte field little-endian, the checksum an FNV-1a +
+//! SplitMix64 fingerprint over header *and* body, and `body_len` capped at
+//! [`MAX_FRAME_BODY`] **before** any allocation — a hostile length is
+//! rejected from the 12-byte header alone, mirroring the checkpoint codec's
+//! `decode_len` discipline. Message bodies are [`Snap`]-encoded (fixed-width
+//! LE integers, explicit enum tags), so the format is stable across builds
+//! and every malformed input decodes to an error, never a panic.
+
+use std::io::{Read, Write};
+
+use mtvar_sim::checkpoint::{CheckpointError, Decoder, Encoder, Snap};
+
+use crate::{Result, ServeError};
+
+/// Magic bytes opening every frame.
+pub const FRAME_MAGIC: [u8; 4] = *b"MTVS";
+
+/// Current protocol version; requests from other versions are rejected.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Hard cap on a frame body. Far above any real message (the largest is a
+/// stats report with its warning strings), and small enough that a hostile
+/// `body_len` can never drive a large allocation.
+pub const MAX_FRAME_BODY: usize = 1 << 20;
+
+/// Frame header size in bytes: magic + version + kind + reserved + body_len.
+pub const FRAME_HEADER: usize = 12;
+
+/// Whether a frame carries a request or a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server.
+    Request,
+    /// Server → client.
+    Response,
+}
+
+impl FrameKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            FrameKind::Request => 1,
+            FrameKind::Response => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> std::result::Result<Self, CheckpointError> {
+        match b {
+            1 => Ok(FrameKind::Request),
+            2 => Ok(FrameKind::Response),
+            other => Err(CheckpointError::Corrupt {
+                what: format!("invalid frame kind {other}"),
+            }),
+        }
+    }
+}
+
+/// FNV-1a over bytes with a SplitMix64 finalizer — the workspace's standard
+/// content fingerprint, applied here as the frame checksum.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds one per-run digest into a job-level digest. Order-sensitive (runs
+/// fold in run-index order), so two sweeps agree iff every run agrees — the
+/// same construction the benches use for whole-study digests.
+pub fn fold_digest(acc: u64, run_digest: u64) -> u64 {
+    acc.rotate_left(7) ^ run_digest
+}
+
+/// Encodes one complete frame.
+pub fn encode_frame(kind: FrameKind, body: &[u8]) -> Vec<u8> {
+    assert!(body.len() <= MAX_FRAME_BODY, "frame body over the cap");
+    let mut out = Vec::with_capacity(FRAME_HEADER + body.len() + 8);
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    out.push(kind.to_byte());
+    out.push(0); // reserved
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    let sum = checksum(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Validates the 12-byte header, returning the body length. Shared by the
+/// slice and stream decoders so both reject hostile lengths before any
+/// allocation or read.
+fn validate_header(
+    header: &[u8; FRAME_HEADER],
+) -> std::result::Result<(FrameKind, usize), CheckpointError> {
+    if header[..4] != FRAME_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != PROTOCOL_VERSION {
+        return Err(CheckpointError::UnsupportedVersion {
+            found: u32::from(version),
+        });
+    }
+    let kind = FrameKind::from_byte(header[6])?;
+    if header[7] != 0 {
+        return Err(CheckpointError::Corrupt {
+            what: format!("nonzero reserved byte {}", header[7]),
+        });
+    }
+    let body_len = u32::from_le_bytes([header[8], header[9], header[10], header[11]]) as usize;
+    if body_len > MAX_FRAME_BODY {
+        return Err(CheckpointError::Corrupt {
+            what: format!("frame body length {body_len} exceeds cap {MAX_FRAME_BODY}"),
+        });
+    }
+    Ok((kind, body_len))
+}
+
+/// Decodes one frame from a byte slice, validating magic, version, kind,
+/// length (against both the cap and the actual byte count) and checksum.
+///
+/// # Errors
+///
+/// Returns the [`CheckpointError`] naming the first validation failure.
+pub fn decode_frame(bytes: &[u8]) -> std::result::Result<(FrameKind, &[u8]), CheckpointError> {
+    if bytes.len() < FRAME_HEADER + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let header: [u8; FRAME_HEADER] = bytes[..FRAME_HEADER].try_into().expect("sized");
+    let (kind, body_len) = validate_header(&header)?;
+    let framed = FRAME_HEADER + body_len;
+    if bytes.len() != framed + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let stored = u64::from_le_bytes(bytes[framed..framed + 8].try_into().expect("sized"));
+    let actual = checksum(&bytes[..framed]);
+    if stored != actual {
+        return Err(CheckpointError::FingerprintMismatch { stored, actual });
+    }
+    Ok((kind, &bytes[FRAME_HEADER..framed]))
+}
+
+/// Writes one frame to a stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, body: &[u8]) -> std::io::Result<()> {
+    w.write_all(&encode_frame(kind, body))?;
+    w.flush()
+}
+
+/// Reads one frame from a stream: header first, length validated against
+/// the cap before the body buffer is sized, then checksum verification.
+///
+/// # Errors
+///
+/// [`ServeError::Disconnected`] on clean EOF before any header byte;
+/// [`ServeError::Io`] on short reads; [`ServeError::Protocol`] on
+/// validation failure.
+pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>)> {
+    let mut header = [0u8; FRAME_HEADER];
+    // Distinguish a clean close (no bytes at all) from a mid-frame cut.
+    let mut filled = 0;
+    while filled < header.len() {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Err(ServeError::Disconnected)
+            } else {
+                Err(ServeError::Protocol(CheckpointError::Truncated))
+            };
+        }
+        filled += n;
+    }
+    let (kind, body_len) = validate_header(&header)?;
+    let mut rest = vec![0u8; body_len + 8];
+    r.read_exact(&mut rest)
+        .map_err(|_| ServeError::Protocol(CheckpointError::Truncated))?;
+    let mut sum_input = Vec::with_capacity(FRAME_HEADER + body_len);
+    sum_input.extend_from_slice(&header);
+    sum_input.extend_from_slice(&rest[..body_len]);
+    let stored = u64::from_le_bytes(rest[body_len..].try_into().expect("sized"));
+    let actual = checksum(&sum_input);
+    if stored != actual {
+        return Err(ServeError::Protocol(CheckpointError::FingerprintMismatch {
+            stored,
+            actual,
+        }));
+    }
+    rest.truncate(body_len);
+    Ok((kind, rest))
+}
+
+// ---------------------------------------------------------------------------
+// Sweep specification
+// ---------------------------------------------------------------------------
+
+/// Machine configuration, declaratively: a delta over
+/// [`MachineConfig::hpca2003`]. Shipping knobs instead of code keeps the
+/// protocol closed-world — the server builds the config, fingerprints it,
+/// and derives seeds exactly as a batch study would.
+///
+/// [`MachineConfig::hpca2003`]: mtvar_sim::config::MachineConfig::hpca2003
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigSpec {
+    /// Number of CPUs.
+    pub cpus: u64,
+    /// §3.3 perturbation magnitude in ns (0 disables perturbation).
+    pub perturbation_max_ns: u64,
+    /// Override of the L2 associativity, if any.
+    pub l2_associativity: Option<u32>,
+    /// Override of the DRAM latency in ns, if any.
+    pub dram_latency_ns: Option<u64>,
+    /// Use directory coherence instead of the default snooping protocol.
+    pub directory: bool,
+}
+
+mtvar_sim::impl_snap!(ConfigSpec {
+    cpus,
+    perturbation_max_ns,
+    l2_associativity,
+    dram_latency_ns,
+    directory,
+});
+
+impl ConfigSpec {
+    /// The paper's 16-CPU machine with a 4 ns perturbation.
+    pub fn hpca2003() -> Self {
+        ConfigSpec {
+            cpus: 16,
+            perturbation_max_ns: 4,
+            l2_associativity: None,
+            dram_latency_ns: None,
+            directory: false,
+        }
+    }
+
+    /// Builds the concrete [`MachineConfig`](mtvar_sim::config::MachineConfig).
+    pub fn build(&self) -> mtvar_sim::config::MachineConfig {
+        let mut cfg = mtvar_sim::config::MachineConfig::hpca2003()
+            .with_cpus(self.cpus as usize)
+            .with_perturbation(self.perturbation_max_ns, 0);
+        if let Some(ways) = self.l2_associativity {
+            cfg = cfg.with_l2_associativity(ways);
+        }
+        if let Some(ns) = self.dram_latency_ns {
+            cfg = cfg.with_dram_latency_ns(ns);
+        }
+        if self.directory {
+            cfg = cfg.with_directory_coherence();
+        }
+        cfg
+    }
+}
+
+/// Workload selection, declaratively. Mirrors the two workload families the
+/// studies use: the synthetic sharing microbenchmark and the paper's Table-3
+/// profiled benchmarks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// [`SharingWorkload`](mtvar_sim::workload::SharingWorkload) with its
+    /// five constructor parameters.
+    Sharing {
+        /// Number of threads.
+        threads: u64,
+        /// Workload RNG seed.
+        seed: u64,
+        /// Operations per transaction.
+        ops_per_txn: u64,
+        /// Footprint in cache blocks.
+        footprint_blocks: u64,
+        /// A lock acquire every N operations.
+        lock_every: u64,
+    },
+    /// A profiled paper benchmark by [`Benchmark`] name (case-insensitive).
+    ///
+    /// [`Benchmark`]: mtvar_workloads::Benchmark
+    Benchmark {
+        /// Benchmark name, e.g. `"oltp"` or `"barnes"`.
+        name: String,
+        /// Number of CPUs the workload is generated for.
+        cpus: u64,
+        /// Workload RNG seed.
+        seed: u64,
+    },
+}
+
+impl Snap for WorkloadSpec {
+    fn encode_snap(&self, enc: &mut Encoder) {
+        match self {
+            WorkloadSpec::Sharing {
+                threads,
+                seed,
+                ops_per_txn,
+                footprint_blocks,
+                lock_every,
+            } => {
+                enc.put_u8(0);
+                threads.encode_snap(enc);
+                seed.encode_snap(enc);
+                ops_per_txn.encode_snap(enc);
+                footprint_blocks.encode_snap(enc);
+                lock_every.encode_snap(enc);
+            }
+            WorkloadSpec::Benchmark { name, cpus, seed } => {
+                enc.put_u8(1);
+                name.encode_snap(enc);
+                cpus.encode_snap(enc);
+                seed.encode_snap(enc);
+            }
+        }
+    }
+
+    fn decode_snap(dec: &mut Decoder<'_>) -> std::result::Result<Self, CheckpointError> {
+        match dec.get_u8()? {
+            0 => Ok(WorkloadSpec::Sharing {
+                threads: Snap::decode_snap(dec)?,
+                seed: Snap::decode_snap(dec)?,
+                ops_per_txn: Snap::decode_snap(dec)?,
+                footprint_blocks: Snap::decode_snap(dec)?,
+                lock_every: Snap::decode_snap(dec)?,
+            }),
+            1 => Ok(WorkloadSpec::Benchmark {
+                name: Snap::decode_snap(dec)?,
+                cpus: Snap::decode_snap(dec)?,
+                seed: Snap::decode_snap(dec)?,
+            }),
+            b => Err(CheckpointError::Corrupt {
+                what: format!("invalid WorkloadSpec tag {b}"),
+            }),
+        }
+    }
+
+    fn snap_size_hint(&self) -> usize {
+        match self {
+            WorkloadSpec::Sharing { .. } => 1 + 5 * 8,
+            WorkloadSpec::Benchmark { name, .. } => 1 + name.snap_size_hint() + 16,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Resolves a benchmark name against [`Benchmark::ALL`]
+    /// (case-insensitive).
+    ///
+    /// [`Benchmark::ALL`]: mtvar_workloads::Benchmark::ALL
+    pub fn resolve_benchmark(name: &str) -> Option<mtvar_workloads::Benchmark> {
+        mtvar_workloads::Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Validates the spec without building anything: nonzero sizing, a
+    /// resolvable benchmark name.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        match self {
+            WorkloadSpec::Sharing {
+                threads,
+                ops_per_txn,
+                footprint_blocks,
+                ..
+            } => {
+                if *threads == 0 || *ops_per_txn == 0 || *footprint_blocks == 0 {
+                    return Err("sharing workload needs threads, ops_per_txn and \
+                                footprint_blocks >= 1"
+                        .into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::Benchmark { name, cpus, .. } => {
+                if Self::resolve_benchmark(name).is_none() {
+                    return Err(format!("unknown benchmark {name:?}"));
+                }
+                if *cpus == 0 {
+                    return Err("benchmark workload needs cpus >= 1".into());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The run plan, declaratively — one-to-one with
+/// [`RunPlan`](mtvar_core::runspace::RunPlan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanSpec {
+    /// Number of perturbed runs.
+    pub runs: u64,
+    /// Transactions measured per run.
+    pub transactions: u64,
+    /// Warmup transactions before measurement.
+    pub warmup: u64,
+    /// Base perturbation seed.
+    pub base_seed: u64,
+    /// Shared-warmup (checkpoint-forked) vs legacy per-run warmup.
+    pub shared_warmup: bool,
+}
+
+mtvar_sim::impl_snap!(PlanSpec {
+    runs,
+    transactions,
+    warmup,
+    base_seed,
+    shared_warmup,
+});
+
+impl PlanSpec {
+    /// Builds the concrete [`RunPlan`](mtvar_core::runspace::RunPlan).
+    pub fn build(&self) -> mtvar_core::runspace::RunPlan {
+        mtvar_core::runspace::RunPlan::new(self.transactions)
+            .with_runs(self.runs as usize)
+            .with_warmup(self.warmup)
+            .with_base_seed(self.base_seed)
+            .with_shared_warmup(self.shared_warmup)
+    }
+}
+
+/// Scheduling priority of a submitted job. Higher lanes drain first;
+/// submission order breaks ties within a lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Interactive work, drained before everything else.
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Bulk background work.
+    Low,
+}
+
+impl Priority {
+    /// Lane index, 0 (high) to 2 (low).
+    pub fn lane(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+impl Snap for Priority {
+    fn encode_snap(&self, enc: &mut Encoder) {
+        enc.put_u8(self.lane() as u8);
+    }
+
+    fn decode_snap(dec: &mut Decoder<'_>) -> std::result::Result<Self, CheckpointError> {
+        match dec.get_u8()? {
+            0 => Ok(Priority::High),
+            1 => Ok(Priority::Normal),
+            2 => Ok(Priority::Low),
+            b => Err(CheckpointError::Corrupt {
+                what: format!("invalid Priority tag {b}"),
+            }),
+        }
+    }
+
+    fn snap_size_hint(&self) -> usize {
+        1
+    }
+}
+
+/// One complete sweep request: what to simulate and how urgently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Machine configuration delta.
+    pub config: ConfigSpec,
+    /// Workload selection.
+    pub workload: WorkloadSpec,
+    /// Run plan.
+    pub plan: PlanSpec,
+    /// Queue lane.
+    pub priority: Priority,
+}
+
+mtvar_sim::impl_snap!(SweepSpec {
+    config,
+    workload,
+    plan,
+    priority,
+});
+
+// ---------------------------------------------------------------------------
+// Requests and responses
+// ---------------------------------------------------------------------------
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a sweep; the connection then streams response frames until a
+    /// terminal one ([`Response::JobDone`], [`Response::JobFailed`],
+    /// [`Response::Cancelled`], or [`Response::Error`]).
+    Submit(SweepSpec),
+    /// Query a job's state (any connection, not just the submitter's).
+    Status {
+        /// Job to query.
+        job: u64,
+    },
+    /// Request cancellation of a queued or running job.
+    Cancel {
+        /// Job to cancel.
+        job: u64,
+    },
+    /// Fetch server statistics.
+    Stats,
+    /// Ask the server to drain and exit (equivalent to SIGTERM).
+    Shutdown,
+}
+
+impl Snap for Request {
+    fn encode_snap(&self, enc: &mut Encoder) {
+        match self {
+            Request::Submit(spec) => {
+                enc.put_u8(0);
+                spec.encode_snap(enc);
+            }
+            Request::Status { job } => {
+                enc.put_u8(1);
+                job.encode_snap(enc);
+            }
+            Request::Cancel { job } => {
+                enc.put_u8(2);
+                job.encode_snap(enc);
+            }
+            Request::Stats => enc.put_u8(3),
+            Request::Shutdown => enc.put_u8(4),
+        }
+    }
+
+    fn decode_snap(dec: &mut Decoder<'_>) -> std::result::Result<Self, CheckpointError> {
+        match dec.get_u8()? {
+            0 => Ok(Request::Submit(Snap::decode_snap(dec)?)),
+            1 => Ok(Request::Status {
+                job: Snap::decode_snap(dec)?,
+            }),
+            2 => Ok(Request::Cancel {
+                job: Snap::decode_snap(dec)?,
+            }),
+            3 => Ok(Request::Stats),
+            4 => Ok(Request::Shutdown),
+            b => Err(CheckpointError::Corrupt {
+                what: format!("invalid Request tag {b}"),
+            }),
+        }
+    }
+
+    fn snap_size_hint(&self) -> usize {
+        match self {
+            Request::Submit(spec) => 1 + spec.snap_size_hint(),
+            _ => 16,
+        }
+    }
+}
+
+/// Machine-readable rejection reasons carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The queue is at its admission limit.
+    QueueFull,
+    /// The server is draining for shutdown and takes no new work.
+    Draining,
+    /// The request was structurally valid but semantically broken (unknown
+    /// benchmark, zero-run plan, ...).
+    BadRequest,
+    /// The referenced job does not exist.
+    UnknownJob,
+}
+
+impl Snap for ErrorCode {
+    fn encode_snap(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            ErrorCode::QueueFull => 0,
+            ErrorCode::Draining => 1,
+            ErrorCode::BadRequest => 2,
+            ErrorCode::UnknownJob => 3,
+        });
+    }
+
+    fn decode_snap(dec: &mut Decoder<'_>) -> std::result::Result<Self, CheckpointError> {
+        match dec.get_u8()? {
+            0 => Ok(ErrorCode::QueueFull),
+            1 => Ok(ErrorCode::Draining),
+            2 => Ok(ErrorCode::BadRequest),
+            3 => Ok(ErrorCode::UnknownJob),
+            b => Err(CheckpointError::Corrupt {
+                what: format!("invalid ErrorCode tag {b}"),
+            }),
+        }
+    }
+
+    fn snap_size_hint(&self) -> usize {
+        1
+    }
+}
+
+/// Lifecycle state of a job, as reported by [`Response::JobStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in a queue lane.
+    Queued,
+    /// Executing on a dispatcher.
+    Running,
+    /// Finished successfully.
+    Done,
+    /// Finished with an error.
+    Failed,
+    /// Cancelled before or during execution.
+    Cancelled,
+}
+
+impl Snap for JobState {
+    fn encode_snap(&self, enc: &mut Encoder) {
+        enc.put_u8(match self {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Done => 2,
+            JobState::Failed => 3,
+            JobState::Cancelled => 4,
+        });
+    }
+
+    fn decode_snap(dec: &mut Decoder<'_>) -> std::result::Result<Self, CheckpointError> {
+        match dec.get_u8()? {
+            0 => Ok(JobState::Queued),
+            1 => Ok(JobState::Running),
+            2 => Ok(JobState::Done),
+            3 => Ok(JobState::Failed),
+            4 => Ok(JobState::Cancelled),
+            b => Err(CheckpointError::Corrupt {
+                what: format!("invalid JobState tag {b}"),
+            }),
+        }
+    }
+
+    fn snap_size_hint(&self) -> usize {
+        1
+    }
+}
+
+/// A snapshot of the server's counters, returned by [`Request::Stats`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServerStats {
+    /// Jobs accepted into the queue since startup.
+    pub submitted: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs finished with an error.
+    pub failed: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Submissions rejected by admission control (queue full or draining).
+    pub rejected: u64,
+    /// Jobs currently queued.
+    pub queue_depth: u64,
+    /// Runs that began simulating, across all jobs.
+    pub runs_started: u64,
+    /// Runs that finished simulating.
+    pub runs_completed: u64,
+    /// Runs satisfied from the shared result cache.
+    pub runs_cached: u64,
+    /// Invariant-violation reports observed.
+    pub run_violations: u64,
+    /// Warmups simulated by coalescer leaders.
+    pub coalesce_leaders: u64,
+    /// Warmups avoided by coalescer followers.
+    pub coalesce_followers: u64,
+    /// Warmed snapshots resident in the checkpoint store.
+    pub checkpoints_in_memory: u64,
+    /// Run results spilled on disk (0 when spill is off).
+    pub results_on_disk: u64,
+    /// Whether the server is draining for shutdown.
+    pub draining: bool,
+    /// Drained store warnings (degraded disk operations) — surfaced here
+    /// instead of dropped, per the store's `take_warnings` contract.
+    pub warnings: Vec<String>,
+}
+
+mtvar_sim::impl_snap!(ServerStats {
+    submitted,
+    completed,
+    failed,
+    cancelled,
+    rejected,
+    queue_depth,
+    runs_started,
+    runs_completed,
+    runs_cached,
+    run_violations,
+    coalesce_leaders,
+    coalesce_followers,
+    checkpoints_in_memory,
+    results_on_disk,
+    draining,
+    warnings,
+});
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The sweep was admitted and assigned a job id.
+    Submitted {
+        /// Assigned job id.
+        job: u64,
+    },
+    /// The job left the queue and began executing.
+    JobStarted {
+        /// The job.
+        job: u64,
+    },
+    /// One run's measurement is available (simulated or replayed from
+    /// cache); streamed in completion order, which is *not* run order.
+    RunDone {
+        /// The job.
+        job: u64,
+        /// Run index within the sweep.
+        run_index: u64,
+        /// [`golden::run_digest`](mtvar_core::golden::run_digest) of the
+        /// run's full measurement.
+        digest: u64,
+        /// Whether the run replayed from the shared cache.
+        cached: bool,
+        /// Violation reports recorded for the run.
+        violations: u64,
+    },
+    /// Terminal: the sweep finished. `digest` folds every run's digest in
+    /// run-index order ([`fold_digest`]), so it is bit-comparable with a
+    /// batch execution of the same plan.
+    JobDone {
+        /// The job.
+        job: u64,
+        /// Order-sensitive fold of all per-run digests.
+        digest: u64,
+        /// Runs in the sweep.
+        runs: u64,
+        /// Runs that simulated.
+        completed: u64,
+        /// Runs replayed from cache.
+        cached: u64,
+        /// Total violation reports across runs.
+        violations: u64,
+        /// Mean cycles-per-transaction over the sweep.
+        mean_cpt: f64,
+    },
+    /// Terminal: the sweep errored.
+    JobFailed {
+        /// The job.
+        job: u64,
+        /// Server-side error rendered to text.
+        message: String,
+    },
+    /// Terminal: the job was cancelled before completing.
+    Cancelled {
+        /// The job.
+        job: u64,
+    },
+    /// Reply to [`Request::Status`].
+    JobStatus {
+        /// The job.
+        job: u64,
+        /// Lifecycle state.
+        state: JobState,
+        /// Runs finished so far (simulated + cached).
+        runs_done: u64,
+        /// Total runs in the sweep.
+        runs_total: u64,
+        /// Final digest, once the job is done.
+        digest: Option<u64>,
+    },
+    /// Reply to [`Request::Cancel`]: whether the cancellation took effect
+    /// (`true`) or the job had already reached a terminal state (`false`).
+    CancelResult {
+        /// The job.
+        job: u64,
+        /// Whether the job will stop (or already stopped) as cancelled.
+        cancelled: bool,
+    },
+    /// Reply to [`Request::Stats`].
+    StatsReport(ServerStats),
+    /// Reply to [`Request::Shutdown`]: the drain has begun.
+    ShuttingDown,
+    /// Typed rejection (admission control, validation, unknown job).
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Snap for Response {
+    fn encode_snap(&self, enc: &mut Encoder) {
+        match self {
+            Response::Submitted { job } => {
+                enc.put_u8(0);
+                job.encode_snap(enc);
+            }
+            Response::JobStarted { job } => {
+                enc.put_u8(1);
+                job.encode_snap(enc);
+            }
+            Response::RunDone {
+                job,
+                run_index,
+                digest,
+                cached,
+                violations,
+            } => {
+                enc.put_u8(2);
+                job.encode_snap(enc);
+                run_index.encode_snap(enc);
+                digest.encode_snap(enc);
+                cached.encode_snap(enc);
+                violations.encode_snap(enc);
+            }
+            Response::JobDone {
+                job,
+                digest,
+                runs,
+                completed,
+                cached,
+                violations,
+                mean_cpt,
+            } => {
+                enc.put_u8(3);
+                job.encode_snap(enc);
+                digest.encode_snap(enc);
+                runs.encode_snap(enc);
+                completed.encode_snap(enc);
+                cached.encode_snap(enc);
+                violations.encode_snap(enc);
+                mean_cpt.encode_snap(enc);
+            }
+            Response::JobFailed { job, message } => {
+                enc.put_u8(4);
+                job.encode_snap(enc);
+                message.encode_snap(enc);
+            }
+            Response::Cancelled { job } => {
+                enc.put_u8(5);
+                job.encode_snap(enc);
+            }
+            Response::JobStatus {
+                job,
+                state,
+                runs_done,
+                runs_total,
+                digest,
+            } => {
+                enc.put_u8(6);
+                job.encode_snap(enc);
+                state.encode_snap(enc);
+                runs_done.encode_snap(enc);
+                runs_total.encode_snap(enc);
+                digest.encode_snap(enc);
+            }
+            Response::CancelResult { job, cancelled } => {
+                enc.put_u8(7);
+                job.encode_snap(enc);
+                cancelled.encode_snap(enc);
+            }
+            Response::StatsReport(stats) => {
+                enc.put_u8(8);
+                stats.encode_snap(enc);
+            }
+            Response::ShuttingDown => enc.put_u8(9),
+            Response::Error { code, message } => {
+                enc.put_u8(10);
+                code.encode_snap(enc);
+                message.encode_snap(enc);
+            }
+        }
+    }
+
+    fn decode_snap(dec: &mut Decoder<'_>) -> std::result::Result<Self, CheckpointError> {
+        match dec.get_u8()? {
+            0 => Ok(Response::Submitted {
+                job: Snap::decode_snap(dec)?,
+            }),
+            1 => Ok(Response::JobStarted {
+                job: Snap::decode_snap(dec)?,
+            }),
+            2 => Ok(Response::RunDone {
+                job: Snap::decode_snap(dec)?,
+                run_index: Snap::decode_snap(dec)?,
+                digest: Snap::decode_snap(dec)?,
+                cached: Snap::decode_snap(dec)?,
+                violations: Snap::decode_snap(dec)?,
+            }),
+            3 => Ok(Response::JobDone {
+                job: Snap::decode_snap(dec)?,
+                digest: Snap::decode_snap(dec)?,
+                runs: Snap::decode_snap(dec)?,
+                completed: Snap::decode_snap(dec)?,
+                cached: Snap::decode_snap(dec)?,
+                violations: Snap::decode_snap(dec)?,
+                mean_cpt: Snap::decode_snap(dec)?,
+            }),
+            4 => Ok(Response::JobFailed {
+                job: Snap::decode_snap(dec)?,
+                message: Snap::decode_snap(dec)?,
+            }),
+            5 => Ok(Response::Cancelled {
+                job: Snap::decode_snap(dec)?,
+            }),
+            6 => Ok(Response::JobStatus {
+                job: Snap::decode_snap(dec)?,
+                state: Snap::decode_snap(dec)?,
+                runs_done: Snap::decode_snap(dec)?,
+                runs_total: Snap::decode_snap(dec)?,
+                digest: Snap::decode_snap(dec)?,
+            }),
+            7 => Ok(Response::CancelResult {
+                job: Snap::decode_snap(dec)?,
+                cancelled: Snap::decode_snap(dec)?,
+            }),
+            8 => Ok(Response::StatsReport(Snap::decode_snap(dec)?)),
+            9 => Ok(Response::ShuttingDown),
+            10 => Ok(Response::Error {
+                code: Snap::decode_snap(dec)?,
+                message: Snap::decode_snap(dec)?,
+            }),
+            b => Err(CheckpointError::Corrupt {
+                what: format!("invalid Response tag {b}"),
+            }),
+        }
+    }
+
+    fn snap_size_hint(&self) -> usize {
+        match self {
+            Response::StatsReport(stats) => 1 + stats.snap_size_hint(),
+            Response::JobFailed { message, .. } | Response::Error { message, .. } => {
+                16 + message.snap_size_hint()
+            }
+            _ => 64,
+        }
+    }
+}
+
+/// Encodes a request as one complete frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(req.snap_size_hint());
+    req.encode_snap(&mut enc);
+    encode_frame(FrameKind::Request, &enc.into_bytes())
+}
+
+/// Decodes a request from one complete frame, rejecting response frames and
+/// trailing bytes.
+///
+/// # Errors
+///
+/// Returns the [`CheckpointError`] naming the first validation failure.
+pub fn decode_request(frame: &[u8]) -> std::result::Result<Request, CheckpointError> {
+    let (kind, body) = decode_frame(frame)?;
+    if kind != FrameKind::Request {
+        return Err(CheckpointError::Corrupt {
+            what: "expected a request frame".into(),
+        });
+    }
+    let mut dec = Decoder::new(body);
+    let req = Request::decode_snap(&mut dec)?;
+    dec.finish()?;
+    Ok(req)
+}
+
+/// Encodes a response as one complete frame.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(resp.snap_size_hint());
+    resp.encode_snap(&mut enc);
+    encode_frame(FrameKind::Response, &enc.into_bytes())
+}
+
+/// Decodes a response from one complete frame, rejecting request frames and
+/// trailing bytes.
+///
+/// # Errors
+///
+/// Returns the [`CheckpointError`] naming the first validation failure.
+pub fn decode_response(frame: &[u8]) -> std::result::Result<Response, CheckpointError> {
+    let (kind, body) = decode_frame(frame)?;
+    if kind != FrameKind::Response {
+        return Err(CheckpointError::Corrupt {
+            what: "expected a response frame".into(),
+        });
+    }
+    let mut dec = Decoder::new(body);
+    let resp = Response::decode_snap(&mut dec)?;
+    dec.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_spec() -> SweepSpec {
+        SweepSpec {
+            config: ConfigSpec {
+                cpus: 4,
+                perturbation_max_ns: 4,
+                l2_associativity: Some(2),
+                dram_latency_ns: None,
+                directory: false,
+            },
+            workload: WorkloadSpec::Sharing {
+                threads: 8,
+                seed: 42,
+                ops_per_txn: 40,
+                footprint_blocks: 4096,
+                lock_every: 10,
+            },
+            plan: PlanSpec {
+                runs: 6,
+                transactions: 25,
+                warmup: 10,
+                base_seed: 0,
+                shared_warmup: true,
+            },
+            priority: Priority::Normal,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Submit(sample_spec()),
+            Request::Submit(SweepSpec {
+                workload: WorkloadSpec::Benchmark {
+                    name: "oltp".into(),
+                    cpus: 4,
+                    seed: 7,
+                },
+                priority: Priority::High,
+                ..sample_spec()
+            }),
+            Request::Status { job: 7 },
+            Request::Cancel { job: 9 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let frame = encode_request(&req);
+            assert_eq!(decode_request(&frame).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Submitted { job: 1 },
+            Response::JobStarted { job: 1 },
+            Response::RunDone {
+                job: 1,
+                run_index: 3,
+                digest: 0xDEAD_BEEF,
+                cached: true,
+                violations: 2,
+            },
+            Response::JobDone {
+                job: 1,
+                digest: 0xABCD,
+                runs: 6,
+                completed: 4,
+                cached: 2,
+                violations: 0,
+                mean_cpt: 1234.5,
+            },
+            Response::JobFailed {
+                job: 1,
+                message: "deadlock".into(),
+            },
+            Response::Cancelled { job: 1 },
+            Response::JobStatus {
+                job: 1,
+                state: JobState::Running,
+                runs_done: 2,
+                runs_total: 6,
+                digest: None,
+            },
+            Response::CancelResult {
+                job: 1,
+                cancelled: false,
+            },
+            Response::StatsReport(ServerStats {
+                submitted: 3,
+                warnings: vec!["w".into()],
+                draining: true,
+                ..ServerStats::default()
+            }),
+            Response::ShuttingDown,
+            Response::Error {
+                code: ErrorCode::Draining,
+                message: "bye".into(),
+            },
+        ];
+        for resp in resps {
+            let frame = encode_response(&resp);
+            assert_eq!(decode_response(&frame).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn kinds_do_not_cross() {
+        let frame = encode_request(&Request::Stats);
+        assert!(decode_response(&frame).is_err());
+        let frame = encode_response(&Response::ShuttingDown);
+        assert!(decode_request(&frame).is_err());
+    }
+
+    #[test]
+    fn stream_round_trip_distinguishes_clean_close() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Request, b"body").unwrap();
+        let mut cursor = std::io::Cursor::new(buf.clone());
+        let (kind, body) = read_frame(&mut cursor).unwrap();
+        assert_eq!(kind, FrameKind::Request);
+        assert_eq!(body, b"body");
+        // Clean EOF at a frame boundary is Disconnected...
+        match read_frame(&mut cursor) {
+            Err(ServeError::Disconnected) => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+        // ...a cut inside the header is a protocol error.
+        let mut cut = std::io::Cursor::new(buf[..5].to_vec());
+        match read_frame(&mut cut) {
+            Err(ServeError::Protocol(CheckpointError::Truncated)) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_length_is_rejected_from_the_header() {
+        let mut frame = encode_frame(FrameKind::Request, b"x");
+        frame[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_frame(&frame).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Corrupt { ref what } if what.contains("exceeds cap")),
+            "got {err:?}"
+        );
+        // The stream reader rejects it too, before allocating.
+        let mut cursor = std::io::Cursor::new(frame);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn digest_fold_is_order_sensitive() {
+        let a = fold_digest(fold_digest(0, 1), 2);
+        let b = fold_digest(fold_digest(0, 2), 1);
+        assert_ne!(a, b);
+    }
+}

@@ -306,7 +306,7 @@ macro_rules! impl_snap {
             }
             fn decode_snap(
                 dec: &mut $crate::checkpoint::Decoder<'_>,
-            ) -> Result<Self, $crate::checkpoint::CheckpointError> {
+            ) -> ::std::result::Result<Self, $crate::checkpoint::CheckpointError> {
                 $( let $field = $crate::checkpoint::Snap::decode_snap(dec)?; )+
                 Ok(Self { $($field),+ })
             }

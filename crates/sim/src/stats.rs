@@ -86,9 +86,29 @@ impl RunResult {
     }
 }
 
+// Stable binary encoding so completed measurements can be spilled to disk
+// (the run-result cache) and replayed across processes. Every field is
+// covered — including the full commit-cycle vector and the observational
+// sched-event log — so a decoded result is indistinguishable from the
+// original, and the golden digest of a round-tripped result is unchanged.
+crate::impl_snap!(RunResult {
+    start_cycle,
+    end_cycle,
+    transactions,
+    commit_cycles,
+    mem,
+    proc,
+    locks,
+    sched,
+    sched_events,
+    cpu_busy_ns,
+    cpus,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::{Decoder, Encoder, Snap};
 
     fn result() -> RunResult {
         RunResult {
@@ -128,6 +148,32 @@ mod tests {
         let mut z = result();
         z.end_cycle = z.start_cycle;
         assert_eq!(z.cpu_utilization(), 0.0);
+    }
+
+    #[test]
+    fn snap_round_trip_is_exact() {
+        let mut r = result();
+        r.mem.l2_misses = 9;
+        r.proc.instructions = 1234;
+        r.locks.contended = 2;
+        r.sched.preemptions = 3;
+        let mut enc = Encoder::new();
+        r.encode_snap(&mut enc);
+        let bytes = enc.into_bytes();
+        assert!(bytes.len() <= r.snap_size_hint(), "hint must err high");
+        let mut dec = Decoder::new(&bytes);
+        let back = RunResult::decode_snap(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back, r);
+        // Truncations decode to an error, never a panic.
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            let out = RunResult::decode_snap(&mut dec);
+            assert!(
+                out.is_err() || dec.finish().is_err(),
+                "prefix of {cut} bytes silently decoded"
+            );
+        }
     }
 
     #[test]

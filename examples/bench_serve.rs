@@ -1,0 +1,184 @@
+//! Run-space service benchmark: queue throughput through the daemon's
+//! admission/dispatch path, and the warmup-coalescing win when overlapping
+//! sweeps share a warm-checkpoint family. Written to `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release --example bench_serve
+//! ```
+//!
+//! Phase 1 pushes a burst of small, distinct sweeps through one server from
+//! several concurrent clients and reports end-to-end jobs/second (socket,
+//! frame codec, queue, dispatcher, executor, and result streaming all
+//! included). Phase 2 submits two sweeps that differ **only in perturbation
+//! magnitude** — the §3.3 knob — so they share one `(config, workload,
+//! seed, warmup)` warmup family: the coalescer elects one leader to
+//! simulate the warmup and the other job follows, halving the aggregate
+//! warmup transactions simulated. The savings are asserted, not observed:
+//! the run aborts if the coalescer fails to collapse the family.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use mtvar_serve::client::{Client, SweepOutcome};
+use mtvar_serve::protocol::{ConfigSpec, PlanSpec, Priority, SweepSpec, WorkloadSpec};
+use mtvar_serve::server::{ServeConfig, Server};
+
+/// Burst size for the throughput phase.
+const BURST_JOBS: usize = 24;
+/// Concurrent submitting clients in the throughput phase.
+const CLIENTS: usize = 6;
+/// Warmup transactions shared by the coalescing pair.
+const SHARED_WARMUP: u64 = 120;
+/// Minimum accepted aggregate-warmup savings when two overlapping sweeps
+/// coalesce: two demanded warmups, one simulated.
+const REQUIRED_SAVINGS: f64 = 2.0;
+
+fn socket_path(tag: &str) -> std::path::PathBuf {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let n = NONCE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("mtv-bench-{}-{tag}-{n}.sock", std::process::id()))
+}
+
+fn small_sweep(seed: u64) -> SweepSpec {
+    SweepSpec {
+        config: ConfigSpec {
+            cpus: 4,
+            perturbation_max_ns: 4,
+            l2_associativity: None,
+            dram_latency_ns: None,
+            directory: false,
+        },
+        workload: WorkloadSpec::Sharing {
+            threads: 4,
+            seed: 42,
+            ops_per_txn: 40,
+            footprint_blocks: 2048,
+            lock_every: 10,
+        },
+        plan: PlanSpec {
+            runs: 3,
+            transactions: 25,
+            warmup: 0,
+            base_seed: seed,
+            shared_warmup: true,
+        },
+        priority: Priority::Normal,
+    }
+}
+
+/// Phase 1: distinct jobs (different base seeds, so no cache overlap)
+/// bursted from several clients. Returns (jobs/sec, total wall seconds).
+fn throughput_phase() -> (f64, f64) {
+    let socket = socket_path("tput");
+    let handle = Server::start(ServeConfig {
+        dispatchers: 4,
+        executor_threads: 2,
+        queue_limit: BURST_JOBS + CLIENTS,
+        ..ServeConfig::new(&socket)
+    })
+    .expect("start server");
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for client_index in 0..CLIENTS {
+            let socket = socket.clone();
+            scope.spawn(move || {
+                let client = Client::new(&socket);
+                let mut job = client_index;
+                while job < BURST_JOBS {
+                    let outcome = client
+                        .submit(small_sweep(job as u64), |_| {})
+                        .expect("submit");
+                    assert!(matches!(outcome, SweepOutcome::Done(_)));
+                    job += CLIENTS;
+                }
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    let stats = Client::new(&socket).stats().expect("stats");
+    assert_eq!(stats.completed, BURST_JOBS as u64, "every job completed");
+    assert_eq!(stats.failed, 0);
+    Client::new(&socket).shutdown().expect("shutdown");
+    handle.join();
+    (BURST_JOBS as f64 / wall, wall)
+}
+
+/// Phase 2: two sweeps differing only in perturbation magnitude, submitted
+/// simultaneously to two dispatchers. Warmup neutralizes perturbation, so
+/// both land in one family: one leader simulates `SHARED_WARMUP`
+/// transactions, one follower forks the snapshot. Returns (leaders,
+/// followers, savings factor).
+fn coalescing_phase() -> (u64, u64, f64) {
+    let socket = socket_path("coal");
+    let handle = Server::start(ServeConfig {
+        dispatchers: 2,
+        executor_threads: 2,
+        ..ServeConfig::new(&socket)
+    })
+    .expect("start server");
+
+    let mut specs = Vec::new();
+    for perturbation in [2u64, 8] {
+        let mut spec = small_sweep(0);
+        spec.config.perturbation_max_ns = perturbation;
+        spec.plan.warmup = SHARED_WARMUP;
+        spec.plan.runs = 4;
+        spec.plan.transactions = 40;
+        specs.push(spec);
+    }
+    std::thread::scope(|scope| {
+        for spec in specs {
+            let socket = socket.clone();
+            scope.spawn(move || {
+                let outcome = Client::new(&socket).submit(spec, |_| {}).expect("submit");
+                assert!(matches!(outcome, SweepOutcome::Done(_)));
+            });
+        }
+    });
+
+    let stats = Client::new(&socket).stats().expect("stats");
+    Client::new(&socket).shutdown().expect("shutdown");
+    handle.join();
+
+    let leaders = stats.coalesce_leaders;
+    let followers = stats.coalesce_followers;
+    // Single-flight makes this deterministic regardless of scheduling: the
+    // second job either waits on the in-flight warmup or finds it done —
+    // both count as a follower, never a second leader.
+    assert_eq!(leaders, 1, "one warmup family, one leader");
+    assert_eq!(followers, 1, "the overlapping sweep followed");
+    let savings = (leaders + followers) as f64 / leaders as f64;
+    assert!(
+        savings >= REQUIRED_SAVINGS,
+        "coalescing must save at least {REQUIRED_SAVINGS}x of the aggregate \
+         warmup transactions (measured {savings:.2}x)"
+    );
+    (leaders, followers, savings)
+}
+
+fn main() {
+    println!(
+        "run-space service: {BURST_JOBS} distinct jobs from {CLIENTS} clients, then a \
+         coalescing pair sharing a {SHARED_WARMUP}-txn warmup"
+    );
+
+    let (jobs_per_sec, wall) = throughput_phase();
+    println!("  queue throughput   : {jobs_per_sec:.1} jobs/s ({wall:.3} s for {BURST_JOBS} jobs)");
+
+    let (leaders, followers, savings) = coalescing_phase();
+    let demanded = (leaders + followers) * SHARED_WARMUP;
+    let simulated = leaders * SHARED_WARMUP;
+    println!(
+        "  coalescing         : {leaders} leader, {followers} follower; \
+         {demanded} warmup txns demanded, {simulated} simulated"
+    );
+    println!("  warmup savings     : {savings:.2}x (required >= {REQUIRED_SAVINGS:.1}x)");
+
+    let json = format!(
+        "{{\n  \"workload\": \"4-CPU sharing microbenchmark; burst of {BURST_JOBS} distinct 3-run sweeps from {CLIENTS} clients, then two 4-run sweeps differing only in perturbation magnitude sharing a {SHARED_WARMUP}-txn warmup\",\n  \"queue\": {{\n    \"jobs\": {BURST_JOBS},\n    \"clients\": {CLIENTS},\n    \"wall_seconds\": {wall:.3},\n    \"jobs_per_second\": {jobs_per_sec:.1}\n  }},\n  \"coalescing\": {{\n    \"leaders\": {leaders},\n    \"followers\": {followers},\n    \"warmup_transactions_demanded\": {demanded},\n    \"warmup_transactions_simulated\": {simulated},\n    \"aggregate_savings\": {savings:.2},\n    \"required_savings\": {REQUIRED_SAVINGS:.1}\n  }},\n  \"savings_asserted\": true\n}}\n"
+    );
+    std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

@@ -105,6 +105,43 @@ cargo test -q --offline --release --test alloc_steady_state
 echo "==> snapshot gate: restore/fork allocation budget, release (invariant monitor on)"
 cargo test -q --offline --release --features invariant-monitor --test alloc_steady_state
 
+# Service gate: the run-space daemon. Frame fuzz proves every mutated or
+# hostile request/response frame errors without panicking or allocating
+# attacker-sized buffers; the determinism suite proves N concurrent clients
+# get bit-identical digests with N-1 sweeps cache-hit, drains reject new
+# submissions with typed errors, and disk spill replays across a restart;
+# the smoke run pins the headline claim end to end — a digest streamed
+# through the socket equals the batch executor's for the same sweep.
+echo "==> service gate: protocol frame fuzz"
+cargo test -q --offline -p mtvar-serve --test protocol_fuzz
+
+echo "==> service gate: served determinism, drain, cancel, spill replay"
+cargo test -q --offline -p mtvar-serve --test served_determinism
+
+echo "==> service gate: served determinism (invariant monitor on)"
+cargo test -q --offline -p mtvar-serve --features invariant-monitor --test served_determinism
+
+echo "==> service gate: daemon + CLI smoke (served digest == batch digest)"
+cargo build -q --release --offline -p mtvar-serve --bin mtvar
+MTVAR_BIN=target/release/mtvar
+SOCK="${TMPDIR:-/tmp}/mtvar-verify-$$.sock"
+SWEEP="--cpus 4 --runs 4 --transactions 30 --warmup 20 --wl-threads 4"
+"$MTVAR_BIN" serve --socket "$SOCK" --dispatchers 2 --threads 2 &
+SERVE_PID=$!
+i=0
+while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do sleep 0.05; i=$((i + 1)); done
+SERVED=$("$MTVAR_BIN" submit --socket "$SOCK" --quiet $SWEEP | grep '^digest:')
+BATCH=$("$MTVAR_BIN" batch $SWEEP | grep '^digest:')
+if [ "$SERVED" != "$BATCH" ]; then
+    echo "served $SERVED does not match batch $BATCH" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+"$MTVAR_BIN" stats --socket "$SOCK" > /dev/null
+"$MTVAR_BIN" shutdown --socket "$SOCK" > /dev/null
+wait "$SERVE_PID"
+echo "    served $SERVED == batch digest"
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

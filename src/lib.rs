@@ -30,6 +30,7 @@
 //! ```
 
 pub use mtvar_core as core;
+pub use mtvar_serve as serve;
 pub use mtvar_sim as sim;
 pub use mtvar_stats as stats;
 pub use mtvar_workloads as workloads;
