@@ -728,8 +728,10 @@ impl Executor {
             // Decoding here (rather than reusing the machine warm_checkpoint
             // just simulated) leaves the decoder's resident-line seed on
             // every array, which makes each fork's first-write
-            // materialization a single sequential pass.
-            let template: Machine<W> = Machine::restore(&snapshot)?;
+            // materialization a single sequential pass. The decode itself
+            // spreads the per-node cache sections across this executor's
+            // thread budget (bit-identical for any thread count).
+            let template: Machine<W> = Machine::restore_with_threads(&snapshot, self.threads)?;
             return self.execute(plan, source_id, workload_id, |seed| {
                 let mut machine = template.fork();
                 machine.set_perturbation(perturbation_max, seed);
@@ -861,7 +863,7 @@ impl Executor {
         let snapshot = match prefix {
             Some((done, ck)) if done == warmup => ck,
             Some((done, ck)) => {
-                let mut machine: Machine<W> = Machine::restore(&ck)?;
+                let mut machine: Machine<W> = Machine::restore_with_threads(&ck, self.threads)?;
                 machine.run_transactions(warmup - done)?;
                 machine.normalize_measurement();
                 Arc::new(machine.snapshot())
@@ -908,8 +910,10 @@ impl Executor {
         plan.validate()?;
         let source_id = snapshot.fingerprint();
         // Decode once, fork per run (copy-on-write cache arrays) — the
-        // restore cost is paid once per snapshot instead of once per run.
-        let template: Machine<W> = Machine::restore(snapshot)?;
+        // restore cost is paid once per snapshot instead of once per run,
+        // and the decode fans the per-node sections across the executor's
+        // thread budget.
+        let template: Machine<W> = Machine::restore_with_threads(snapshot, self.threads)?;
         self.execute(plan, source_id, 0, |seed| {
             let mut machine = template.fork();
             if self.strict_invariants {

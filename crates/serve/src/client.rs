@@ -15,7 +15,7 @@ use std::path::PathBuf;
 use mtvar_sim::checkpoint::{CheckpointError, Decoder, Snap};
 
 use crate::protocol::{
-    encode_request, read_frame, FrameKind, JobState, Request, Response, ServerStats, SweepSpec,
+    encode_request, read_frame_into, FrameKind, JobState, Request, Response, ServerStats, SweepSpec,
 };
 use crate::{Result, ServeError};
 
@@ -104,7 +104,11 @@ impl Client {
         mut on_event: impl FnMut(&Response),
     ) -> Result<SweepOutcome> {
         let mut stream = self.open(&Request::Submit(spec))?;
-        match read_response(&mut stream)? {
+        // One body buffer for the whole drain: the stream carries a
+        // `RunDone` frame per run, and reusing the buffer keeps the hot
+        // loop allocation-free once it has grown to the largest frame.
+        let mut body = Vec::new();
+        match read_response_into(&mut stream, &mut body)? {
             Response::Submitted { .. } => {}
             Response::Error { code, message } => {
                 return Err(ServeError::Rejected { code, message });
@@ -112,7 +116,7 @@ impl Client {
             other => return Err(unexpected(&other)),
         }
         loop {
-            let event = read_response(&mut stream)?;
+            let event = read_response_into(&mut stream, &mut body)?;
             on_event(&event);
             match event {
                 Response::JobDone {
@@ -221,13 +225,18 @@ impl Client {
 }
 
 fn read_response(stream: &mut UnixStream) -> Result<Response> {
-    let (kind, body) = read_frame(stream)?;
+    read_response_into(stream, &mut Vec::new())
+}
+
+/// [`read_response`] through a caller-owned, recycled frame-body buffer.
+fn read_response_into(stream: &mut UnixStream, body: &mut Vec<u8>) -> Result<Response> {
+    let kind = read_frame_into(stream, body)?;
     if kind != FrameKind::Response {
         return Err(ServeError::Protocol(CheckpointError::Corrupt {
             what: "expected a response frame".into(),
         }));
     }
-    let mut dec = Decoder::new(&body);
+    let mut dec = Decoder::new(body);
     let resp = Response::decode_snap(&mut dec)?;
     dec.finish()?;
     Ok(resp)

@@ -67,10 +67,21 @@ impl FrameKind {
 /// FNV-1a over bytes with a SplitMix64 finalizer — the workspace's standard
 /// content fingerprint, applied here as the frame checksum.
 pub fn checksum(bytes: &[u8]) -> u64 {
+    checksum_parts(&[bytes])
+}
+
+/// [`checksum`] over the concatenation of `parts`, without materializing
+/// it. FNV-1a is a plain byte fold, so summing header and body in place is
+/// exactly the sum of the contiguous frame — this is what lets the stream
+/// reader and writer validate/emit frames from separate header and body
+/// buffers with no assembly copy.
+pub fn checksum_parts(parts: &[&[u8]]) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    for part in parts {
+        for &b in *part {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
     }
     let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -154,13 +165,56 @@ pub fn decode_frame(bytes: &[u8]) -> std::result::Result<(FrameKind, &[u8]), Che
     Ok((kind, &bytes[FRAME_HEADER..framed]))
 }
 
+/// Builds the 12-byte header for a frame with the given kind and body
+/// length. The caller has already checked the length against
+/// [`MAX_FRAME_BODY`].
+fn frame_header(kind: FrameKind, body_len: usize) -> [u8; FRAME_HEADER] {
+    let mut header = [0u8; FRAME_HEADER];
+    header[..4].copy_from_slice(&FRAME_MAGIC);
+    header[4..6].copy_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    header[6] = kind.to_byte();
+    header[7] = 0; // reserved
+    header[8..12].copy_from_slice(&(body_len as u32).to_le_bytes());
+    header
+}
+
 /// Writes one frame to a stream.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors.
 pub fn write_frame(w: &mut impl Write, kind: FrameKind, body: &[u8]) -> std::io::Result<()> {
-    w.write_all(&encode_frame(kind, body))?;
+    assert!(body.len() <= MAX_FRAME_BODY, "frame body over the cap");
+    let header = frame_header(kind, body.len());
+    let sum = checksum_parts(&[&header, body]).to_le_bytes();
+    // One vectored write of header + body + checksum: the frame goes out
+    // without ever being assembled into a contiguous buffer, so streaming
+    // a body costs zero copies beyond its own encode. Short vectored
+    // writes fall back to `write_all` on each remaining piece.
+    let mut bufs = [
+        std::io::IoSlice::new(&header),
+        std::io::IoSlice::new(body),
+        std::io::IoSlice::new(&sum),
+    ];
+    let total = header.len() + body.len() + sum.len();
+    let mut slices = &mut bufs[..];
+    let mut written = 0usize;
+    while written < total {
+        match w.write_vectored(slices) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "failed to write whole frame",
+                ));
+            }
+            Ok(n) => {
+                written += n;
+                std::io::IoSlice::advance_slices(&mut slices, n);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
     w.flush()
 }
 
@@ -173,6 +227,22 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, body: &[u8]) -> std::io:
 /// [`ServeError::Io`] on short reads; [`ServeError::Protocol`] on
 /// validation failure.
 pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>)> {
+    let mut body = Vec::new();
+    let kind = read_frame_into(r, &mut body)?;
+    Ok((kind, body))
+}
+
+/// [`read_frame`] into a caller-owned body buffer, reusing its capacity.
+/// `body` is cleared and on success holds exactly the frame body; the
+/// checksum is verified over the separate header and body buffers
+/// ([`checksum_parts`]), so a steady-state reader — a client draining a
+/// stream of `RunDone` frames — performs no per-frame allocation at all
+/// once the buffer has grown to the stream's largest body.
+///
+/// # Errors
+///
+/// As for [`read_frame`].
+pub fn read_frame_into(r: &mut impl Read, body: &mut Vec<u8>) -> Result<FrameKind> {
     let mut header = [0u8; FRAME_HEADER];
     // Distinguish a clean close (no bytes at all) from a mid-frame cut.
     let mut filled = 0;
@@ -188,22 +258,23 @@ pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>)> {
         filled += n;
     }
     let (kind, body_len) = validate_header(&header)?;
-    let mut rest = vec![0u8; body_len + 8];
-    r.read_exact(&mut rest)
+    body.clear();
+    // `body_len` is capped by `validate_header`, so this sizes at most
+    // MAX_FRAME_BODY + 8 bytes; the extra 8 hold the trailing checksum so
+    // body and checksum arrive in one read.
+    body.resize(body_len + 8, 0);
+    r.read_exact(body)
         .map_err(|_| ServeError::Protocol(CheckpointError::Truncated))?;
-    let mut sum_input = Vec::with_capacity(FRAME_HEADER + body_len);
-    sum_input.extend_from_slice(&header);
-    sum_input.extend_from_slice(&rest[..body_len]);
-    let stored = u64::from_le_bytes(rest[body_len..].try_into().expect("sized"));
-    let actual = checksum(&sum_input);
+    let stored = u64::from_le_bytes(body[body_len..].try_into().expect("sized"));
+    let actual = checksum_parts(&[&header, &body[..body_len]]);
     if stored != actual {
         return Err(ServeError::Protocol(CheckpointError::FingerprintMismatch {
             stored,
             actual,
         }));
     }
-    rest.truncate(body_len);
-    Ok((kind, rest))
+    body.truncate(body_len);
+    Ok(kind)
 }
 
 // ---------------------------------------------------------------------------
@@ -984,6 +1055,43 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
     encode_frame(FrameKind::Response, &enc.into_bytes())
 }
 
+/// A per-connection frame writer that owns one reusable body buffer.
+///
+/// [`encode_response`] + `write_all` builds every frame twice: the body is
+/// encoded into a fresh `Vec`, then copied into a second fresh `Vec`
+/// behind a header. For a one-shot control reply that is noise; for the
+/// `Submit` path — which streams one `RunDone` frame per run, thousands per
+/// sweep — it is two allocations and a full body copy per run. The sink
+/// encodes each response into the same recycled buffer
+/// ([`Encoder::from_vec`]) and hands header, body, and checksum to one
+/// vectored [`write_frame`], so a draining connection reaches a
+/// zero-allocation, zero-copy steady state.
+#[derive(Debug, Default)]
+pub struct FrameSink {
+    body: Vec<u8>,
+}
+
+impl FrameSink {
+    /// An empty sink; the body buffer grows to the connection's largest
+    /// response and stays there.
+    pub fn new() -> Self {
+        FrameSink::default()
+    }
+
+    /// Encodes `resp` into the recycled body buffer and writes it as one
+    /// vectored frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_response(&mut self, w: &mut impl Write, resp: &Response) -> std::io::Result<()> {
+        let mut enc = Encoder::from_vec(std::mem::take(&mut self.body));
+        resp.encode_snap(&mut enc);
+        self.body = enc.into_bytes();
+        write_frame(w, FrameKind::Response, &self.body)
+    }
+}
+
 /// Decodes a response from one complete frame, rejecting request frames and
 /// trailing bytes.
 ///
@@ -1161,5 +1269,83 @@ mod tests {
         let a = fold_digest(fold_digest(0, 1), 2);
         let b = fold_digest(fold_digest(0, 2), 1);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn checksum_parts_matches_contiguous_checksum() {
+        let bytes = b"the frame header then the frame body";
+        for split in [0, 1, 12, bytes.len()] {
+            assert_eq!(
+                checksum_parts(&[&bytes[..split], &bytes[split..]]),
+                checksum(bytes),
+                "split at {split}"
+            );
+        }
+        assert_eq!(checksum_parts(&[]), checksum(b""));
+    }
+
+    #[test]
+    fn vectored_write_frame_is_byte_identical_to_encode_frame() {
+        for body in [&b""[..], b"x", &[0xA5u8; 4096]] {
+            let mut streamed = Vec::new();
+            write_frame(&mut streamed, FrameKind::Response, body).unwrap();
+            assert_eq!(streamed, encode_frame(FrameKind::Response, body));
+        }
+    }
+
+    #[test]
+    fn read_frame_into_reuses_one_buffer_across_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Response, b"first, the longer body").unwrap();
+        write_frame(&mut wire, FrameKind::Request, b"second").unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut body = Vec::new();
+        assert_eq!(
+            read_frame_into(&mut cursor, &mut body).unwrap(),
+            FrameKind::Response
+        );
+        assert_eq!(body, b"first, the longer body");
+        let capacity = body.capacity();
+        assert_eq!(
+            read_frame_into(&mut cursor, &mut body).unwrap(),
+            FrameKind::Request
+        );
+        assert_eq!(body, b"second");
+        assert_eq!(body.capacity(), capacity, "no regrowth for smaller frames");
+        // A corrupted checksum still fails through the split-buffer path.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, FrameKind::Response, b"body").unwrap();
+        let last = wire.len() - 1;
+        wire[last] ^= 1;
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(matches!(
+            read_frame_into(&mut cursor, &mut body),
+            Err(ServeError::Protocol(
+                CheckpointError::FingerprintMismatch { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn frame_sink_frames_match_encode_response() {
+        let resps = [
+            Response::Submitted { job: 9 },
+            Response::RunDone {
+                job: 9,
+                run_index: 0,
+                digest: 0x1234_5678,
+                cached: false,
+                violations: 0,
+            },
+            Response::ShuttingDown,
+        ];
+        let mut sink = FrameSink::new();
+        let mut streamed = Vec::new();
+        let mut reference = Vec::new();
+        for resp in &resps {
+            sink.write_response(&mut streamed, resp).unwrap();
+            reference.extend_from_slice(&encode_response(resp));
+        }
+        assert_eq!(streamed, reference);
     }
 }

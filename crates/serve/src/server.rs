@@ -18,7 +18,6 @@
 //! [`ErrorCode::Draining`]: crate::protocol::ErrorCode::Draining
 
 use std::collections::{HashMap, HashSet};
-use std::io::Write;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -39,7 +38,7 @@ use mtvar_sim::workload::{SharingWorkload, Workload};
 use crate::batcher::WarmupCoalescer;
 use crate::job::{AdmissionError, JobQueue, JobRecord, JobRegistry};
 use crate::protocol::{
-    encode_response, fold_digest, read_frame, ErrorCode, FrameKind, JobState, Request, Response,
+    fold_digest, read_frame, ErrorCode, FrameKind, FrameSink, JobState, Request, Response,
     ServerStats, WorkloadSpec,
 };
 use crate::ServeError;
@@ -390,16 +389,16 @@ fn dispatch_loop(shared: &Arc<Shared>) {
     }
 }
 
-fn send_response(stream: &mut UnixStream, resp: &Response) -> std::io::Result<()> {
-    stream.write_all(&encode_response(resp))?;
-    stream.flush()
-}
-
 fn handle_connection(shared: &Arc<Shared>, mut stream: UnixStream) {
+    // One reusable frame writer per connection: every response on this
+    // stream — above all the per-run `RunDone` frames a Submit drains —
+    // encodes into the same recycled body buffer and goes out as a single
+    // vectored write.
+    let mut sink = FrameSink::new();
     // A failing client write is the client's problem; a malformed request
     // earns a typed BadRequest frame (best-effort) and a closed connection.
-    if let Err(ServeError::Protocol(e)) = serve_connection(shared, &mut stream) {
-        let _ = send_response(
+    if let Err(ServeError::Protocol(e)) = serve_connection(shared, &mut stream, &mut sink) {
+        let _ = sink.write_response(
             &mut stream,
             &Response::Error {
                 code: ErrorCode::BadRequest,
@@ -409,7 +408,11 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: UnixStream) {
     }
 }
 
-fn serve_connection(shared: &Arc<Shared>, stream: &mut UnixStream) -> crate::Result<()> {
+fn serve_connection(
+    shared: &Arc<Shared>,
+    stream: &mut UnixStream,
+    sink: &mut FrameSink,
+) -> crate::Result<()> {
     let (kind, body) = read_frame(stream)?;
     if kind != FrameKind::Request {
         return Err(ServeError::Protocol(
@@ -424,7 +427,7 @@ fn serve_connection(shared: &Arc<Shared>, stream: &mut UnixStream) -> crate::Res
     match request {
         Request::Submit(spec) => {
             if let Err(what) = spec.workload.validate() {
-                send_response(
+                sink.write_response(
                     stream,
                     &Response::Error {
                         code: ErrorCode::BadRequest,
@@ -434,7 +437,7 @@ fn serve_connection(shared: &Arc<Shared>, stream: &mut UnixStream) -> crate::Res
                 return Ok(());
             }
             if spec.plan.runs == 0 || spec.plan.transactions == 0 {
-                send_response(
+                sink.write_response(
                     stream,
                     &Response::Error {
                         code: ErrorCode::BadRequest,
@@ -456,12 +459,12 @@ fn serve_connection(shared: &Arc<Shared>, stream: &mut UnixStream) -> crate::Res
                             "server is draining for shutdown".to_string(),
                         ),
                     };
-                    send_response(stream, &Response::Error { code, message })?;
+                    sink.write_response(stream, &Response::Error { code, message })?;
                 }
                 Ok(job) => {
                     shared.registry.register(Arc::clone(&job));
                     shared.submitted.fetch_add(1, Ordering::Relaxed);
-                    send_response(stream, &Response::Submitted { job: job.id })?;
+                    sink.write_response(stream, &Response::Submitted { job: job.id })?;
                     // Stream events until the job's terminal frame. If the
                     // client hangs up, the job still runs to completion —
                     // its results land in the shared cache either way.
@@ -472,7 +475,7 @@ fn serve_connection(shared: &Arc<Shared>, stream: &mut UnixStream) -> crate::Res
                                 | Response::JobFailed { .. }
                                 | Response::Cancelled { .. }
                         );
-                        if send_response(stream, &event).is_err() {
+                        if sink.write_response(stream, &event).is_err() {
                             break;
                         }
                         if terminal {
@@ -496,7 +499,7 @@ fn serve_connection(shared: &Arc<Shared>, stream: &mut UnixStream) -> crate::Res
                     message: format!("no job {job}"),
                 },
             };
-            send_response(stream, &reply)?;
+            sink.write_response(stream, &reply)?;
         }
         Request::Cancel { job } => {
             let reply = match shared.registry.get(job) {
@@ -509,15 +512,15 @@ fn serve_connection(shared: &Arc<Shared>, stream: &mut UnixStream) -> crate::Res
                     message: format!("no job {job}"),
                 },
             };
-            send_response(stream, &reply)?;
+            sink.write_response(stream, &reply)?;
         }
         Request::Stats => {
-            send_response(stream, &Response::StatsReport(shared.stats_snapshot()))?;
+            sink.write_response(stream, &Response::StatsReport(shared.stats_snapshot()))?;
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.queue.drain();
-            send_response(stream, &Response::ShuttingDown)?;
+            sink.write_response(stream, &Response::ShuttingDown)?;
         }
     }
     Ok(())

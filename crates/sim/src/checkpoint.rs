@@ -124,6 +124,16 @@ impl Encoder {
         }
     }
 
+    /// Creates an encoder that writes into `buf`, reusing its capacity.
+    /// The buffer is cleared first — this is the recycle-a-scratch-buffer
+    /// constructor (`into_bytes` hands the buffer back), used by streaming
+    /// writers that encode one frame after another into the same
+    /// allocation.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Encoder { buf }
+    }
+
     /// Appends one byte.
     #[inline]
     pub fn put_u8(&mut self, v: u8) {

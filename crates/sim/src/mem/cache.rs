@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use super::arena;
 use crate::ids::BlockAddr;
 use crate::SimError;
 
@@ -142,10 +143,11 @@ impl CacheConfig {
     }
 }
 
-/// One cache line's metadata.
+/// One cache line's metadata. Crate-visible so the decode arena
+/// ([`super::arena`]) can pool retired line buffers by type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-struct Line {
+pub(crate) struct Line {
     tag: u64,
     state: CoherenceState,
     /// Monotonic last-use stamp for LRU.
@@ -199,15 +201,36 @@ fn zeroed_lines(len: usize) -> Vec<Line> {
 /// encoding run-length-encodes Invalid lines — so the clone is
 /// behaviourally identical and re-encodes to the same bytes. An unseeded
 /// clone is a plain memcpy.
+/// The backing buffers are recycled through the thread-local decode arena
+/// (`super::arena`): `Drop` retires `dense` and the seed there, and the
+/// decode / clone paths take recycled buffers when one fits — in
+/// steady-state sweeps (decode a template, fork it, drop everything,
+/// repeat) the multi-megabyte arrays never touch the allocator. The seed
+/// stays a `Vec` (not a boxed slice) precisely so it can round-trip
+/// through the pool without the shrink-to-fit realloc `into_boxed_slice`
+/// would cost.
 struct CowLines {
     dense: Vec<Line>,
-    resident: Option<Box<[(u32, Line)]>>,
+    resident: Option<Vec<(u32, Line)>>,
+}
+
+impl Drop for CowLines {
+    fn drop(&mut self) {
+        if let Some(list) = self.resident.take() {
+            arena::give_resident(list);
+        }
+        arena::give_lines(std::mem::take(&mut self.dense));
+    }
 }
 
 impl Clone for CowLines {
     fn clone(&self) -> Self {
         let len = self.dense.len();
-        let mut dense: Vec<Line> = Vec::with_capacity(len);
+        // A recycled buffer arrives dirty, which is fine on both branches:
+        // the seeded pass below writes every element before `set_len`, and
+        // the unseeded branch copies over a cleared (`len == 0`) vector.
+        let mut dense: Vec<Line> =
+            arena::take_lines(len).unwrap_or_else(|| Vec::with_capacity(len));
         match &self.resident {
             Some(list) => {
                 // One sequential pass over uninitialized memory: zero the
@@ -344,7 +367,7 @@ impl CacheArray {
             config,
             lines: Arc::new(CowLines {
                 dense: zeroed_lines((sets as usize) * ways),
-                resident: Some(Box::from([])),
+                resident: Some(Vec::new()),
             }),
             sets,
             ways,
@@ -384,8 +407,10 @@ impl CacheArray {
         // invalidates the decoder's resident-line seed, which describes the
         // array as it was decoded.
         let cow = Arc::make_mut(&mut self.lines);
-        if cow.resident.is_some() {
-            cow.resident = None;
+        if let Some(list) = cow.resident.take() {
+            // The seed is dead the moment the array is written; retire its
+            // buffer to the decode arena instead of freeing it.
+            arena::give_resident(list);
         }
         &mut cow.dense[start..start + self.ways]
     }
@@ -562,11 +587,21 @@ impl CacheArray {
             }
             return;
         }
-        for (i, line) in self.lines.dense.iter().enumerate() {
-            if line.state != CoherenceState::Invalid {
-                let set = i / self.ways;
-                f(self.addr_of(set, line.tag), line.state);
+        // No seed (the array has been written in place): skip Invalid
+        // stretches with the same word-at-a-time run scan the snapshot
+        // encoder uses, instead of branching on every one of a mostly
+        // empty L2's lines.
+        let dense = &self.lines.dense;
+        let mut i = 0usize;
+        while i < dense.len() {
+            i += invalid_run_len(&dense[i..]);
+            if i == dense.len() {
+                break;
             }
+            let line = &dense[i];
+            let set = i / self.ways;
+            f(self.addr_of(set, line.tag), line.state);
+            i += 1;
         }
     }
 }
@@ -687,13 +722,22 @@ impl crate::checkpoint::Snap for CacheArray {
                 what: "CacheArray line count".into(),
             });
         }
-        // The dense array starts zeroed (all-Invalid): invalid runs just
-        // advance the cursor without writing, and each resident line is
-        // written in place and recorded in the resident seed — which later
-        // powers both `for_each_resident` (snoop-filter rebuild) and the
-        // sparse copy-on-write materialization of forks (`CowLines`).
-        let mut dense = zeroed_lines(len);
-        let mut resident = Vec::new();
+        // The dense array comes from the thread-local decode arena when a
+        // retired buffer fits, and from `zeroed_lines` otherwise. A fresh
+        // zeroed allocation is all-Invalid already, so invalid runs just
+        // advance the cursor; a recycled buffer is dirty, so runs are
+        // zeroed in bulk (`write_bytes`, the decode-side counterpart of
+        // the encoder's word-at-a-time run scan) as the run-length walk
+        // passes over them. Each resident line is written in place and
+        // recorded in the resident seed — which later powers both
+        // `for_each_resident` (snoop-filter rebuild) and the sparse
+        // copy-on-write materialization of forks (`CowLines`).
+        let (mut dense, zero_gaps) = match arena::take_lines(len) {
+            Some(buf) => (buf, true),
+            None => (zeroed_lines(len), false),
+        };
+        let ptr = dense.as_mut_ptr();
+        let mut resident = arena::take_resident();
         let mut filled = 0usize;
         while filled < len {
             match dec.get_u8()? {
@@ -703,6 +747,12 @@ impl crate::checkpoint::Snap for CacheArray {
                         return Err(CheckpointError::Corrupt {
                             what: "CacheArray invalid-run length".into(),
                         });
+                    }
+                    if zero_gaps {
+                        // SAFETY: `filled + run <= len`, and the arena
+                        // guarantees `capacity >= len`. Zero bytes are a
+                        // valid all-Invalid `Line` (see `zeroed_lines`).
+                        unsafe { ptr.add(filled).write_bytes(0u8, run) };
                     }
                     filled += run;
                 }
@@ -723,13 +773,23 @@ impl crate::checkpoint::Snap for CacheArray {
                         state,
                         lru: dec.get_u64()?,
                     };
-                    dense[filled] = line;
+                    // SAFETY: `filled < len <= capacity`; on the fresh
+                    // path this overwrites an initialized zero line, on
+                    // the recycled path it initializes the slot (`Line`
+                    // is `Copy`, so no drop is skipped either way).
+                    unsafe { ptr.add(filled).write(line) };
                     // `len` is capped at 1 << 28 above, so indices fit u32.
                     resident.push((filled as u32, line));
                     filled += 1;
                 }
             }
         }
+        // SAFETY: the loop above ran until `filled == len`, writing (or,
+        // on the fresh path, inheriting from `zeroed_lines`) every element
+        // of `[0, len)`; a recycled buffer's capacity covers `len`. Early
+        // error returns leave a recycled buffer at `len == 0`, which drops
+        // safely — `Line` is `Copy`.
+        unsafe { dense.set_len(len) };
         let sets: u64 = Snap::decode_snap(dec)?;
         let ways = Snap::decode_snap(dec)?;
         let use_clock = Snap::decode_snap(dec)?;
@@ -743,7 +803,7 @@ impl crate::checkpoint::Snap for CacheArray {
             config,
             lines: Arc::new(CowLines {
                 dense,
-                resident: Some(resident.into_boxed_slice()),
+                resident: Some(resident),
             }),
             sets,
             ways,

@@ -34,6 +34,7 @@
 //! exact per-block [`Directory`](super::Directory) and construct it
 //! [`disabled`](SnoopFilter::disabled).
 
+use super::arena;
 use crate::ids::BlockAddr;
 
 /// Number of residency regions block addresses hash into. With the paper's
@@ -57,9 +58,33 @@ pub(crate) fn words_for(cpus: usize) -> usize {
     cpus.div_ceil(64)
 }
 
+/// Takes a zero-filled `u64` buffer of exactly `len` elements, recycled
+/// through the decode arena when a retired filter's array fits. Recycled
+/// buffers are dirty, so the resize-from-empty writes the zeros.
+fn zeroed_u64s(len: usize) -> Vec<u64> {
+    match arena::take_u64s(len) {
+        Some(mut buf) => {
+            buf.resize(len, 0);
+            buf
+        }
+        None => vec![0; len],
+    }
+}
+
+/// [`zeroed_u64s`] for the count array's element type.
+fn zeroed_u32s(len: usize) -> Vec<u32> {
+    match arena::take_u32s(len) {
+        Some(mut buf) => {
+            buf.resize(len, 0);
+            buf
+        }
+        None => vec![0; len],
+    }
+}
+
 /// Conservative per-region summary of which nodes' L2 caches may hold a
 /// block; see the module docs for the contract.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct SnoopFilter {
     /// Presence bitsets, `REGIONS × words` row-major by region: bit `i` of a
     /// region's word group is set iff `counts` for node `i` in the region is
@@ -75,6 +100,40 @@ pub struct SnoopFilter {
     words: usize,
 }
 
+/// A fork clones its parent's filter wholesale — at the paper's 16 CPUs
+/// that is a 4 MB count array plus a 512 KB presence bitset, far and away
+/// the largest buffers a fork allocates once the line arrays are
+/// copy-on-write. Route both through the decode arena so steady-state
+/// sweep launches recycle a retired fork's arrays instead of hitting the
+/// allocator per fork.
+impl Clone for SnoopFilter {
+    fn clone(&self) -> Self {
+        let mut bits = (!self.bits.is_empty())
+            .then(|| arena::take_u64s(self.bits.len()))
+            .flatten()
+            .unwrap_or_default();
+        bits.extend_from_slice(&self.bits);
+        let mut counts = (!self.counts.is_empty())
+            .then(|| arena::take_u32s(self.counts.len()))
+            .flatten()
+            .unwrap_or_default();
+        counts.extend_from_slice(&self.counts);
+        SnoopFilter {
+            bits,
+            counts,
+            cpus: self.cpus,
+            words: self.words,
+        }
+    }
+}
+
+impl Drop for SnoopFilter {
+    fn drop(&mut self) {
+        arena::give_u64s(std::mem::take(&mut self.bits));
+        arena::give_u32s(std::mem::take(&mut self.counts));
+    }
+}
+
 impl SnoopFilter {
     /// Creates the filter for a machine with `cpus` nodes (all caches
     /// empty). Works at any node count; the presence bitset grows by one
@@ -82,8 +141,8 @@ impl SnoopFilter {
     pub fn new(cpus: usize) -> Self {
         let words = words_for(cpus);
         SnoopFilter {
-            bits: vec![0; REGIONS * words],
-            counts: vec![0; REGIONS * cpus],
+            bits: zeroed_u64s(REGIONS * words),
+            counts: zeroed_u32s(REGIONS * cpus),
             cpus,
             words,
         }
@@ -136,6 +195,26 @@ impl SnoopFilter {
         *c += 1;
         if *c == 1 {
             self.bits[r * self.words + cpu / 64] |= 1u64 << (cpu % 64);
+        }
+    }
+
+    /// [`Self::note_fill`] with the region already hashed — the parallel
+    /// sectioned decode computes `region_of` on its worker threads while
+    /// walking each node's resident lines, and the (sequential) merge into
+    /// the filter then only touches the count and bit arrays. State after
+    /// the merge is identical to calling `note_fill` per block: counts sum
+    /// and the presence bit is set iff a region count is nonzero,
+    /// regardless of call order.
+    #[inline]
+    pub(crate) fn note_region_fill(&mut self, cpu: usize, region: usize) {
+        if !self.enabled() {
+            return;
+        }
+        debug_assert!(region < REGIONS);
+        let c = &mut self.counts[region * self.cpus + cpu];
+        *c += 1;
+        if *c == 1 {
+            self.bits[region * self.words + cpu / 64] |= 1u64 << (cpu % 64);
         }
     }
 

@@ -2,6 +2,7 @@
 //! snooping bus or a home-node directory, interconnect and DRAM timing,
 //! plus the §3.3 perturbation hook.
 
+pub mod arena;
 mod cache;
 pub mod directory;
 pub mod filter;

@@ -11,7 +11,11 @@
 //! the parallel path cannot beat sequential (there is nothing to overlap
 //! with), and the file says so via `host_parallelism`. The quantity under
 //! test is the determinism contract — identical results at every thread
-//! count — with speedup as a free side effect wherever cores exist.
+//! count — with speedup as a free side effect wherever cores exist. The
+//! `thread_sweep` table makes that explicit: the same space at 1, 2, 4, and
+//! 8 requested workers, each entry recording the thread count the executor
+//! actually used and asserting bit-identity against the sequential
+//! reference.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -48,7 +52,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reference = run_space(&cfg, workload, &plan)?;
     let sequential_s = t0.elapsed().as_secs_f64();
 
-    // Parallel executor, cache disabled so the measurement is pure compute.
+    // Explicit thread sweep: the same space at 1, 2, 4, and 8 requested
+    // workers, cache disabled so the measurement is pure compute. Each entry
+    // records the thread count the executor actually used (`threads()`, as
+    // passed to the parallel sectioned decode) and is asserted bit-identical
+    // against the sequential reference.
+    let mut sweep_entries = Vec::new();
+    let mut one_thread_s = f64::NAN;
+    for requested in [1usize, 2, 4, 8] {
+        let executor = Executor::with_threads(requested).without_cache();
+        let used = executor.threads();
+        let t = Instant::now();
+        let swept = executor.run_space(&cfg, workload, &plan)?;
+        let secs = t.elapsed().as_secs_f64();
+        assert_eq!(
+            reference.results(),
+            swept.results(),
+            "{requested}-thread executor must be bit-identical to the \
+             sequential reference"
+        );
+        if requested == 1 {
+            one_thread_s = secs;
+        }
+        sweep_entries.push(format!(
+            "    {{ \"threads_requested\": {requested}, \"threads_used\": {used}, \
+             \"seconds\": {secs:.4}, \"speedup_vs_1_thread\": {:.3} }}",
+            one_thread_s / secs
+        ));
+    }
+    let thread_sweep = sweep_entries.join(",\n");
+
+    // The host-default executor is the headline `parallel_seconds` number.
     let executor = Executor::new().without_cache();
     let threads = executor.threads();
     let t1 = Instant::now();
@@ -120,7 +154,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let speedup = sequential_s / parallel_s;
     let json = format!(
-        "{{\n  \"workload\": \"design_comparison: OLTP 16 threads, ROB-32, {RUNS} runs x {TXNS} txns, warmup {WARMUP}\",\n  \"host_parallelism\": {threads},\n  \"sequential_seconds\": {sequential_s:.4},\n  \"parallel_seconds\": {parallel_s:.4},\n  \"cached_seconds\": {cached_s:.6},\n  \"speedup_parallel_vs_sequential\": {speedup:.3},\n  \"bit_identical\": true,\n  \"warmup_amortization\": {{\n    \"workload\": \"OLTP 16 threads, ROB-32, {AMORT_RUNS} runs x {AMORT_TXNS} txns from each warmup position\",\n    \"positions\": [500, 1000, 1500, 2000, 2500, 3000, 3500, 4000],\n    \"no_store_seconds\": {amort_no_store_s:.4},\n    \"store_seconds\": {amort_store_s:.4},\n    \"speedup_store_vs_no_store\": {amort_speedup:.3},\n    \"statistics_identical\": true\n  }}\n}}\n"
+        "{{\n  \"workload\": \"design_comparison: OLTP 16 threads, ROB-32, {RUNS} runs x {TXNS} txns, warmup {WARMUP}\",\n  \"host_parallelism\": {threads},\n  \"sequential_seconds\": {sequential_s:.4},\n  \"parallel_seconds\": {parallel_s:.4},\n  \"cached_seconds\": {cached_s:.6},\n  \"speedup_parallel_vs_sequential\": {speedup:.3},\n  \"bit_identical\": true,\n  \"thread_sweep\": [\n{thread_sweep}\n  ],\n  \"warmup_amortization\": {{\n    \"workload\": \"OLTP 16 threads, ROB-32, {AMORT_RUNS} runs x {AMORT_TXNS} txns from each warmup position\",\n    \"positions\": [500, 1000, 1500, 2000, 2500, 3000, 3500, 4000],\n    \"no_store_seconds\": {amort_no_store_s:.4},\n    \"store_seconds\": {amort_store_s:.4},\n    \"speedup_store_vs_no_store\": {amort_speedup:.3},\n    \"statistics_identical\": true\n  }}\n}}\n"
     );
     std::fs::write("BENCH_runspace.json", &json)?;
     println!("{json}");

@@ -1,0 +1,111 @@
+#!/usr/bin/env sh
+# Benchmark-record regression gate: parse every BENCH_*.json in the repo
+# root and fail if an asserted field has regressed — a determinism flag
+# gone false, or a measured ratio that fell below the floor the file
+# itself declares. Plain sh + awk, no jq, fully offline.
+#
+#   sh scripts/bench_check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+
+# First numeric value following `"key":` in a file (JSON one-key-per-line,
+# which is how every bench writer formats its record).
+jnum() {
+    awk -v key="$2" '
+        index($0, "\"" key "\"") {
+            s = substr($0, index($0, "\"" key "\"") + length(key) + 2)
+            if (match(s, /-?[0-9][0-9.]*/)) {
+                print substr(s, RSTART, RLENGTH)
+                exit
+            }
+        }' "$1"
+}
+
+# First boolean value following `"key":` in a file (empty if absent).
+jbool() {
+    awk -v key="$2" '
+        index($0, "\"" key "\"") {
+            s = substr($0, index($0, "\"" key "\"") + length(key) + 2)
+            if (match(s, /true|false/)) {
+                print substr(s, RSTART, RLENGTH)
+                exit
+            }
+        }' "$1"
+}
+
+# a >= b, floating point.
+ge() {
+    awk -v a="$1" -v b="$2" 'BEGIN { exit !(a + 0 >= b + 0) }'
+}
+
+require_num() { # file key -> value (fails the gate if missing)
+    v=$(jnum "$1" "$2")
+    if [ -z "$v" ]; then
+        echo "FAIL $1: required field \"$2\" is missing" >&2
+        status=1
+        echo 0
+    else
+        echo "$v"
+    fi
+}
+
+found_any=0
+for f in BENCH_*.json; do
+    [ -f "$f" ] || continue
+    found_any=1
+
+    # Every asserted determinism/identity flag anywhere in the file must
+    # read true: these record "the optimized path produced bit-identical
+    # statistics", and false means the benchmark itself caught a
+    # divergence (or someone hand-edited the record to hide one).
+    if grep -nE '"(statistics_identical|bit_identical|savings_asserted|contains_truth)"[[:space:]]*:[[:space:]]*false' "$f"; then
+        echo "FAIL $f: an asserted identity flag is false (see lines above)" >&2
+        status=1
+    fi
+done
+
+if [ "$found_any" -eq 0 ]; then
+    echo "FAIL: no BENCH_*.json files found in the repo root" >&2
+    exit 1
+fi
+
+# BENCH_snapshot.json: the fork-vs-restore speedup must hold its floor,
+# and the parallel template-decode sweep must hold its own floor wherever
+# the host had the cores to enforce it (single-core hosts record
+# speedup_enforced=false and are exempt — there is nothing to overlap).
+f=BENCH_snapshot.json
+if [ -f "$f" ]; then
+    speedup=$(require_num "$f" speedup)
+    floor=$(require_num "$f" required_speedup)
+    if ! ge "$speedup" "$floor"; then
+        echo "FAIL $f: fork speedup $speedup fell below required $floor" >&2
+        status=1
+    fi
+    enforced=$(jbool "$f" speedup_enforced)
+    if [ "$enforced" = "true" ]; then
+        decode=$(require_num "$f" speedup_at_4_threads)
+        if ! ge "$decode" "$floor"; then
+            echo "FAIL $f: 4-thread decode speedup $decode fell below required $floor" >&2
+            status=1
+        fi
+    fi
+fi
+
+# BENCH_serve.json: coalesced warmup sharing must keep its savings floor.
+f=BENCH_serve.json
+if [ -f "$f" ]; then
+    savings=$(require_num "$f" aggregate_savings)
+    floor=$(require_num "$f" required_savings)
+    if ! ge "$savings" "$floor"; then
+        echo "FAIL $f: aggregate savings $savings fell below required $floor" >&2
+        status=1
+    fi
+fi
+
+if [ "$status" -ne 0 ]; then
+    exit "$status"
+fi
+echo "bench records OK"

@@ -142,6 +142,9 @@ fi
 wait "$SERVE_PID"
 echo "    served $SERVED == batch digest"
 
+echo "==> bench records: asserted fields must not regress"
+sh scripts/bench_check.sh
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -150,6 +150,12 @@ fn forking_a_template_is_far_cheaper_than_restoring() {
     let machine = warmed_reference_machine();
     let ck = machine.snapshot();
 
+    // Start from a cold decode arena: this test compares a *full* restore
+    // against a fork, and a pooled line buffer would make the restore look
+    // nearly free (which is the point of the arena, and exactly what the
+    // budget test below asserts — but it would invalidate this ratio).
+    mtvar_sim::mem::arena::clear();
+
     let (restore_allocs_0, restore_bytes_0) = counters();
     let template: Machine<mtvar_workloads::profile::ProfiledWorkload> =
         Machine::restore(&ck).expect("restore");
@@ -179,5 +185,77 @@ fn forking_a_template_is_far_cheaper_than_restoring() {
     // decoder's resident-line seed).
     let mut fork = fork.with_perturbation_seed(7);
     fork.run_transactions(20).expect("forked run");
+    drop(template);
+}
+
+/// The decode arena's claim for steady-state sweep launches: once the
+/// thread's pools hold one round's worth of retired buffers, a template
+/// decode plus 32 forks never re-allocates the multi-megabyte recycled
+/// buffers — the dense line arrays (~25 MB across the reference machine's
+/// 48 caches) on the decode side, and the snoop filter's 4 MB count +
+/// 0.5 MB presence arrays on the fork side — and the arena's hit counter
+/// proves the pooled buffers were actually reused rather than the working
+/// set merely shrinking. What remains inside the budgets is the honest
+/// per-round container churn: the decoded event list, scheduler and
+/// workload state, and each fork's private wheel/core/queue clones.
+#[test]
+fn arena_warm_template_decode_and_forks_stay_in_budget() {
+    use mtvar_sim::mem::arena;
+
+    const FORKS: usize = 32;
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    arena::clear();
+    let machine = warmed_reference_machine();
+    let ck = machine.snapshot();
+    // Retire the warmed machine's line arrays into this thread's arena.
+    drop(machine);
+
+    // Warmup round: one decode + fork batch, fully dropped, grows every
+    // pooled buffer (line arrays, resident seeds, filter arrays) to
+    // steady-state size.
+    {
+        let template: Machine<mtvar_workloads::profile::ProfiledWorkload> =
+            Machine::restore(&ck).expect("warmup decode");
+        let forks: Vec<_> = (0..FORKS).map(|_| template.fork()).collect();
+        drop(forks);
+        drop(template);
+    }
+
+    let stats_before = arena::stats();
+    let (allocs_0, bytes_0) = counters();
+    let template: Machine<mtvar_workloads::profile::ProfiledWorkload> =
+        Machine::restore(&ck).expect("steady-state decode");
+    let (decode_allocs_1, decode_bytes_1) = counters();
+    let forks: Vec<_> = (0..FORKS).map(|_| template.fork()).collect();
+    let (allocs_1, bytes_1) = counters();
+    let stats_after = arena::stats();
+    let decode_allocs = decode_allocs_1 - allocs_0;
+    let decode_bytes = decode_bytes_1 - bytes_0;
+    let fork_allocs = allocs_1 - decode_allocs_1;
+    let fork_bytes = bytes_1 - decode_bytes_1;
+
+    assert!(
+        stats_after.hits > stats_before.hits,
+        "the round did not reuse a single pooled buffer \
+         ({stats_before:?} -> {stats_after:?}); the arena has regressed"
+    );
+    // A warm decode allocates ~1.5 MB of container state (measured ~405
+    // allocations). The budget's teeth: re-allocating even one retired L2
+    // line array (1.5 MB dense) or the filter's 4 MB count array blows
+    // straight through it.
+    assert!(
+        decode_allocs <= 800 && decode_bytes <= 2_500_000,
+        "warm template decode allocated {decode_allocs} times / \
+         {decode_bytes} bytes; the arena stopped recycling decode buffers"
+    );
+    // A warm fork allocates ~600 KB of per-run containers (~290
+    // allocations). If the snoop-filter arrays stop recycling, each fork
+    // pays 4.5 MB again and the batch lands near 150 MB — 4x over budget.
+    assert!(
+        fork_allocs <= 12_000 && (fork_bytes as usize) <= 40_000_000,
+        "{FORKS} warm forks allocated {fork_allocs} times / {fork_bytes} \
+         bytes; the arena stopped recycling the filter arrays"
+    );
+    drop(forks);
     drop(template);
 }
